@@ -1,0 +1,103 @@
+//! Ablation A1: counting-algorithm matcher vs naive profile scan.
+//!
+//! The CBN matcher runs on every datagram at every node, so its
+//! throughput bounds the whole data layer. This criterion bench compares
+//! [`cosmos_cbn::NaiveMatcher`] and [`cosmos_cbn::CountingMatcher`] at
+//! increasing subscription counts, on an equality-heavy workload (the
+//! common case: key-attribute subscriptions) and on a range-heavy one.
+
+use cosmos_cbn::{Conjunction, CountingMatcher, MatchEngine, NaiveMatcher, Profile, Projection};
+use cosmos_types::{AttrType, Schema, Timestamp, Tuple, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn schema() -> Schema {
+    Schema::of(&[
+        ("id", AttrType::Int),
+        ("price", AttrType::Float),
+        ("qty", AttrType::Int),
+    ])
+}
+
+fn eq_profile(rng: &mut StdRng) -> Profile {
+    let mut f = Conjunction::always();
+    f.equals("id", rng.gen_range(0..500i64));
+    let mut p = Profile::new();
+    p.add_interest("S", Projection::All, f);
+    p
+}
+
+fn range_profile(rng: &mut StdRng) -> Profile {
+    let mut f = Conjunction::always();
+    let lo = rng.gen_range(0.0..900.0);
+    f.between("price", lo, lo + rng.gen_range(10.0..100.0));
+    if rng.gen_bool(0.5) {
+        f.lower("qty", rng.gen_range(0..50i64), true);
+    }
+    let mut p = Profile::new();
+    p.add_interest("S", Projection::All, f);
+    p
+}
+
+fn tuples(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                "S",
+                Timestamp(i as i64),
+                vec![
+                    Value::Int(rng.gen_range(0..500)),
+                    Value::Float(rng.gen_range(0.0..1000.0)),
+                    Value::Int(rng.gen_range(0..100)),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let s = schema();
+    let probes = tuples(256, 7);
+    for (flavor, make) in [
+        ("equality", eq_profile as fn(&mut StdRng) -> Profile),
+        ("range", range_profile as fn(&mut StdRng) -> Profile),
+    ] {
+        let mut group = c.benchmark_group(format!("cbn_matching/{flavor}"));
+        group.sample_size(20);
+        for subs in [100usize, 1000, 5000] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut naive = NaiveMatcher::new();
+            let mut counting = CountingMatcher::new();
+            for i in 0..subs {
+                let p = make(&mut rng);
+                naive.insert(i as u32, p.clone());
+                counting.insert(i as u32, p);
+            }
+            group.bench_with_input(BenchmarkId::new("naive", subs), &subs, |b, _| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for t in &probes {
+                        hits += naive.matches(black_box(t), &s).len();
+                    }
+                    hits
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("counting", subs), &subs, |b, _| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for t in &probes {
+                        hits += counting.matches(black_box(t), &s).len();
+                    }
+                    hits
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation A6: cost of the containment check and of representative
+//! merging as query complexity grows.
+
+use cosmos_cql::parse_query;
+use cosmos_query::{contained, merge};
+use cosmos_spe::AnalyzedQuery;
+use cosmos_types::{AttrType, Field, Schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A catalog with a configurable-width stream.
+fn wide_catalog(width: usize) -> impl Fn(&str) -> Option<Schema> {
+    move |name| {
+        (name == "W").then(|| {
+            let mut fields = vec![Field::new("timestamp", AttrType::Int)];
+            for i in 0..width {
+                fields.push(Field::new(format!("a{i}"), AttrType::Float));
+            }
+            Schema::new(fields).unwrap()
+        })
+    }
+}
+
+/// A query with `preds` range predicates.
+fn query(width: usize, preds: usize, offset: f64) -> AnalyzedQuery {
+    let cols: Vec<String> = (0..width).map(|i| format!("a{i}")).collect();
+    let mut text = format!("SELECT {} FROM W [Range 1 Hour]", cols.join(", "));
+    if preds > 0 {
+        let clauses: Vec<String> = (0..preds)
+            .map(|i| format!("a{i} BETWEEN {} AND {}", offset, offset + 50.0))
+            .collect();
+        text.push_str(&format!(" WHERE {}", clauses.join(" AND ")));
+    }
+    AnalyzedQuery::analyze(&parse_query(&text).unwrap(), wide_catalog(width)).unwrap()
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containment");
+    group.sample_size(30);
+    for preds in [1usize, 4, 8, 16] {
+        let width = preds.max(4);
+        let tight = query(width, preds, 10.0);
+        let loose = query(width, preds, 0.0); // wider windows of values
+        group.bench_with_input(BenchmarkId::new("contained", preds), &preds, |b, _| {
+            b.iter(|| contained(black_box(&tight), black_box(&loose)))
+        });
+        group.bench_with_input(BenchmarkId::new("merge", preds), &preds, |b, _| {
+            b.iter(|| merge(black_box(&tight), black_box(&loose)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_containment);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation A2: early projection on vs off.
+//!
+//! Section 3.1: "we extend CBN to perform projections. Early projection
+//! can save the cost of transmitting unnecessary attributes." This
+//! harness routes the same sensor data through the same 8-node line
+//! overlay for the same query, once with the query's narrow projection
+//! and once with a `SELECT *`-style profile, and reports the bytes moved.
+
+use cosmos::{Cosmos, CosmosConfig};
+use cosmos_bench::{print_table, record_json};
+use cosmos_overlay::Graph;
+use cosmos_types::{NodeId, StreamName};
+use cosmos_workload::sensor::{sensor_catalog, stream_name, SensorGenerator};
+
+fn line(n: u32) -> Graph {
+    let mut g = Graph::new(n as usize);
+    for i in 0..n {
+        g.set_position(NodeId(i), i as f64 / n as f64, 0.0);
+    }
+    for i in 1..n {
+        g.add_edge_by_distance(NodeId(i - 1), NodeId(i)).unwrap();
+    }
+    g
+}
+
+fn run(query: &str) -> u64 {
+    let cfg = CosmosConfig {
+        nodes: 8,
+        processor_fraction: 0.13, // node 0 only
+        ..CosmosConfig::default()
+    };
+    let mut sys = Cosmos::with_graph(cfg, line(8)).unwrap();
+    let cat = sensor_catalog();
+    let s0 = StreamName::from(stream_name(0).as_str());
+    sys.register_stream(
+        stream_name(0).as_str(),
+        cat.schema(&s0).unwrap().clone(),
+        cat.stats(&s0).unwrap().clone(),
+        NodeId(0),
+    )
+    .unwrap();
+    sys.submit_query(query, NodeId(7)).unwrap();
+    let mut gen = SensorGenerator::new(0, 3);
+    sys.run(gen.tuples_until(2_000_000)).unwrap();
+    sys.total_bytes()
+}
+
+fn main() {
+    let narrow = run(&format!(
+        "SELECT node_id, ambient_temp FROM {} [Now]",
+        stream_name(0)
+    ));
+    let wide = run(&format!("SELECT * FROM {} [Now]", stream_name(0)));
+    let filtered_narrow = run(&format!(
+        "SELECT node_id, ambient_temp FROM {} [Now] WHERE ambient_temp > 30.0",
+        stream_name(0)
+    ));
+    let saved = 100.0 * (1.0 - narrow as f64 / wide as f64);
+    print_table(
+        "Ablation A2 — early projection (8-node line, 2000s of sensor data)",
+        &["profile", "bytes moved", "vs SELECT *"],
+        &[
+            vec![
+                "SELECT * (no projection)".into(),
+                wide.to_string(),
+                "—".into(),
+            ],
+            vec![
+                "2 attributes (early projection)".into(),
+                narrow.to_string(),
+                format!("-{saved:.1}%"),
+            ],
+            vec![
+                "2 attrs + selective filter".into(),
+                filtered_narrow.to_string(),
+                format!(
+                    "-{:.1}%",
+                    100.0 * (1.0 - filtered_narrow as f64 / wide as f64)
+                ),
+            ],
+        ],
+    );
+    record_json(
+        "early_projection",
+        &serde_json::json!({
+            "wide_bytes": wide, "narrow_bytes": narrow,
+            "filtered_narrow_bytes": filtered_narrow,
+        }),
+    );
+    assert!(narrow < wide, "projection must reduce bytes");
+    assert!(
+        filtered_narrow < narrow,
+        "filtering must reduce bytes further"
+    );
+}

@@ -1,0 +1,78 @@
+//! End-to-end system throughput: source datagrams published through the
+//! full stack — source-side filtering, counting-matcher routing, early
+//! projection, representative execution, result routing and delivery —
+//! on a 64-node power-law overlay with 32 live queries.
+
+use cosmos::{Cosmos, CosmosConfig};
+use cosmos_types::{NodeId, StreamName, Tuple};
+use cosmos_workload::sensor::{merged_inputs, sensor_catalog, stream_name, SensorGenerator};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const NODES: usize = 64;
+const STREAMS: usize = 4;
+const QUERIES: usize = 32;
+
+fn deploy() -> Cosmos {
+    let mut sys = Cosmos::new(CosmosConfig {
+        nodes: NODES,
+        seed: 5,
+        processor_fraction: 0.1,
+        ..CosmosConfig::default()
+    })
+    .unwrap();
+    let cat = sensor_catalog();
+    let mut rng = StdRng::seed_from_u64(6);
+    for i in 0..STREAMS {
+        let key = StreamName::from(stream_name(i).as_str());
+        sys.register_stream(
+            stream_name(i).as_str(),
+            cat.schema(&key).unwrap().clone(),
+            cat.stats(&key).unwrap().clone(),
+            NodeId(rng.gen_range(0..NODES as u32)),
+        )
+        .unwrap();
+    }
+    for i in 0..QUERIES {
+        let s = stream_name(i % STREAMS);
+        let threshold = -10.0 + (i % 8) as f64 * 5.0;
+        let user = NodeId(rng.gen_range(0..NODES as u32));
+        sys.submit_query(
+            &format!(
+                "SELECT node_id, ambient_temp FROM {s} [Now] \
+                 WHERE ambient_temp > {threshold:.1}"
+            ),
+            user,
+        )
+        .unwrap();
+    }
+    sys
+}
+
+fn inputs() -> Vec<Tuple> {
+    let mut gens: Vec<SensorGenerator> =
+        (0..STREAMS).map(|i| SensorGenerator::new(i, 77)).collect();
+    merged_inputs(&mut gens, 400_000)
+}
+
+fn bench_system(c: &mut Criterion) {
+    let data = inputs();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function(format!("publish/{NODES}n_{QUERIES}q"), |b| {
+        b.iter(|| {
+            let mut sys = deploy();
+            for t in &data {
+                sys.publish(black_box(t)).unwrap();
+            }
+            sys.total_bytes()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

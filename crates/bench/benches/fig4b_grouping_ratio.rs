@@ -1,0 +1,74 @@
+//! Figure 4(b): grouping ratio (#groups / #queries) vs. number of
+//! queries, for uniform and zipf query distributions.
+//!
+//! Same setup as Figure 4(a). Expected shape (paper): the ratio falls
+//! with more queries and with stronger skew; "generally, the lower the
+//! grouping ratio, the higher the benefit ratio could be".
+
+use cosmos::experiment::{run_fig4, Fig4Config};
+use cosmos_bench::{print_table, record_json, scale, Scale};
+use cosmos_workload::Popularity;
+
+fn main() {
+    let (nodes, checkpoints, reps) = match scale() {
+        Scale::Full => (1000, vec![2000, 4000, 6000, 8000, 10000], 20),
+        Scale::Quick => (300, vec![500, 1000, 1500, 2000, 2500, 3000], 5),
+    };
+    let pops = [
+        Popularity::Uniform,
+        Popularity::Zipf(1.0),
+        Popularity::Zipf(1.5),
+        Popularity::Zipf(2.0),
+    ];
+    let mut series = Vec::new();
+    for pop in pops {
+        let cfg = Fig4Config {
+            nodes,
+            checkpoints: checkpoints.clone(),
+            popularity: pop,
+            reps,
+            ..Fig4Config::default()
+        };
+        let points = run_fig4(&cfg).expect("experiment runs");
+        series.push((pop.label(), points));
+    }
+    let mut rows = Vec::new();
+    for (i, &q) in checkpoints.iter().enumerate() {
+        let mut row = vec![q.to_string()];
+        for (_, pts) in &series {
+            row.push(format!("{:.3}", pts[i].grouping_ratio));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("#Queries")
+        .chain(series.iter().map(|(l, _)| l.as_str()))
+        .collect();
+    print_table(
+        &format!(
+            "Figure 4(b) — Grouping Ratio ({} nodes, {} reps, {:?} scale)",
+            nodes,
+            reps,
+            scale()
+        ),
+        &headers,
+        &rows,
+    );
+    for (label, pts) in &series {
+        for p in pts {
+            record_json(
+                "fig4b_grouping_ratio",
+                &serde_json::json!({
+                    "distribution": label,
+                    "queries": p.queries,
+                    "grouping_ratio": p.grouping_ratio,
+                    "nodes": nodes,
+                    "reps": reps,
+                }),
+            );
+        }
+    }
+    println!(
+        "\nshape check: grouping ratio falls with #queries and with skew \
+         (paper Figure 4(b))."
+    );
+}

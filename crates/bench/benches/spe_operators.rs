@@ -1,0 +1,87 @@
+//! Ablation A5: SPE operator throughput (window join, grouped
+//! aggregation, selection/projection).
+
+use cosmos_cql::parse_query;
+use cosmos_spe::{AnalyzedQuery, Executor};
+use cosmos_types::{AttrType, Schema, Timestamp, Tuple, Value};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn catalog(name: &str) -> Option<Schema> {
+    match name {
+        "L" | "R" => Some(Schema::of(&[
+            ("k", AttrType::Int),
+            ("v", AttrType::Float),
+            ("timestamp", AttrType::Int),
+        ])),
+        _ => None,
+    }
+}
+
+fn executor(text: &str) -> Executor {
+    let q = AnalyzedQuery::analyze(&parse_query(text).unwrap(), catalog).unwrap();
+    Executor::new(q, "out").unwrap()
+}
+
+fn inputs(n: usize, two_streams: bool) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            let stream = if two_streams && i % 2 == 1 { "R" } else { "L" };
+            Tuple::new(
+                stream,
+                Timestamp(i as i64 * 100),
+                vec![
+                    Value::Int(rng.gen_range(0..64)),
+                    Value::Float(rng.gen_range(0.0..100.0)),
+                    Value::Int(i as i64 * 100),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let n = 10_000;
+    let single = inputs(n, false);
+    let double = inputs(n, true);
+    let cases: Vec<(&str, &str, &Vec<Tuple>)> = vec![
+        (
+            "select_project",
+            "SELECT k, v FROM L [Now] WHERE v > 50.0",
+            &single,
+        ),
+        (
+            "window_join_10s",
+            "SELECT A.k, A.v, B.v FROM L [Range 10 Second] A, R [Range 10 Second] B \
+             WHERE A.k = B.k",
+            &double,
+        ),
+        (
+            "grouped_aggregate",
+            "SELECT k, COUNT(*), AVG(v), MAX(v) FROM L [Range 30 Second] GROUP BY k",
+            &single,
+        ),
+    ];
+    let mut group = c.benchmark_group("spe_operators");
+    group.sample_size(10);
+    for (name, text, data) in cases {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ex = executor(text);
+                let mut emitted = 0usize;
+                for t in data.iter() {
+                    emitted += ex.push(black_box(t)).len();
+                }
+                emitted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

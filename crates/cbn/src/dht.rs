@@ -1,0 +1,210 @@
+//! A consistent-hashing ring used to place stream schemas on nodes.
+//!
+//! Section 3 of the paper: "if the number of streams is small, the schema
+//! information of the streams will be flooded to every node upon its
+//! arrival. Otherwise, we use a DHT architecture to store the schema
+//! information while using the unique stream name as the hashing key."
+//! This is that DHT: a Chord-flavoured consistent-hash ring with virtual
+//! nodes, mapping stream names to responsible overlay nodes.
+
+use cosmos_types::NodeId;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Number of virtual points each node contributes to the ring; higher
+/// values smooth the load distribution at the cost of ring size.
+const VNODES_PER_NODE: u32 = 16;
+
+/// Stable 64-bit FNV-1a hash (kept deliberately independent of the
+/// standard library's unspecified default hasher so ring placement is
+/// reproducible across runs and Rust versions).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring of overlay nodes.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    ring: BTreeMap<u64, NodeId>,
+    members: BTreeMap<NodeId, ()>,
+}
+
+impl HashRing {
+    /// An empty ring.
+    pub fn new() -> HashRing {
+        HashRing::default()
+    }
+
+    /// A ring over the given nodes.
+    pub fn of(nodes: impl IntoIterator<Item = NodeId>) -> HashRing {
+        let mut r = HashRing::new();
+        for n in nodes {
+            r.add_node(n);
+        }
+        r
+    }
+
+    /// Add a node (with its virtual points) to the ring.
+    pub fn add_node(&mut self, node: NodeId) {
+        if self.members.insert(node, ()).is_some() {
+            return;
+        }
+        for v in 0..VNODES_PER_NODE {
+            let key = fnv1a(format!("{}#{v}", node.raw()).as_bytes());
+            self.ring.insert(key, node);
+        }
+    }
+
+    /// Remove a node and all its virtual points.
+    pub fn remove_node(&mut self, node: NodeId) {
+        if self.members.remove(&node).is_none() {
+            return;
+        }
+        self.ring.retain(|_, n| *n != node);
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The node responsible for a key (clockwise successor of its hash).
+    pub fn lookup(&self, key: &str) -> Option<NodeId> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let h = fnv1a(key.as_bytes());
+        self.ring
+            .range(h..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, n)| *n)
+    }
+
+    /// The `k` distinct nodes responsible for a key (primary plus
+    /// replica successors), in ring order.
+    pub fn lookup_replicas(&self, key: &str, k: usize) -> Vec<NodeId> {
+        if self.ring.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let h = fnv1a(key.as_bytes());
+        let mut out = Vec::with_capacity(k);
+        for (_, n) in self.ring.range(h..).chain(self.ring.iter()) {
+            if !out.contains(n) {
+                out.push(*n);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Hash for HashRing {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for k in self.members.keys() {
+            k.hash(state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> HashRing {
+        HashRing::of((0..n).map(NodeId))
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_total() {
+        let r = ring(10);
+        for i in 0..100 {
+            let key = format!("stream{i}");
+            let a = r.lookup(&key).unwrap();
+            let b = r.lookup(&key).unwrap();
+            assert_eq!(a, b);
+            assert!(a.raw() < 10);
+        }
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let r = HashRing::new();
+        assert_eq!(r.lookup("x"), None);
+        assert!(r.lookup_replicas("x", 3).is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn removal_only_moves_affected_keys() {
+        let r = ring(10);
+        let mut r2 = r.clone();
+        r2.remove_node(NodeId(3));
+        let mut moved = 0;
+        for i in 0..1000 {
+            let key = format!("k{i}");
+            let before = r.lookup(&key).unwrap();
+            let after = r2.lookup(&key).unwrap();
+            if before != after {
+                // only keys previously owned by the removed node move
+                assert_eq!(before, NodeId(3), "key {key} moved unnecessarily");
+                moved += 1;
+            }
+            assert_ne!(after, NodeId(3));
+        }
+        assert!(moved > 0, "node 3 owned no keys at all?");
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let r = ring(8);
+        let mut counts = [0usize; 8];
+        for i in 0..8000 {
+            let n = r.lookup(&format!("key-{i}")).unwrap();
+            counts[n.index()] += 1;
+        }
+        // With 16 vnodes/node expect each node to hold 1000 ± a wide
+        // margin; assert no node is starved or owns the majority.
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 200, "node {i} starved: {c}");
+            assert!(*c < 3000, "node {i} overloaded: {c}");
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_start_with_primary() {
+        let r = ring(5);
+        let reps = r.lookup_replicas("mystream", 3);
+        assert_eq!(reps.len(), 3);
+        assert_eq!(reps[0], r.lookup("mystream").unwrap());
+        let set: std::collections::BTreeSet<_> = reps.iter().collect();
+        assert_eq!(set.len(), 3);
+        // asking for more replicas than nodes yields all nodes
+        assert_eq!(r.lookup_replicas("mystream", 99).len(), 5);
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let mut r = ring(3);
+        let before = r.lookup("k").unwrap();
+        r.add_node(NodeId(1));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.lookup("k").unwrap(), before);
+        r.remove_node(NodeId(99)); // unknown removal is a no-op
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,521 @@
+//! Profile matching engines.
+//!
+//! Every CBN node must answer, per incoming datagram, "which of the
+//! profiles installed here cover it?". This module provides two
+//! implementations behind the [`MatchEngine`] trait:
+//!
+//! * [`NaiveMatcher`] — scans every installed profile. The baseline.
+//! * [`CountingMatcher`] — a Siena-style *counting algorithm*: each
+//!   conjunctive filter is decomposed into per-attribute constraints; an
+//!   index keyed by attribute finds the satisfied constraints and a
+//!   per-filter counter detects filters whose constraint count is fully
+//!   satisfied. Pure equality constraints (the common case for key
+//!   attributes like `itemID` or `station_id`) take a hash-lookup fast
+//!   path instead of a scan.
+//!
+//! Both engines return deterministic (sorted) key lists and are checked
+//! against each other by property tests; `cosmos-bench` compares their
+//! throughput (ablation A1 in DESIGN.md).
+
+use crate::predicate::{AttrConstraint, DiffRange};
+use crate::profile::Profile;
+use cosmos_types::{FxHashMap, Schema, StreamName, Tuple, Value};
+use std::collections::BTreeSet;
+use std::hash::Hash;
+
+/// A pluggable profile-matching engine.
+///
+/// Keys identify subscriptions (a local subscriber or a next-hop
+/// neighbor). `matches` returns the keys of every installed profile that
+/// covers the tuple, sorted and deduplicated.
+pub trait MatchEngine<K: Ord + Clone> {
+    /// Install (or replace) the profile for a key.
+    fn insert(&mut self, key: K, profile: Profile);
+    /// Remove the profile for a key, if present.
+    fn remove(&mut self, key: &K);
+    /// Keys of all profiles covering the tuple, sorted.
+    fn matches(&self, tuple: &Tuple, schema: &Schema) -> Vec<K>;
+    /// Number of installed profiles.
+    fn len(&self) -> usize;
+    /// Whether no profile is installed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Baseline engine: evaluate every profile against the tuple.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveMatcher<K> {
+    profiles: Vec<(K, Profile)>,
+}
+
+impl<K: Ord + Clone> NaiveMatcher<K> {
+    /// An empty engine.
+    pub fn new() -> Self {
+        NaiveMatcher {
+            profiles: Vec::new(),
+        }
+    }
+}
+
+impl<K: Ord + Clone> MatchEngine<K> for NaiveMatcher<K> {
+    fn insert(&mut self, key: K, profile: Profile) {
+        match self.profiles.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, p)) => *p = profile,
+            None => self.profiles.push((key, profile)),
+        }
+    }
+
+    fn remove(&mut self, key: &K) {
+        self.profiles.retain(|(k, _)| k != key);
+    }
+
+    fn matches(&self, tuple: &Tuple, schema: &Schema) -> Vec<K> {
+        let mut out: Vec<K> = self
+            .profiles
+            .iter()
+            .filter(|(_, p)| p.covers_tuple(tuple, schema))
+            .map(|(k, _)| k.clone())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+/// One decomposed conjunctive filter inside the counting index.
+#[derive(Debug, Clone)]
+struct FilterEntry<K> {
+    key: K,
+    /// Number of per-attribute constraints that must be counted.
+    needed: u32,
+    /// Difference constraints, checked after the counter fires.
+    diffs: Vec<(String, String, DiffRange)>,
+}
+
+/// Per-stream constraint index.
+#[derive(Debug, Clone, Default)]
+struct StreamIndex<K> {
+    /// Keys whose entry for this stream has no filters (accept all).
+    accept_all: Vec<K>,
+    filters: Vec<FilterEntry<K>>,
+    /// Fast path: pure point constraints without exclusions,
+    /// keyed by `(attribute, value)`.
+    eq_index: FxHashMap<(String, Value), Vec<u32>>,
+    /// General constraints evaluated by scan: `(attribute, constraint,
+    /// filter index)`.
+    scan: Vec<(String, AttrConstraint, u32)>,
+}
+
+/// Counting-algorithm engine with an equality fast path.
+#[derive(Debug, Clone, Default)]
+pub struct CountingMatcher<K> {
+    profiles: FxHashMap<K, Profile>,
+    streams: FxHashMap<StreamName, StreamIndex<K>>,
+}
+
+impl<K: Ord + Clone + Hash + Eq> CountingMatcher<K> {
+    /// An empty engine.
+    pub fn new() -> Self {
+        CountingMatcher {
+            profiles: FxHashMap::default(),
+            streams: FxHashMap::default(),
+        }
+    }
+
+    /// Rebuild the index of one stream from all installed profiles.
+    fn rebuild_stream(&mut self, stream: &StreamName) {
+        let mut idx = StreamIndex {
+            accept_all: Vec::new(),
+            filters: Vec::new(),
+            eq_index: FxHashMap::default(),
+            scan: Vec::new(),
+        };
+        for (key, profile) in &self.profiles {
+            let Some(entry) = profile.entry(stream) else {
+                continue;
+            };
+            if entry.filters.is_empty() {
+                idx.accept_all.push(key.clone());
+                continue;
+            }
+            for conj in &entry.filters {
+                let fid = idx.filters.len() as u32;
+                let mut needed = 0u32;
+                for (attr, c) in conj.attr_constraints() {
+                    if c.is_any() {
+                        continue;
+                    }
+                    needed += 1;
+                    // Fast path for `attr = v` without exclusions.
+                    if c.excluded.is_empty() {
+                        if let (Some((lo, true)), Some((hi, true))) =
+                            (&c.interval.lo, &c.interval.hi)
+                        {
+                            if lo == hi {
+                                idx.eq_index
+                                    .entry((attr.to_string(), lo.clone()))
+                                    .or_default()
+                                    .push(fid);
+                                continue;
+                            }
+                        }
+                    }
+                    idx.scan.push((attr.to_string(), c.clone(), fid));
+                }
+                let diffs: Vec<_> = conj
+                    .diff_constraints()
+                    .map(|(a, b, r)| (a.to_string(), b.to_string(), *r))
+                    .collect();
+                idx.filters.push(FilterEntry {
+                    key: key.clone(),
+                    needed,
+                    diffs,
+                });
+            }
+        }
+        idx.accept_all.sort_unstable();
+        if idx.accept_all.is_empty() && idx.filters.is_empty() {
+            self.streams.remove(stream);
+        } else {
+            self.streams.insert(stream.clone(), idx);
+        }
+    }
+
+    /// Streams referenced by a profile.
+    fn profile_streams(profile: &Profile) -> Vec<StreamName> {
+        profile.streams().cloned().collect()
+    }
+}
+
+impl<K: Ord + Clone + Hash + Eq> MatchEngine<K> for CountingMatcher<K> {
+    fn insert(&mut self, key: K, profile: Profile) {
+        let mut affected: BTreeSet<StreamName> =
+            Self::profile_streams(&profile).into_iter().collect();
+        if let Some(prev) = self.profiles.insert(key, profile) {
+            affected.extend(Self::profile_streams(&prev));
+        }
+        for s in affected {
+            self.rebuild_stream(&s);
+        }
+    }
+
+    fn remove(&mut self, key: &K) {
+        if let Some(prev) = self.profiles.remove(key) {
+            for s in Self::profile_streams(&prev) {
+                self.rebuild_stream(&s);
+            }
+        }
+    }
+
+    fn matches(&self, tuple: &Tuple, schema: &Schema) -> Vec<K> {
+        let Some(idx) = self.streams.get(&tuple.stream) else {
+            return Vec::new();
+        };
+        let mut out: Vec<K> = idx.accept_all.clone();
+        if !idx.filters.is_empty() {
+            // Attribute lookup for this tuple (arity is small).
+            let lookup = |name: &str| -> Option<&Value> { tuple.get_by_name(schema, name) };
+            let mut counts = vec![0u32; idx.filters.len()];
+            // Equality fast path: probe (attr, value) for every attribute
+            // the tuple actually carries.
+            for (i, f) in schema.fields().iter().enumerate() {
+                let Some(v) = tuple.get(i) else { continue };
+                if let Some(fids) = idx.eq_index.get(&(f.name.clone(), v.clone())) {
+                    for &fid in fids {
+                        counts[fid as usize] += 1;
+                    }
+                }
+            }
+            // General constraints.
+            for (attr, c, fid) in &idx.scan {
+                if let Some(v) = lookup(attr) {
+                    if c.satisfies(v) {
+                        counts[*fid as usize] += 1;
+                    }
+                }
+            }
+            for (fid, entry) in idx.filters.iter().enumerate() {
+                if counts[fid] != entry.needed {
+                    continue;
+                }
+                let diffs_ok = entry.diffs.iter().all(|(a, b, r)| {
+                    matches!((lookup(a), lookup(b)), (Some(x), Some(y)) if r.satisfies(x, y))
+                });
+                if diffs_ok {
+                    out.push(entry.key.clone());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Conjunction;
+    use crate::profile::{ProfileEntry, Projection};
+    use cosmos_types::{AttrType, Timestamp};
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("id", AttrType::Int),
+            ("price", AttrType::Float),
+            ("tag", AttrType::Str),
+        ])
+    }
+
+    fn tup(id: i64, price: f64, tag: &str) -> Tuple {
+        Tuple::new(
+            "S",
+            Timestamp(0),
+            vec![Value::Int(id), Value::Float(price), Value::str(tag)],
+        )
+    }
+
+    fn profile_eq_id(id: i64) -> Profile {
+        let mut f = Conjunction::always();
+        f.equals("id", id);
+        let mut p = Profile::new();
+        p.add_interest("S", Projection::All, f);
+        p
+    }
+
+    fn profile_price_range(lo: f64, hi: f64) -> Profile {
+        let mut f = Conjunction::always();
+        f.between("price", lo, hi);
+        let mut p = Profile::new();
+        p.add_interest("S", Projection::All, f);
+        p
+    }
+
+    fn both_engines() -> (NaiveMatcher<u32>, CountingMatcher<u32>) {
+        (NaiveMatcher::new(), CountingMatcher::new())
+    }
+
+    #[test]
+    fn matches_equality_and_range() {
+        let (mut n, mut c) = both_engines();
+        for (k, p) in [
+            (1u32, profile_eq_id(7)),
+            (2, profile_price_range(0.0, 100.0)),
+            (3, Profile::whole_stream("S")),
+            (4, Profile::whole_stream("T")),
+        ] {
+            n.insert(k, p.clone());
+            c.insert(k, p);
+        }
+        let s = schema();
+        let t = tup(7, 50.0, "a");
+        assert_eq!(n.matches(&t, &s), vec![1, 2, 3]);
+        assert_eq!(c.matches(&t, &s), vec![1, 2, 3]);
+        let t2 = tup(8, 500.0, "a");
+        assert_eq!(n.matches(&t2, &s), vec![3]);
+        assert_eq!(c.matches(&t2, &s), vec![3]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn unknown_stream_matches_nothing() {
+        let (mut n, mut c) = both_engines();
+        n.insert(1, profile_eq_id(7));
+        c.insert(1, profile_eq_id(7));
+        let t = Tuple::new("Other", Timestamp(0), vec![Value::Int(7)]);
+        let s = Schema::of(&[("id", AttrType::Int)]);
+        assert!(n.matches(&t, &s).is_empty());
+        assert!(c.matches(&t, &s).is_empty());
+    }
+
+    #[test]
+    fn remove_uninstalls() {
+        let (mut n, mut c) = both_engines();
+        n.insert(1, profile_eq_id(7));
+        c.insert(1, profile_eq_id(7));
+        n.remove(&1);
+        c.remove(&1);
+        let t = tup(7, 0.0, "a");
+        assert!(n.matches(&t, &schema()).is_empty());
+        assert!(c.matches(&t, &schema()).is_empty());
+        assert!(c.is_empty());
+        // removing a missing key is a no-op
+        c.remove(&9);
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let (mut n, mut c) = both_engines();
+        n.insert(1, profile_eq_id(7));
+        c.insert(1, profile_eq_id(7));
+        n.insert(1, profile_eq_id(8));
+        c.insert(1, profile_eq_id(8));
+        let s = schema();
+        assert!(n.matches(&tup(7, 0.0, "a"), &s).is_empty());
+        assert!(c.matches(&tup(7, 0.0, "a"), &s).is_empty());
+        assert_eq!(c.matches(&tup(8, 0.0, "a"), &s), vec![1]);
+        assert_eq!(n.len(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn multi_filter_profile_matches_once() {
+        // Two overlapping filters in one profile must yield the key once.
+        let mut p = Profile::new();
+        let mut f1 = Conjunction::always();
+        f1.between("id", 0, 10);
+        let mut f2 = Conjunction::always();
+        f2.between("id", 5, 15);
+        p.add_entry(
+            "S",
+            ProfileEntry {
+                projection: Projection::All,
+                filters: vec![f1, f2],
+            },
+        );
+        let (mut n, mut c) = both_engines();
+        n.insert(1, p.clone());
+        c.insert(1, p);
+        let t = tup(7, 0.0, "a");
+        assert_eq!(n.matches(&t, &schema()), vec![1]);
+        assert_eq!(c.matches(&t, &schema()), vec![1]);
+    }
+
+    #[test]
+    fn diff_constraints_checked() {
+        let mut f = Conjunction::always();
+        f.diff("id", "price", DiffRange::new(0.0, 5.0));
+        let mut p = Profile::new();
+        p.add_interest("S", Projection::All, f);
+        let (mut n, mut c) = both_engines();
+        n.insert(1, p.clone());
+        c.insert(1, p);
+        let s = schema();
+        assert_eq!(c.matches(&tup(7, 4.0, "a"), &s), vec![1]); // diff 3
+        assert!(c.matches(&tup(7, 0.5, "a"), &s).is_empty()); // diff 6.5
+        assert_eq!(
+            n.matches(&tup(7, 4.0, "a"), &s),
+            c.matches(&tup(7, 4.0, "a"), &s)
+        );
+    }
+
+    #[test]
+    fn ne_constraint_not_on_fast_path() {
+        // id = 7 with an exclusion can't use the eq fast path; the scan
+        // path must still be correct.
+        let mut f = Conjunction::always();
+        f.between("id", 7, 7).excludes("id", 7);
+        let mut p = Profile::new();
+        p.add_interest("S", Projection::All, f);
+        let mut c = CountingMatcher::new();
+        c.insert(1, p);
+        assert!(c.matches(&tup(7, 0.0, "a"), &schema()).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::predicate::Conjunction;
+    use crate::profile::Projection;
+    use cosmos_types::{AttrType, Timestamp};
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[("a", AttrType::Int), ("b", AttrType::Int)])
+    }
+
+    #[derive(Debug, Clone)]
+    enum Constr {
+        Eq(&'static str, i64),
+        Ne(&'static str, i64),
+        Between(&'static str, i64, i64),
+        Lower(&'static str, i64, bool),
+        Upper(&'static str, i64, bool),
+        Diff(i64, i64),
+    }
+
+    fn arb_constr() -> impl Strategy<Value = Constr> {
+        let attr = prop_oneof![Just("a"), Just("b")];
+        prop_oneof![
+            (attr.clone(), -10i64..10).prop_map(|(a, v)| Constr::Eq(a, v)),
+            (attr.clone(), -10i64..10).prop_map(|(a, v)| Constr::Ne(a, v)),
+            (attr.clone(), -10i64..10, -10i64..10).prop_map(|(a, l, h)| Constr::Between(
+                a,
+                l.min(h),
+                l.max(h)
+            )),
+            (attr.clone(), -10i64..10, any::<bool>()).prop_map(|(a, v, i)| Constr::Lower(a, v, i)),
+            (attr, -10i64..10, any::<bool>()).prop_map(|(a, v, i)| Constr::Upper(a, v, i)),
+            (-10i64..10, -10i64..10).prop_map(|(l, h)| Constr::Diff(l.min(h), l.max(h))),
+        ]
+    }
+
+    fn build_profile(constrs: &[Vec<Constr>]) -> Profile {
+        let mut p = Profile::new();
+        if constrs.is_empty() {
+            return Profile::whole_stream("S");
+        }
+        for filter in constrs {
+            let mut c = Conjunction::always();
+            for k in filter {
+                match k {
+                    Constr::Eq(a, v) => {
+                        c.equals(*a, *v);
+                    }
+                    Constr::Ne(a, v) => {
+                        c.excludes(*a, *v);
+                    }
+                    Constr::Between(a, l, h) => {
+                        c.between(*a, *l, *h);
+                    }
+                    Constr::Lower(a, v, i) => {
+                        c.lower(*a, *v, *i);
+                    }
+                    Constr::Upper(a, v, i) => {
+                        c.upper(*a, *v, *i);
+                    }
+                    Constr::Diff(l, h) => {
+                        c.diff("a", "b", DiffRange::new(*l as f64, *h as f64));
+                    }
+                }
+            }
+            p.add_interest("S", Projection::All, c);
+        }
+        p
+    }
+
+    proptest! {
+        /// The counting matcher and the naive matcher agree on arbitrary
+        /// profile sets and tuples.
+        #[test]
+        fn engines_agree(
+            profiles in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(arb_constr(), 0..3), 0..3), 1..6),
+            points in proptest::collection::vec((-12i64..12, -12i64..12), 1..12),
+        ) {
+            let mut naive = NaiveMatcher::new();
+            let mut counting = CountingMatcher::new();
+            for (i, spec) in profiles.iter().enumerate() {
+                let p = build_profile(spec);
+                naive.insert(i as u32, p.clone());
+                counting.insert(i as u32, p);
+            }
+            let s = schema();
+            for (a, b) in points {
+                let t = Tuple::new("S", Timestamp(0), vec![Value::Int(a), Value::Int(b)]);
+                prop_assert_eq!(naive.matches(&t, &s), counting.matches(&t, &s));
+            }
+        }
+    }
+}

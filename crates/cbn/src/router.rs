@@ -1,0 +1,359 @@
+//! Per-node CBN routing state.
+//!
+//! Each overlay node (broker or processor) runs a [`Router`]. The router
+//! knows, for every overlay neighbor, the merged data interest of the
+//! subtree reachable through that neighbor, plus the interests of locally
+//! attached subscribers (users, processors' SPE inputs). Incoming
+//! datagrams are matched against these interests and forwarded — after
+//! *early projection* onto each destination's attribute set — to every
+//! interested next hop except the link they arrived on (reverse-path
+//! forwarding on the dissemination tree).
+//!
+//! Subscription propagation itself (walking the dissemination tree from a
+//! subscriber towards a stream's origin, merging profiles at every hop)
+//! is orchestrated by the `cosmos` system crate; the router exposes
+//! [`Router::aggregated_interest`] to compute the profile a node must
+//! forward upstream.
+
+use crate::matcher::{CountingMatcher, MatchEngine};
+use crate::profile::Profile;
+use cosmos_types::{NodeId, Schema, SubscriberId, Tuple};
+use std::collections::BTreeMap;
+
+/// Where a routed datagram goes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Destination {
+    /// Forward over the overlay link to a neighbor node.
+    Neighbor(NodeId),
+    /// Deliver to a locally attached subscriber.
+    Local(SubscriberId),
+}
+
+/// One forwarding decision for an incoming datagram: the (possibly
+/// projected) tuple to send and the schema describing its layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardDecision {
+    /// The next hop.
+    pub dest: Destination,
+    /// The tuple to deliver (projected onto the destination's interest).
+    pub tuple: Tuple,
+    /// The layout of `tuple` (projection of the arriving schema).
+    pub schema: Schema,
+}
+
+/// The routing state of one CBN node.
+#[derive(Debug, Clone)]
+pub struct Router {
+    node: NodeId,
+    neighbor_interest: BTreeMap<NodeId, Profile>,
+    local_interest: BTreeMap<SubscriberId, Profile>,
+    engine: CountingMatcher<Destination>,
+    tuples_routed: u64,
+    tuples_dropped: u64,
+}
+
+impl Router {
+    /// A router for the given node with no interests installed.
+    pub fn new(node: NodeId) -> Router {
+        Router {
+            node,
+            neighbor_interest: BTreeMap::new(),
+            local_interest: BTreeMap::new(),
+            engine: CountingMatcher::new(),
+            tuples_routed: 0,
+            tuples_dropped: 0,
+        }
+    }
+
+    /// The node this router belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Replace the merged interest of the subtree behind `neighbor`.
+    pub fn set_neighbor_interest(&mut self, neighbor: NodeId, profile: Profile) {
+        if profile.is_empty() {
+            self.neighbor_interest.remove(&neighbor);
+            self.engine.remove(&Destination::Neighbor(neighbor));
+        } else {
+            self.engine
+                .insert(Destination::Neighbor(neighbor), profile.clone());
+            self.neighbor_interest.insert(neighbor, profile);
+        }
+    }
+
+    /// Union a new profile into the interest of `neighbor` (what happens
+    /// when one more subscription propagates up through that link).
+    pub fn merge_neighbor_interest(&mut self, neighbor: NodeId, profile: &Profile) {
+        let merged = match self.neighbor_interest.get(&neighbor) {
+            Some(existing) => existing.union(profile),
+            None => profile.clone(),
+        };
+        self.set_neighbor_interest(neighbor, merged);
+    }
+
+    /// Drop every neighbor interest (local subscribers stay). Used when
+    /// the dissemination tree is reorganized and subscriptions are
+    /// re-propagated along the new paths.
+    pub fn clear_neighbor_interests(&mut self) {
+        let neighbors: Vec<NodeId> = self.neighbor_interest.keys().copied().collect();
+        for n in neighbors {
+            self.engine.remove(&Destination::Neighbor(n));
+        }
+        self.neighbor_interest.clear();
+    }
+
+    /// Interest of the subtree behind `neighbor`, if any.
+    pub fn neighbor_interest(&self, neighbor: NodeId) -> Option<&Profile> {
+        self.neighbor_interest.get(&neighbor)
+    }
+
+    /// Install the profile of a locally attached subscriber.
+    pub fn add_local_subscriber(&mut self, sub: SubscriberId, profile: Profile) {
+        self.engine.insert(Destination::Local(sub), profile.clone());
+        self.local_interest.insert(sub, profile);
+    }
+
+    /// Remove a locally attached subscriber.
+    pub fn remove_local_subscriber(&mut self, sub: SubscriberId) {
+        self.local_interest.remove(&sub);
+        self.engine.remove(&Destination::Local(sub));
+    }
+
+    /// The profile of a local subscriber, if installed.
+    pub fn local_interest(&self, sub: SubscriberId) -> Option<&Profile> {
+        self.local_interest.get(&sub)
+    }
+
+    /// Iterate over the locally attached subscribers and their profiles.
+    pub fn local_subscribers(&self) -> impl Iterator<Item = (SubscriberId, &Profile)> {
+        self.local_interest.iter().map(|(s, p)| (*s, p))
+    }
+
+    /// Number of installed interests (neighbors plus locals).
+    pub fn interest_count(&self) -> usize {
+        self.neighbor_interest.len() + self.local_interest.len()
+    }
+
+    /// The union of every interest at this node except the one behind
+    /// `exclude` — the profile this node must propagate towards a stream
+    /// origin reachable through `exclude` (reverse-path subscription).
+    ///
+    /// The result is [normalized](Profile::normalized): projections are
+    /// widened to the filters' attributes so this node still receives
+    /// everything its local filtering needs.
+    pub fn aggregated_interest(&self, exclude: Option<NodeId>) -> Profile {
+        let mut out = Profile::new();
+        for (n, p) in &self.neighbor_interest {
+            if Some(*n) != exclude {
+                out = out.union(p);
+            }
+        }
+        for p in self.local_interest.values() {
+            out = out.union(p);
+        }
+        out.normalized()
+    }
+
+    /// Route an incoming datagram.
+    ///
+    /// `from` is the neighbor the datagram arrived from (`None` when it
+    /// was published locally); it is excluded from the forwarding set.
+    /// Each decision carries the tuple projected onto that destination's
+    /// attribute set and the projected schema.
+    pub fn route(
+        &mut self,
+        tuple: &Tuple,
+        schema: &Schema,
+        from: Option<NodeId>,
+    ) -> Vec<ForwardDecision> {
+        let matched = self.engine.matches(tuple, schema);
+        let mut out = Vec::with_capacity(matched.len());
+        for dest in matched {
+            if let Destination::Neighbor(n) = dest {
+                if Some(n) == from {
+                    continue;
+                }
+            }
+            let profile = match dest {
+                Destination::Neighbor(n) => &self.neighbor_interest[&n],
+                Destination::Local(s) => &self.local_interest[&s],
+            };
+            if let Some((t, s)) = profile.project_tuple(tuple, schema) {
+                out.push(ForwardDecision {
+                    dest,
+                    tuple: t,
+                    schema: s,
+                });
+            }
+        }
+        if out.is_empty() {
+            self.tuples_dropped += 1;
+        } else {
+            self.tuples_routed += 1;
+        }
+        out
+    }
+
+    /// Datagrams that produced at least one forwarding decision.
+    pub fn tuples_routed(&self) -> u64 {
+        self.tuples_routed
+    }
+
+    /// Datagrams that matched no interest and were dropped here.
+    pub fn tuples_dropped(&self) -> u64 {
+        self.tuples_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Conjunction;
+    use crate::profile::Projection;
+    use cosmos_types::{AttrType, Timestamp, Value};
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("id", AttrType::Int),
+            ("price", AttrType::Float),
+            ("note", AttrType::Str),
+        ])
+    }
+
+    fn tup(id: i64, price: f64) -> Tuple {
+        Tuple::new(
+            "S",
+            Timestamp(1),
+            vec![Value::Int(id), Value::Float(price), Value::str("n")],
+        )
+    }
+
+    fn interest(lo: i64, hi: i64, attrs: &[&str]) -> Profile {
+        let mut f = Conjunction::always();
+        f.between("id", lo, hi);
+        let mut p = Profile::new();
+        let proj = if attrs.is_empty() {
+            Projection::All
+        } else {
+            Projection::of(attrs.iter().copied())
+        };
+        p.add_interest("S", proj, f);
+        p
+    }
+
+    #[test]
+    fn routes_to_matching_neighbors_and_locals() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &[]));
+        r.set_neighbor_interest(NodeId(2), interest(20, 30, &[]));
+        r.add_local_subscriber(SubscriberId(7), interest(5, 25, &[]));
+        let s = schema();
+
+        let d = r.route(&tup(7, 1.0), &s, None);
+        let dests: Vec<_> = d.iter().map(|x| x.dest).collect();
+        assert_eq!(
+            dests,
+            vec![
+                Destination::Neighbor(NodeId(1)),
+                Destination::Local(SubscriberId(7))
+            ]
+        );
+
+        let d2 = r.route(&tup(25, 1.0), &s, None);
+        assert_eq!(d2.len(), 2); // neighbor 2 and local 7
+        assert_eq!(r.tuples_routed(), 2);
+    }
+
+    #[test]
+    fn excludes_arrival_link() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &[]));
+        r.set_neighbor_interest(NodeId(2), interest(0, 10, &[]));
+        let d = r.route(&tup(5, 1.0), &schema(), Some(NodeId(1)));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].dest, Destination::Neighbor(NodeId(2)));
+    }
+
+    #[test]
+    fn early_projection_narrows_tuples_per_destination() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &["id"]));
+        r.set_neighbor_interest(NodeId(2), interest(0, 10, &["id", "price"]));
+        let s = schema();
+        let d = r.route(&tup(5, 2.5), &s, None);
+        assert_eq!(d.len(), 2);
+        let d1 = d
+            .iter()
+            .find(|x| x.dest == Destination::Neighbor(NodeId(1)))
+            .unwrap();
+        assert_eq!(d1.schema.names().collect::<Vec<_>>(), vec!["id"]);
+        assert_eq!(d1.tuple.values(), &[Value::Int(5)]);
+        let d2 = d
+            .iter()
+            .find(|x| x.dest == Destination::Neighbor(NodeId(2)))
+            .unwrap();
+        assert_eq!(d2.schema.names().collect::<Vec<_>>(), vec!["id", "price"]);
+        // the original tuple is untouched
+        assert!(d2.tuple.size_bytes() < tup(5, 2.5).size_bytes());
+    }
+
+    #[test]
+    fn non_matching_tuple_is_dropped() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &[]));
+        let d = r.route(&tup(99, 1.0), &schema(), None);
+        assert!(d.is_empty());
+        assert_eq!(r.tuples_dropped(), 1);
+    }
+
+    #[test]
+    fn merge_neighbor_interest_unions() {
+        let mut r = Router::new(NodeId(0));
+        r.merge_neighbor_interest(NodeId(1), &interest(0, 10, &[]));
+        r.merge_neighbor_interest(NodeId(1), &interest(20, 30, &[]));
+        let s = schema();
+        assert_eq!(r.route(&tup(5, 1.0), &s, None).len(), 1);
+        assert_eq!(r.route(&tup(25, 1.0), &s, None).len(), 1);
+        assert_eq!(r.route(&tup(15, 1.0), &s, None).len(), 0);
+        assert_eq!(r.interest_count(), 1);
+    }
+
+    #[test]
+    fn aggregated_interest_excludes_upstream() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &[]));
+        r.set_neighbor_interest(NodeId(2), interest(20, 30, &[]));
+        r.add_local_subscriber(SubscriberId(9), interest(50, 60, &[]));
+        let up = r.aggregated_interest(Some(NodeId(1)));
+        // the subtree behind node 1 is upstream; its interest must not
+        // be echoed back to it
+        let s = schema();
+        assert!(!up.covers_tuple(&tup(5, 0.0), &s));
+        assert!(up.covers_tuple(&tup(25, 0.0), &s));
+        assert!(up.covers_tuple(&tup(55, 0.0), &s));
+        let all = r.aggregated_interest(None);
+        assert!(all.covers_tuple(&tup(5, 0.0), &s));
+    }
+
+    #[test]
+    fn subscriber_removal_stops_delivery() {
+        let mut r = Router::new(NodeId(0));
+        r.add_local_subscriber(SubscriberId(1), interest(0, 10, &[]));
+        assert_eq!(r.route(&tup(5, 0.0), &schema(), None).len(), 1);
+        r.remove_local_subscriber(SubscriberId(1));
+        assert_eq!(r.route(&tup(5, 0.0), &schema(), None).len(), 0);
+        assert!(r.local_interest(SubscriberId(1)).is_none());
+    }
+
+    #[test]
+    fn setting_empty_profile_clears_neighbor() {
+        let mut r = Router::new(NodeId(3));
+        assert_eq!(r.node(), NodeId(3));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &[]));
+        assert!(r.neighbor_interest(NodeId(1)).is_some());
+        r.set_neighbor_interest(NodeId(1), Profile::new());
+        assert!(r.neighbor_interest(NodeId(1)).is_none());
+        assert_eq!(r.route(&tup(5, 0.0), &schema(), None).len(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Consistent-hashing behaviour under churn: joining nodes steal only
+//! their own arcs, leaving nodes shed only their own keys, and replica
+//! sets degrade gracefully.
+
+use cosmos_cbn::dht::HashRing;
+use cosmos_types::NodeId;
+use proptest::prelude::*;
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("stream-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Adding a node only moves keys *to* the new node.
+    #[test]
+    fn join_steals_only_for_itself(n in 2u32..20, newcomer in 100u32..200) {
+        let before = HashRing::of((0..n).map(NodeId));
+        let mut after = before.clone();
+        after.add_node(NodeId(newcomer));
+        for k in keys(500) {
+            let (b, a) = (before.lookup(&k).unwrap(), after.lookup(&k).unwrap());
+            if b != a {
+                prop_assert_eq!(a, NodeId(newcomer), "key {} moved to the wrong node", k);
+            }
+        }
+    }
+
+    /// Removing a node only moves that node's keys.
+    #[test]
+    fn leave_sheds_only_own_keys(n in 3u32..20, victim_idx in 0u32..3) {
+        let victim = NodeId(victim_idx % n);
+        let before = HashRing::of((0..n).map(NodeId));
+        let mut after = before.clone();
+        after.remove_node(victim);
+        for k in keys(500) {
+            let (b, a) = (before.lookup(&k).unwrap(), after.lookup(&k).unwrap());
+            if b != a {
+                prop_assert_eq!(b, victim, "key {} moved although its owner survived", k);
+            }
+            prop_assert_ne!(a, victim);
+        }
+    }
+
+    /// Replica sets always contain the primary, have the requested size
+    /// (capped by membership), and stay distinct.
+    #[test]
+    fn replica_sets_are_well_formed(n in 1u32..12, r in 1usize..6) {
+        let ring = HashRing::of((0..n).map(NodeId));
+        for k in keys(64) {
+            let reps = ring.lookup_replicas(&k, r);
+            prop_assert_eq!(reps.len(), r.min(n as usize));
+            prop_assert_eq!(reps[0], ring.lookup(&k).unwrap());
+            let uniq: std::collections::BTreeSet<_> = reps.iter().collect();
+            prop_assert_eq!(uniq.len(), reps.len());
+        }
+    }
+
+    /// Join-then-leave of the same node restores the original placement.
+    #[test]
+    fn churn_roundtrip(n in 2u32..16) {
+        let before = HashRing::of((0..n).map(NodeId));
+        let mut churned = before.clone();
+        churned.add_node(NodeId(999));
+        churned.remove_node(NodeId(999));
+        for k in keys(300) {
+            prop_assert_eq!(before.lookup(&k), churned.lookup(&k));
+        }
+    }
+}
+
+#[test]
+fn replicas_survive_primary_failure() {
+    let mut ring = HashRing::of((0..10).map(NodeId));
+    let key = "important-stream";
+    let reps = ring.lookup_replicas(key, 3);
+    let primary = reps[0];
+    ring.remove_node(primary);
+    let new_reps = ring.lookup_replicas(key, 3);
+    // the old secondary takes over as primary
+    assert_eq!(new_reps[0], reps[1], "secondary must be promoted");
+    assert!(!new_reps.contains(&primary));
+}

@@ -1,0 +1,1301 @@
+//! The deployed COSMOS system: nodes, routing, query management, and the
+//! discrete-event driver.
+
+use cosmos_cbn::{Destination, Profile, RegistryMode, Router, SchemaRegistry};
+use cosmos_overlay::{generate, minimum_spanning_tree, Graph, TopologyKind, Tree};
+use cosmos_query::{retighten_profile, GroupManager, StatsCatalog, StreamStats};
+use cosmos_spe::{AnalyzedQuery, Executor};
+use cosmos_types::{
+    CosmosError, FxHashMap, NodeId, QueryId, Result, Schema, StreamName, SubscriberId, Tuple,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// What a server contributes to the system (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Routes data only (data layer).
+    Broker,
+    /// Routes data and hosts an SPE (data layer + query layer).
+    Processor,
+}
+
+/// Configuration of a COSMOS deployment.
+#[derive(Debug, Clone)]
+pub struct CosmosConfig {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// Topology generator for the overlay.
+    pub topology: TopologyKind,
+    /// Fraction of nodes equipped with an SPE.
+    pub processor_fraction: f64,
+    /// Schema registry mode (flooding vs DHT).
+    pub registry_mode: RegistryMode,
+    /// Master seed (topology, placement).
+    pub seed: u64,
+    /// Number of candidate processors per stream set considered by the
+    /// query distribution service. `1` maximizes merging opportunities
+    /// (all queries over a stream set meet at one processor); larger
+    /// values trade sharing for load balance.
+    pub affinity_candidates: usize,
+    /// Whether the query layer merges queries (Section 4). Disabling it
+    /// reproduces the "Non-Share" baseline of Figure 3: every query gets
+    /// its own result stream.
+    pub merging_enabled: bool,
+    /// "Currently the nodes in COSMOS are organized into multiple
+    /// overlay dissemination trees" (Section 3.2). When enabled, every
+    /// stream is disseminated along a shortest-path tree rooted at its
+    /// origin instead of the single shared MST — lower delivery delay at
+    /// the price of more per-node routing state.
+    pub per_source_trees: bool,
+}
+
+impl Default for CosmosConfig {
+    fn default() -> Self {
+        CosmosConfig {
+            nodes: 16,
+            topology: TopologyKind::BarabasiAlbert { m: 2 },
+            processor_fraction: 0.25,
+            registry_mode: RegistryMode::Flooding,
+            seed: 0,
+            affinity_candidates: 1,
+            merging_enabled: true,
+            per_source_trees: false,
+        }
+    }
+}
+
+/// One result-stream production site: the representative executor
+/// running at a processor.
+#[derive(Debug)]
+struct RepSite {
+    processor: NodeId,
+    executor: Executor,
+}
+
+/// The analyzed query of one member inside a group.
+fn member_query(g: &cosmos_query::QueryGroup, qid: QueryId) -> Result<AnalyzedQuery> {
+    g.members
+        .iter()
+        .find(|(m, _)| *m == qid)
+        .map(|(_, q)| q.clone())
+        .ok_or_else(|| CosmosError::System(format!("query {qid} is not in group {}", g.id)))
+}
+
+/// A running COSMOS deployment.
+#[derive(Debug)]
+pub struct Cosmos {
+    cfg: CosmosConfig,
+    graph: Graph,
+    tree: Tree,
+    /// Per-origin shortest-path dissemination trees (lazily built when
+    /// `per_source_trees` is enabled).
+    source_trees: FxHashMap<NodeId, Tree>,
+    roles: Vec<NodeRole>,
+    processors: Vec<NodeId>,
+    registry: SchemaRegistry,
+    catalog: StatsCatalog,
+    routers: Vec<Router>,
+    /// Query-layer state per processor.
+    managers: FxHashMap<NodeId, GroupManager>,
+    /// Representative executors, keyed by result-stream name.
+    reps: FxHashMap<StreamName, RepSite>,
+    /// SPE-input subscriptions: subscriber → result stream it feeds.
+    spe_subs: FxHashMap<SubscriberId, StreamName>,
+    /// User subscriptions: subscriber → query it serves.
+    user_subs: FxHashMap<SubscriberId, QueryId>,
+    user_sub_of_query: FxHashMap<QueryId, SubscriberId>,
+    /// Baseline (non-merging) mode: each query's private result stream.
+    baseline_streams: FxHashMap<QueryId, StreamName>,
+    delivered: FxHashMap<QueryId, Vec<Tuple>>,
+    query_user: FxHashMap<QueryId, NodeId>,
+    query_processor: FxHashMap<QueryId, NodeId>,
+    processor_load: FxHashMap<NodeId, usize>,
+    link_bytes: FxHashMap<(NodeId, NodeId), u64>,
+    weighted_cost: f64,
+    tuples_published: u64,
+    next_sub: u64,
+    next_query: u64,
+    baseline_counter: u64,
+}
+
+impl Cosmos {
+    /// Deploy a system with a generated topology.
+    pub fn new(cfg: CosmosConfig) -> Result<Cosmos> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let graph = generate(cfg.topology, cfg.nodes, &mut rng)?;
+        Self::with_graph(cfg, graph)
+    }
+
+    /// Deploy a system on an explicitly constructed overlay graph
+    /// (used by the Figure 3 experiment and by tests that need exact
+    /// topologies). Processors are chosen by stride to match
+    /// `processor_fraction`.
+    pub fn with_graph(cfg: CosmosConfig, graph: Graph) -> Result<Cosmos> {
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(CosmosError::System("empty overlay".into()));
+        }
+        let tree = minimum_spanning_tree(&graph, NodeId(0))?;
+        let want = ((n as f64 * cfg.processor_fraction).round() as usize).clamp(1, n);
+        let stride = (n / want).max(1);
+        let mut roles = vec![NodeRole::Broker; n];
+        let mut processors = Vec::with_capacity(want);
+        for i in (0..n).step_by(stride) {
+            if processors.len() == want {
+                break;
+            }
+            roles[i] = NodeRole::Processor;
+            processors.push(NodeId(i as u32));
+        }
+        let registry = SchemaRegistry::new(cfg.registry_mode, (0..n as u32).map(NodeId));
+        let routers = (0..n as u32).map(|i| Router::new(NodeId(i))).collect();
+        Ok(Cosmos {
+            cfg,
+            tree,
+            source_trees: FxHashMap::default(),
+            roles,
+            processors,
+            registry,
+            catalog: StatsCatalog::new(),
+            routers,
+            managers: FxHashMap::default(),
+            reps: FxHashMap::default(),
+            spe_subs: FxHashMap::default(),
+            user_subs: FxHashMap::default(),
+            user_sub_of_query: FxHashMap::default(),
+            baseline_streams: FxHashMap::default(),
+            delivered: FxHashMap::default(),
+            query_user: FxHashMap::default(),
+            query_processor: FxHashMap::default(),
+            processor_load: FxHashMap::default(),
+            link_bytes: FxHashMap::default(),
+            weighted_cost: 0.0,
+            tuples_published: 0,
+            next_sub: 0,
+            next_query: 0,
+            baseline_counter: 0,
+            graph,
+        })
+    }
+
+    /// The overlay graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The dissemination tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Mutable dissemination tree access (fault module).
+    pub(crate) fn tree_mut(&mut self) -> &mut Tree {
+        &mut self.tree
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &CosmosConfig {
+        &self.cfg
+    }
+
+    /// Run the Section 3.2 adaptive reorganizer on the shared
+    /// dissemination tree, using each node's local-subscription count as
+    /// its consumer demand, then re-derive all routing state from the
+    /// new tree. Returns a zero-move report in per-source-tree mode
+    /// (those trees are delay-optimal by construction).
+    pub fn optimize_tree(
+        &mut self,
+        cfg: cosmos_overlay::OptimizerConfig,
+    ) -> cosmos_overlay::OptimizeReport {
+        if self.cfg.per_source_trees {
+            let cost = cosmos_overlay::TreeOptimizer::new(cfg).cost(
+                &self.graph,
+                &self.tree,
+                &vec![0.0; self.graph.node_count()],
+            );
+            return cosmos_overlay::OptimizeReport {
+                cost_before: cost,
+                cost_after: cost,
+                moves: 0,
+            };
+        }
+        let demand: Vec<f64> = self
+            .routers
+            .iter()
+            .map(|r| r.local_subscribers().count() as f64)
+            .collect();
+        let report =
+            cosmos_overlay::TreeOptimizer::new(cfg).optimize(&self.graph, &mut self.tree, &demand);
+        if report.moves > 0 {
+            self.rebuild_routes();
+        }
+        report
+    }
+
+    /// The role of a node.
+    pub fn role(&self, node: NodeId) -> NodeRole {
+        self.roles[node.index()]
+    }
+
+    /// The processor nodes.
+    pub fn processors(&self) -> &[NodeId] {
+        &self.processors
+    }
+
+    /// The schema registry.
+    pub fn registry(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+
+    /// The statistics catalog.
+    pub fn catalog(&self) -> &StatsCatalog {
+        &self.catalog
+    }
+
+    /// Access a node's router (tests, diagnostics).
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.index()]
+    }
+
+    /// Advertise a source stream published at `origin`.
+    pub fn register_stream(
+        &mut self,
+        name: impl Into<StreamName>,
+        schema: Schema,
+        stats: StreamStats,
+        origin: NodeId,
+    ) -> Result<()> {
+        let name = name.into();
+        if origin.index() >= self.routers.len() {
+            return Err(CosmosError::System(format!("unknown origin {origin}")));
+        }
+        self.registry
+            .register(name.clone(), schema.clone(), origin)?;
+        self.catalog.register(name, schema, stats);
+        self.ensure_source_tree(origin);
+        Ok(())
+    }
+
+    fn alloc_sub(&mut self) -> SubscriberId {
+        let id = SubscriberId(self.next_sub);
+        self.next_sub += 1;
+        id
+    }
+
+    /// Query distribution (load management): pick the processor that
+    /// will run this query. A small candidate set is derived from the
+    /// query's stream set so queries over the same streams meet at the
+    /// same processor(s); the least-loaded candidate wins.
+    pub fn pick_processor(&self, q: &AnalyzedQuery) -> NodeId {
+        let mut streams: Vec<&str> = q.streams.iter().map(|b| b.stream.as_str()).collect();
+        streams.sort_unstable();
+        let key = streams.join(",");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let k = self.cfg.affinity_candidates.clamp(1, self.processors.len());
+        let start = (h as usize) % self.processors.len();
+        (0..k)
+            .map(|i| self.processors[(start + i) % self.processors.len()])
+            .min_by_key(|p| (self.processor_load.get(p).copied().unwrap_or(0), p.raw()))
+            .expect("at least one processor")
+    }
+
+    /// The dissemination tree used for streams originating at `origin`.
+    pub fn tree_for(&self, origin: NodeId) -> &Tree {
+        if self.cfg.per_source_trees {
+            self.source_trees.get(&origin).unwrap_or(&self.tree)
+        } else {
+            &self.tree
+        }
+    }
+
+    /// Lazily build the shortest-path dissemination tree rooted at a
+    /// stream origin (multi-tree mode).
+    fn ensure_source_tree(&mut self, origin: NodeId) {
+        if !self.cfg.per_source_trees || self.source_trees.contains_key(&origin) {
+            return;
+        }
+        let sp = cosmos_overlay::dijkstra(&self.graph, origin);
+        let edges: Vec<(NodeId, NodeId)> = self
+            .graph
+            .nodes()
+            .filter(|&v| v != origin)
+            .map(|v| {
+                let path = sp.path_to(v);
+                debug_assert!(path.len() >= 2, "overlay must be connected");
+                (path[path.len() - 2], v)
+            })
+            .collect();
+        let tree = Tree::from_edges(self.graph.node_count(), origin, &edges)
+            .expect("shortest-path tree of a connected graph is a tree");
+        self.source_trees.insert(origin, tree);
+    }
+
+    /// Propagate a data-interest profile from `from` towards `origin`
+    /// along `origin`'s dissemination tree (reverse-path subscription).
+    pub(crate) fn propagate_interest(&mut self, from: NodeId, origin: NodeId, profile: &Profile) {
+        let normalized = profile.normalized();
+        let path = self.tree_for(origin).path(from, origin);
+        for w in path.windows(2) {
+            let (down, up) = (w[0], w[1]);
+            self.routers[up.index()].merge_neighbor_interest(down, &normalized);
+        }
+    }
+
+    /// Propagate each stream of a profile towards that stream's origin.
+    fn propagate_per_stream(&mut self, from: NodeId, profile: &Profile) -> Result<()> {
+        let split: Vec<(NodeId, Profile)> = profile
+            .iter()
+            .map(|(stream, entry)| {
+                let origin = self.registry.origin(stream).ok_or_else(|| {
+                    CosmosError::System(format!("stream '{stream}' is not advertised"))
+                })?;
+                let mut single = Profile::new();
+                single.add_entry(stream.clone(), entry.clone());
+                Ok((origin, single))
+            })
+            .collect::<Result<_>>()?;
+        for (origin, single) in split {
+            self.propagate_interest(from, origin, &single);
+        }
+        Ok(())
+    }
+
+    /// Rebuild every router's reverse-path interests from the *current*
+    /// local subscriptions. Reverse-path state is a pure function of the
+    /// tree and the local profiles, so this both heals the network after
+    /// a tree reorganization and flushes stale interest left behind when
+    /// a subscription's profile is replaced (a widened representative).
+    pub fn rebuild_routes(&mut self) {
+        for r in &mut self.routers {
+            r.clear_neighbor_interests();
+        }
+        let subs: Vec<(NodeId, Profile)> = self
+            .routers
+            .iter()
+            .flat_map(|r| {
+                let node = r.node();
+                r.local_subscribers()
+                    .map(move |(_, p)| (node, p.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (node, profile) in subs {
+            // Streams can only vanish from the registry via explicit
+            // unregistration, which the system layer never does while
+            // subscriptions exist; ignore unknown streams defensively.
+            let _ = self.propagate_per_stream(node, &profile);
+        }
+    }
+
+    /// Submit a user query at node `user`. Returns the query id; results
+    /// accumulate in [`Cosmos::results`] as data is published.
+    pub fn submit_query(&mut self, text: &str, user: NodeId) -> Result<QueryId> {
+        if user.index() >= self.routers.len() {
+            return Err(CosmosError::System(format!("unknown user node {user}")));
+        }
+        let parsed = cosmos_cql::parse_query(text)?;
+        let analyzed = AnalyzedQuery::analyze(&parsed, self.catalog.schema_fn())?;
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        let processor = self.pick_processor(&analyzed);
+        *self.processor_load.entry(processor).or_insert(0) += 1;
+
+        // Query management: group/merge, or the non-share baseline.
+        let (result_stream, user_profile, rep, rep_is_new, rep_changed, updated_profiles) =
+            if self.cfg.merging_enabled {
+                let catalog = &self.catalog;
+                let manager = self
+                    .managers
+                    .entry(processor)
+                    .or_insert_with(|| GroupManager::new(format!("result::{processor}")));
+                let outcome = manager.insert(qid, analyzed.clone(), catalog)?;
+                let rep = manager
+                    .group(outcome.group)
+                    .expect("inserted group exists")
+                    .representative
+                    .clone();
+                (
+                    outcome.result_stream,
+                    outcome.profile,
+                    rep,
+                    !outcome.joined_existing,
+                    outcome.rep_changed,
+                    outcome.updated_profiles,
+                )
+            } else {
+                self.baseline_counter += 1;
+                let stream =
+                    StreamName::from(format!("result::{processor}::q{}", self.baseline_counter));
+                let profile = retighten_profile(&analyzed, &analyzed, &stream)?;
+                self.baseline_streams.insert(qid, stream.clone());
+                (stream, profile, analyzed.clone(), true, false, Vec::new())
+            };
+
+        if rep_is_new {
+            // Advertise the result stream and start the representative.
+            self.ensure_source_tree(processor);
+            self.registry
+                .register(result_stream.clone(), rep.output_schema.clone(), processor)?;
+            self.catalog.register(
+                result_stream.clone(),
+                rep.output_schema.clone(),
+                StreamStats::with_rate(cosmos_query::estimate::output_tuples_per_sec(
+                    &rep,
+                    &self.catalog,
+                )),
+            );
+            let executor = Executor::new(rep.clone(), result_stream.clone())?;
+            // The SPE subscribes to the source data (Section 4 profile).
+            let sub = self.alloc_sub();
+            let source_profile = rep.source_profile();
+            self.routers[processor.index()].add_local_subscriber(sub, source_profile.clone());
+            self.spe_subs.insert(sub, result_stream.clone());
+            self.propagate_per_stream(processor, &source_profile)?;
+            self.reps.insert(
+                result_stream.clone(),
+                RepSite {
+                    processor,
+                    executor,
+                },
+            );
+        } else if rep_changed {
+            // Replace the running representative: wider query, same
+            // result stream. (Window state restarts; experiments submit
+            // queries before publishing data.)
+            self.registry
+                .update_schema(&result_stream, rep.output_schema.clone())?;
+            let executor = Executor::new(rep.clone(), result_stream.clone())?;
+            let site = self.reps.get_mut(&result_stream).expect("rep exists");
+            site.executor = executor;
+            // Re-subscribe the SPE input with the widened profile.
+            let source_profile = rep.source_profile();
+            let sub = *self
+                .spe_subs
+                .iter()
+                .find(|(_, s)| **s == result_stream)
+                .map(|(k, _)| k)
+                .expect("spe subscription exists");
+            self.routers[processor.index()].add_local_subscriber(sub, source_profile.clone());
+            self.propagate_per_stream(processor, &source_profile)?;
+        }
+
+        // A widened representative invalidates the other members'
+        // re-tightened profiles: replace their local subscriptions and
+        // rebuild the reverse-path state so no stale (looser or tighter)
+        // interest lingers on intermediate nodes.
+        let must_rebuild = !updated_profiles.is_empty();
+        for (mid, profile) in updated_profiles {
+            let member_user = self.query_user[&mid];
+            let member_sub = self.user_sub_of_query[&mid];
+            self.routers[member_user.index()].add_local_subscriber(member_sub, profile);
+        }
+
+        // The user retrieves the results through the CBN.
+        let sub = self.alloc_sub();
+        self.routers[user.index()].add_local_subscriber(sub, user_profile.clone());
+        self.user_subs.insert(sub, qid);
+        self.user_sub_of_query.insert(qid, sub);
+        if must_rebuild {
+            self.rebuild_routes();
+        } else {
+            self.propagate_interest(user, processor, &user_profile);
+        }
+
+        self.delivered.insert(qid, Vec::new());
+        self.query_user.insert(qid, user);
+        self.query_processor.insert(qid, processor);
+        Ok(qid)
+    }
+
+    /// Self-tuning (the "Self-tuning" of COSMOS's name): re-optimize the
+    /// query grouping at every processor. Where a better grouping exists
+    /// (greedy insertion is order-sensitive), the processor's
+    /// representatives are rebuilt, its result streams re-advertised,
+    /// every affected user subscription refreshed, and the routing state
+    /// re-derived. Returns the number of processors whose grouping
+    /// improved.
+    ///
+    /// Like representative replacement on merge, rebuilt executors start
+    /// with empty windows; run this between workload phases.
+    pub fn reoptimize_groups(&mut self) -> Result<usize> {
+        if !self.cfg.merging_enabled {
+            return Ok(0);
+        }
+        let processors: Vec<NodeId> = self.managers.keys().copied().collect();
+        let mut improved = 0usize;
+        for p in processors {
+            let catalog = self.catalog.clone();
+            let Some(mgr) = self.managers.get_mut(&p) else {
+                continue;
+            };
+            let Some(placements) = mgr.reoptimize(&catalog)? else {
+                continue;
+            };
+            improved += 1;
+            // Tear down every representative this processor was running.
+            let old_streams: Vec<StreamName> = self
+                .reps
+                .iter()
+                .filter(|(_, site)| site.processor == p)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for s in &old_streams {
+                self.reps.remove(s);
+                self.registry.unregister(s);
+                let dead_subs: Vec<SubscriberId> = self
+                    .spe_subs
+                    .iter()
+                    .filter(|(_, st)| *st == s)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in dead_subs {
+                    self.spe_subs.remove(&k);
+                    self.routers[p.index()].remove_local_subscriber(k);
+                }
+            }
+            // Start the new representatives.
+            let groups: Vec<(StreamName, AnalyzedQuery)> = self.managers[&p]
+                .groups()
+                .map(|g| (g.result_stream.clone(), g.representative.clone()))
+                .collect();
+            for (stream, rep) in groups {
+                self.ensure_source_tree(p);
+                let rate = cosmos_query::estimate::output_tuples_per_sec(&rep, &self.catalog);
+                self.registry
+                    .register(stream.clone(), rep.output_schema.clone(), p)?;
+                self.catalog.register(
+                    stream.clone(),
+                    rep.output_schema.clone(),
+                    StreamStats::with_rate(rate),
+                );
+                let executor = Executor::new(rep.clone(), stream.clone())?;
+                let sub = self.alloc_sub();
+                self.routers[p.index()].add_local_subscriber(sub, rep.source_profile());
+                self.spe_subs.insert(sub, stream.clone());
+                self.reps.insert(
+                    stream,
+                    RepSite {
+                        processor: p,
+                        executor,
+                    },
+                );
+            }
+            // Refresh the affected users' subscriptions.
+            for (qid, _stream, profile) in placements {
+                let user = self.query_user[&qid];
+                let sub = self.user_sub_of_query[&qid];
+                self.routers[user.index()].add_local_subscriber(sub, profile);
+            }
+        }
+        if improved > 0 {
+            self.rebuild_routes();
+        }
+        Ok(improved)
+    }
+
+    /// Withdraw a query: remove its user subscription, drop it from its
+    /// group (rebuilding the representative from the remaining members,
+    /// or tearing the group down entirely), and re-derive routing state.
+    ///
+    /// Returns an error for unknown query ids. Results already delivered
+    /// remain readable via [`Cosmos::results`].
+    pub fn unsubscribe(&mut self, qid: QueryId) -> Result<()> {
+        let user = self
+            .query_user
+            .get(&qid)
+            .copied()
+            .ok_or_else(|| CosmosError::System(format!("unknown query {qid}")))?;
+        let sub = self.user_sub_of_query.remove(&qid).expect("sub per query");
+        self.routers[user.index()].remove_local_subscriber(sub);
+        self.user_subs.remove(&sub);
+        let processor = self.query_processor[&qid];
+        if let Some(load) = self.processor_load.get_mut(&processor) {
+            *load = load.saturating_sub(1);
+        }
+        if self.cfg.merging_enabled {
+            let manager = self.managers.get_mut(&processor).expect("manager exists");
+            // Identify the group before removal to detect dissolution.
+            let (group, _) = manager.placement(qid).expect("query placed");
+            let (gid, result_stream) = (group.id, group.result_stream.clone());
+            manager.remove(qid);
+            match manager.group(gid) {
+                None => {
+                    // Group dissolved: stop the representative and drop
+                    // its advertisement and SPE input subscription.
+                    self.reps.remove(&result_stream);
+                    self.registry.unregister(&result_stream);
+                    let spe_sub = self
+                        .spe_subs
+                        .iter()
+                        .find(|(_, s)| **s == result_stream)
+                        .map(|(k, _)| *k);
+                    if let Some(s) = spe_sub {
+                        self.spe_subs.remove(&s);
+                        self.routers[processor.index()].remove_local_subscriber(s);
+                    }
+                }
+                Some(g) => {
+                    // Representative shrank: restart it and refresh the
+                    // remaining members' profiles.
+                    let rep = g.representative.clone();
+                    let members: Vec<QueryId> = g.members.iter().map(|(m, _)| *m).collect();
+                    self.registry
+                        .update_schema(&result_stream, rep.output_schema.clone())?;
+                    let executor = Executor::new(rep.clone(), result_stream.clone())?;
+                    let site = self.reps.get_mut(&result_stream).expect("rep exists");
+                    site.executor = executor;
+                    let source_profile = rep.source_profile();
+                    let spe_sub = *self
+                        .spe_subs
+                        .iter()
+                        .find(|(_, s)| **s == result_stream)
+                        .map(|(k, _)| k)
+                        .expect("spe subscription exists");
+                    self.routers[processor.index()].add_local_subscriber(spe_sub, source_profile);
+                    for mid in members {
+                        let manager = self.managers.get(&processor).expect("manager");
+                        let (g, _) = manager.placement(mid).expect("member placed");
+                        let profile = retighten_profile(
+                            &member_query(g, mid)?,
+                            &g.representative,
+                            &result_stream,
+                        )?;
+                        let member_user = self.query_user[&mid];
+                        let member_sub = self.user_sub_of_query[&mid];
+                        self.routers[member_user.index()].add_local_subscriber(member_sub, profile);
+                    }
+                }
+            }
+        } else {
+            // Baseline mode: every query has its own representative;
+            // tear it down directly.
+            let stream = self
+                .baseline_streams
+                .remove(&qid)
+                .expect("baseline query has a private result stream");
+            self.reps.remove(&stream);
+            self.registry.unregister(&stream);
+            let spe_sub = self
+                .spe_subs
+                .iter()
+                .find(|(_, st)| **st == stream)
+                .map(|(k, _)| *k);
+            if let Some(k) = spe_sub {
+                self.spe_subs.remove(&k);
+                self.routers[processor.index()].remove_local_subscriber(k);
+            }
+        }
+        self.query_user.remove(&qid);
+        self.query_processor.remove(&qid);
+        self.rebuild_routes();
+        Ok(())
+    }
+
+    fn account_link(&mut self, a: NodeId, b: NodeId, bytes: usize) {
+        let key = (a.min(b), a.max(b));
+        *self.link_bytes.entry(key).or_insert(0) += bytes as u64;
+        let delay = self
+            .graph
+            .edge_weight(a, b)
+            .unwrap_or_else(|| self.graph.distance(a, b).max(f64::EPSILON));
+        self.weighted_cost += bytes as f64 * delay;
+    }
+
+    /// Publish one source datagram at its stream's origin node and drive
+    /// it (and any result datagrams it triggers) through the network to
+    /// completion.
+    pub fn publish(&mut self, tuple: &Tuple) -> Result<()> {
+        let reg = self.registry.peek(&tuple.stream).ok_or_else(|| {
+            CosmosError::System(format!("stream '{}' is not advertised", tuple.stream))
+        })?;
+        let (origin, schema) = (reg.origin, reg.schema.clone());
+        self.tuples_published += 1;
+        let mut queue: VecDeque<(Option<NodeId>, NodeId, Tuple, Schema)> = VecDeque::new();
+        queue.push_back((None, origin, tuple.clone(), schema));
+        while let Some((from, at, t, s)) = queue.pop_front() {
+            let decisions = self.routers[at.index()].route(&t, &s, from);
+            for d in decisions {
+                match d.dest {
+                    Destination::Neighbor(n) => {
+                        self.account_link(at, n, d.tuple.size_bytes());
+                        queue.push_back((Some(at), n, d.tuple, d.schema));
+                    }
+                    Destination::Local(sub) => {
+                        if let Some(stream) = self.spe_subs.get(&sub) {
+                            let stream = stream.clone();
+                            let site = self.reps.get_mut(&stream).expect("rep site exists");
+                            debug_assert_eq!(site.processor, at);
+                            let outputs = site.executor.push_projected(&d.tuple, &d.schema);
+                            let rep_schema = site.executor.result_schema().clone();
+                            for out in outputs {
+                                // Result datagrams enter the CBN here.
+                                queue.push_back((None, at, out, rep_schema.clone()));
+                            }
+                        } else if let Some(&qid) = self.user_subs.get(&sub) {
+                            self.delivered
+                                .get_mut(&qid)
+                                .expect("delivery buffer")
+                                .push(d.tuple);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Publish a whole timestamp-ordered input sequence.
+    pub fn run<I: IntoIterator<Item = Tuple>>(&mut self, inputs: I) -> Result<()> {
+        for t in inputs {
+            self.publish(&t)?;
+        }
+        Ok(())
+    }
+
+    /// Result tuples delivered to a query's user so far.
+    pub fn results(&self, qid: QueryId) -> &[Tuple] {
+        self.delivered.get(&qid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The user node of a query.
+    pub fn user_of(&self, qid: QueryId) -> Option<NodeId> {
+        self.query_user.get(&qid).copied()
+    }
+
+    /// The processor a query was assigned to.
+    pub fn processor_of(&self, qid: QueryId) -> Option<NodeId> {
+        self.query_processor.get(&qid).copied()
+    }
+
+    /// Bytes that crossed the (undirected) overlay link `a - b`.
+    pub fn link_bytes(&self, a: NodeId, b: NodeId) -> u64 {
+        self.link_bytes
+            .get(&(a.min(b), a.max(b)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total bytes that crossed any overlay link.
+    pub fn total_bytes(&self) -> u64 {
+        self.link_bytes.values().sum()
+    }
+
+    /// Total delay-weighted communication cost (`Σ bytes × link delay`).
+    pub fn weighted_cost(&self) -> f64 {
+        self.weighted_cost
+    }
+
+    /// Number of source datagrams published.
+    pub fn tuples_published(&self) -> u64 {
+        self.tuples_published
+    }
+
+    /// Grouping state of one processor (if it hosts any queries).
+    pub fn group_manager(&self, processor: NodeId) -> Option<&GroupManager> {
+        self.managers.get(&processor)
+    }
+
+    /// Overall grouping ratio (`Σ groups / Σ queries`) across processors.
+    pub fn grouping_ratio(&self) -> f64 {
+        let groups: usize = self.managers.values().map(|m| m.group_count()).sum();
+        let queries: usize = self.managers.values().map(|m| m.query_count()).sum();
+        if queries == 0 {
+            1.0
+        } else {
+            groups as f64 / queries as f64
+        }
+    }
+
+    /// Number of queries in the system.
+    pub fn query_count(&self) -> usize {
+        self.next_query as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_query::{AttrStats, StreamStats};
+    use cosmos_types::{AttrType, Timestamp, Value};
+
+    /// Line overlay 0 - 1 - 2 - 3 with the processor at node 0.
+    fn line_system(merging: bool) -> Cosmos {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            g.set_position(NodeId(i), i as f64 / 4.0, 0.0);
+        }
+        for i in 0..3u32 {
+            g.add_edge_by_distance(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        let cfg = CosmosConfig {
+            nodes: 4,
+            processor_fraction: 0.25,
+            merging_enabled: merging,
+            ..CosmosConfig::default()
+        };
+        let mut sys = Cosmos::with_graph(cfg, g).unwrap();
+        sys.register_stream(
+            "S",
+            Schema::of(&[
+                ("k", AttrType::Int),
+                ("x", AttrType::Float),
+                ("timestamp", AttrType::Int),
+            ]),
+            StreamStats::with_rate(1.0)
+                .attr("k", AttrStats::categorical(10.0))
+                .attr("x", AttrStats::numeric(0.0, 100.0, 100.0)),
+            NodeId(0),
+        )
+        .unwrap();
+        sys
+    }
+
+    fn s_tuple(ts: i64, k: i64, x: f64) -> Tuple {
+        Tuple::new(
+            "S",
+            Timestamp(ts),
+            vec![Value::Int(k), Value::Float(x), Value::Int(ts)],
+        )
+    }
+
+    #[test]
+    fn roles_and_processor_choice() {
+        let sys = line_system(true);
+        assert_eq!(sys.role(NodeId(0)), NodeRole::Processor);
+        assert_eq!(sys.role(NodeId(1)), NodeRole::Broker);
+        assert_eq!(sys.processors(), &[NodeId(0)]);
+        assert_eq!(sys.graph().node_count(), 4);
+        assert_eq!(sys.tree().node_count(), 4);
+    }
+
+    #[test]
+    fn end_to_end_query_delivery() {
+        let mut sys = line_system(true);
+        let q = sys
+            .submit_query("SELECT k, x FROM S [Now] WHERE x > 50.0", NodeId(3))
+            .unwrap();
+        sys.run((0..10).map(|i| s_tuple(i * 1000, i, (i * 12) as f64)))
+            .unwrap();
+        let res = sys.results(q);
+        // x = 0, 12, 24, 36, 48 fail; 60, 72, 84, 96, 108 pass
+        assert_eq!(res.len(), 5);
+        assert_eq!(res[0].values()[1], Value::Float(60.0));
+        assert_eq!(sys.user_of(q), Some(NodeId(3)));
+        assert_eq!(sys.processor_of(q), Some(NodeId(0)));
+        // data flowed over every link on the path 0→3
+        assert!(sys.link_bytes(NodeId(0), NodeId(1)) > 0);
+        assert!(sys.link_bytes(NodeId(2), NodeId(3)) > 0);
+        assert!(sys.total_bytes() > 0);
+        assert!(sys.weighted_cost() > 0.0);
+        assert_eq!(sys.tuples_published(), 10);
+    }
+
+    #[test]
+    fn merged_queries_share_one_result_stream_on_the_trunk() {
+        // Two identical queries from nodes 2 and 3: with merging the
+        // shared trunk link 0-1 carries the result stream once; without
+        // merging it carries it twice.
+        let queries = ["SELECT k, x FROM S [Now] WHERE x >= 0.0"; 2];
+        let run = |merging: bool| -> (u64, usize, usize) {
+            let mut sys = line_system(merging);
+            let q1 = sys.submit_query(queries[0], NodeId(2)).unwrap();
+            let q2 = sys.submit_query(queries[1], NodeId(3)).unwrap();
+            sys.run((0..50).map(|i| s_tuple(i * 1000, i % 5, i as f64)))
+                .unwrap();
+            (
+                sys.link_bytes(NodeId(0), NodeId(1)),
+                sys.results(q1).len(),
+                sys.results(q2).len(),
+            )
+        };
+        let (shared, r1, r2) = run(true);
+        let (unshared, r1b, r2b) = run(false);
+        // identical results either way
+        assert_eq!(r1, 50);
+        assert_eq!(r2, 50);
+        assert_eq!(r1, r1b);
+        assert_eq!(r2, r2b);
+        // sharing saves trunk bandwidth
+        assert!(
+            shared < unshared,
+            "shared {shared} should be < unshared {unshared}"
+        );
+    }
+
+    #[test]
+    fn grouping_state_is_visible() {
+        let mut sys = line_system(true);
+        sys.submit_query("SELECT k FROM S [Now] WHERE x < 10.0", NodeId(2))
+            .unwrap();
+        sys.submit_query("SELECT k FROM S [Now] WHERE x < 10.0", NodeId(3))
+            .unwrap();
+        let gm = sys.group_manager(NodeId(0)).unwrap();
+        assert_eq!(gm.query_count(), 2);
+        assert_eq!(gm.group_count(), 1);
+        assert!((sys.grouping_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(sys.query_count(), 2);
+    }
+
+    #[test]
+    fn early_projection_reduces_upstream_bytes() {
+        // A query projecting one attribute must move fewer bytes than a
+        // query projecting everything.
+        let narrow = {
+            let mut sys = line_system(true);
+            sys.submit_query("SELECT k FROM S [Now]", NodeId(3))
+                .unwrap();
+            sys.run((0..50).map(|i| s_tuple(i * 1000, i, i as f64)))
+                .unwrap();
+            sys.total_bytes()
+        };
+        let wide = {
+            let mut sys = line_system(true);
+            sys.submit_query("SELECT k, x, timestamp FROM S [Now]", NodeId(3))
+                .unwrap();
+            sys.run((0..50).map(|i| s_tuple(i * 1000, i, i as f64)))
+                .unwrap();
+            sys.total_bytes()
+        };
+        assert!(narrow < wide, "narrow {narrow} vs wide {wide}");
+    }
+
+    #[test]
+    fn filters_drop_traffic_at_the_source() {
+        // A highly selective filter must keep almost all tuples off the
+        // wire entirely (filtering happens at the origin's router).
+        let mut sys = line_system(true);
+        sys.submit_query("SELECT k, x FROM S [Now] WHERE x > 1000.0", NodeId(3))
+            .unwrap();
+        sys.run((0..50).map(|i| s_tuple(i * 1000, i, i as f64)))
+            .unwrap();
+        // only subscription control state, no data bytes at all
+        assert_eq!(sys.total_bytes(), 0);
+    }
+
+    #[test]
+    fn join_query_runs_end_to_end() {
+        let mut sys = line_system(true);
+        sys.register_stream(
+            "T",
+            Schema::of(&[
+                ("k", AttrType::Int),
+                ("y", AttrType::Float),
+                ("timestamp", AttrType::Int),
+            ]),
+            StreamStats::with_rate(1.0).attr("k", AttrStats::categorical(10.0)),
+            NodeId(1),
+        )
+        .unwrap();
+        let q = sys
+            .submit_query(
+                "SELECT A.k, A.x, B.y FROM S [Range 10 Second] A, T [Range 10 Second] B \
+                 WHERE A.k = B.k",
+                NodeId(3),
+            )
+            .unwrap();
+        let mut inputs = Vec::new();
+        for i in 0..10i64 {
+            inputs.push(s_tuple(i * 1000, i % 3, i as f64));
+            inputs.push(Tuple::new(
+                "T",
+                Timestamp(i * 1000 + 500),
+                vec![
+                    Value::Int(i % 3),
+                    Value::Float(-(i as f64)),
+                    Value::Int(i * 1000 + 500),
+                ],
+            ));
+        }
+        sys.run(inputs).unwrap();
+        assert!(!sys.results(q).is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut sys = line_system(true);
+        // unknown stream in query
+        assert!(sys
+            .submit_query("SELECT a FROM Nope [Now]", NodeId(1))
+            .is_err());
+        // unknown user node
+        assert!(sys
+            .submit_query("SELECT k FROM S [Now]", NodeId(99))
+            .is_err());
+        // unadvertised stream published
+        assert!(sys
+            .publish(&Tuple::new("Nope", Timestamp(0), vec![]))
+            .is_err());
+        // duplicate stream registration
+        assert!(sys
+            .register_stream(
+                "S",
+                Schema::of(&[("a", AttrType::Int)]),
+                StreamStats::default(),
+                NodeId(0)
+            )
+            .is_err());
+        // bad origin
+        assert!(sys
+            .register_stream(
+                "U",
+                Schema::of(&[("a", AttrType::Int)]),
+                StreamStats::default(),
+                NodeId(42)
+            )
+            .is_err());
+        // empty overlay rejected
+        assert!(Cosmos::with_graph(CosmosConfig::default(), Graph::new(0)).is_err());
+    }
+
+    #[test]
+    fn reoptimize_groups_end_to_end() {
+        // Adversarial arrival order: two disjoint narrow queries seed
+        // separate groups before the wide query arrives.
+        let mut sys = line_system(true);
+        let qa = sys
+            .submit_query(
+                "SELECT k, x FROM S [Now] WHERE x BETWEEN 0.0 AND 10.0",
+                NodeId(1),
+            )
+            .unwrap();
+        let qb = sys
+            .submit_query(
+                "SELECT k, x FROM S [Now] WHERE x BETWEEN 90.0 AND 100.0",
+                NodeId(2),
+            )
+            .unwrap();
+        let qc = sys
+            .submit_query(
+                "SELECT k, x FROM S [Now] WHERE x BETWEEN 0.0 AND 100.0",
+                NodeId(3),
+            )
+            .unwrap();
+        assert_eq!(sys.group_manager(NodeId(0)).unwrap().group_count(), 2);
+        let improved = sys.reoptimize_groups().unwrap();
+        assert_eq!(improved, 1);
+        assert_eq!(sys.group_manager(NodeId(0)).unwrap().group_count(), 1);
+        // delivery stays exact for every member after retuning
+        sys.run((0..21).map(|i| s_tuple(i * 1000, i, (i * 5) as f64)))
+            .unwrap();
+        assert_eq!(sys.results(qa).len(), 3); // x ∈ {0, 5, 10}
+        assert_eq!(sys.results(qb).len(), 3); // x ∈ {90, 95, 100}
+        assert_eq!(sys.results(qc).len(), 21);
+        // idempotent afterwards
+        assert_eq!(sys.reoptimize_groups().unwrap(), 0);
+        // no-op in baseline mode
+        let mut base = line_system(false);
+        base.submit_query("SELECT k FROM S [Now]", NodeId(1))
+            .unwrap();
+        assert_eq!(base.reoptimize_groups().unwrap(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_one_query_and_keeps_others() {
+        let mut sys = line_system(true);
+        let q1 = sys
+            .submit_query("SELECT k, x FROM S [Now] WHERE x <= 20.0", NodeId(2))
+            .unwrap();
+        let q2 = sys
+            .submit_query("SELECT k, x FROM S [Now] WHERE x <= 40.0", NodeId(3))
+            .unwrap();
+        sys.run((0..5).map(|i| s_tuple(i * 1000, i, (i * 10) as f64)))
+            .unwrap();
+        assert_eq!(sys.results(q1).len(), 3);
+        assert_eq!(sys.results(q2).len(), 5);
+        // Drop the wide member: the representative must shrink back to
+        // q1's shape, and q1 keeps receiving exactly its results.
+        sys.unsubscribe(q2).unwrap();
+        sys.run((5..10).map(|i| s_tuple(i * 1000, i % 5, ((i % 5) * 10) as f64)))
+            .unwrap();
+        assert_eq!(sys.results(q1).len(), 6); // +3 new matches (0,10,20)
+        assert_eq!(sys.results(q2).len(), 5); // frozen after unsubscribe
+        let gm = sys.group_manager(NodeId(0)).unwrap();
+        assert_eq!(gm.query_count(), 1);
+        assert_eq!(gm.group_count(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_last_member_dissolves_group_and_silences_traffic() {
+        let mut sys = line_system(true);
+        let q = sys
+            .submit_query("SELECT k, x FROM S [Now]", NodeId(3))
+            .unwrap();
+        sys.run((0..3).map(|i| s_tuple(i * 1000, i, i as f64)))
+            .unwrap();
+        let bytes_before = sys.total_bytes();
+        assert!(bytes_before > 0);
+        sys.unsubscribe(q).unwrap();
+        let gm = sys.group_manager(NodeId(0)).unwrap();
+        assert_eq!(gm.group_count(), 0);
+        // further publishes move no bytes at all
+        sys.run((3..10).map(|i| s_tuple(i * 1000, i, i as f64)))
+            .unwrap();
+        assert_eq!(sys.total_bytes(), bytes_before);
+        // delivered results remain readable; unknown ids error
+        assert_eq!(sys.results(q).len(), 3);
+        assert!(sys.unsubscribe(q).is_err());
+        assert!(sys.unsubscribe(QueryId(99)).is_err());
+    }
+
+    #[test]
+    fn unsubscribe_in_baseline_mode() {
+        let mut sys = line_system(false);
+        let q1 = sys
+            .submit_query("SELECT k FROM S [Now]", NodeId(2))
+            .unwrap();
+        let q2 = sys
+            .submit_query("SELECT k FROM S [Now]", NodeId(3))
+            .unwrap();
+        sys.unsubscribe(q1).unwrap();
+        sys.run((0..4).map(|i| s_tuple(i * 1000, i, i as f64)))
+            .unwrap();
+        assert_eq!(sys.results(q1).len(), 0);
+        assert_eq!(sys.results(q2).len(), 4);
+    }
+
+    #[test]
+    fn per_source_trees_deliver_and_shorten_paths() {
+        // A ring-ish overlay where the shared MST forces a long detour
+        // for one source, but its own shortest-path tree is direct.
+        let mut g = Graph::new(5);
+        g.set_position(NodeId(0), 0.0, 0.0);
+        g.set_position(NodeId(1), 0.25, 0.0);
+        g.set_position(NodeId(2), 0.5, 0.0);
+        g.set_position(NodeId(3), 0.75, 0.0);
+        g.set_position(NodeId(4), 1.0, 0.0);
+        for i in 0..4u32 {
+            g.add_edge_by_distance(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        // direct (slightly heavier than the 4-hop sum, so the MST keeps
+        // the chain but a per-source tree from node 4 can use it)
+        g.add_edge(NodeId(0), NodeId(4), 1.02).unwrap();
+        let run = |per_source: bool| {
+            let cfg = CosmosConfig {
+                nodes: 5,
+                processor_fraction: 0.2,
+                per_source_trees: per_source,
+                ..CosmosConfig::default()
+            };
+            let mut sys = Cosmos::with_graph(cfg, g.clone()).unwrap();
+            sys.register_stream(
+                "S",
+                Schema::of(&[("k", AttrType::Int), ("timestamp", AttrType::Int)]),
+                StreamStats::with_rate(1.0).attr("k", AttrStats::categorical(8.0)),
+                NodeId(4),
+            )
+            .unwrap();
+            let q = sys
+                .submit_query("SELECT k FROM S [Now]", NodeId(1))
+                .unwrap();
+            sys.run((0..6).map(|i| {
+                Tuple::new(
+                    "S",
+                    Timestamp(i * 1000),
+                    vec![Value::Int(i), Value::Int(i * 1000)],
+                )
+            }))
+            .unwrap();
+            assert_eq!(sys.results(q).len(), 6);
+            sys
+        };
+        let shared = run(false);
+        let multi = run(true);
+        // both deliver; the per-source tree of origin 4 exists
+        assert!(multi.tree_for(NodeId(4)).parent(NodeId(4)).is_none());
+        assert_eq!(multi.tree_for(NodeId(4)).root(), NodeId(4));
+        // shared mode uses the MST regardless of origin
+        assert_eq!(shared.tree_for(NodeId(4)).root(), NodeId(0));
+    }
+
+    #[test]
+    fn optimize_tree_rewires_and_keeps_delivering() {
+        // Line overlay, user far from the source: the optimizer can
+        // shortcut the path (overlay links are logical).
+        let mut g = Graph::new(6);
+        for i in 0..6 {
+            g.set_position(NodeId(i), 0.15 * i as f64, 0.0);
+        }
+        for i in 0..5u32 {
+            g.add_edge_by_distance(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        let cfg = CosmosConfig {
+            nodes: 6,
+            processor_fraction: 0.17,
+            ..CosmosConfig::default()
+        };
+        let mut sys = Cosmos::with_graph(cfg, g).unwrap();
+        sys.register_stream(
+            "S",
+            Schema::of(&[("k", AttrType::Int), ("timestamp", AttrType::Int)]),
+            StreamStats::with_rate(1.0).attr("k", AttrStats::categorical(8.0)),
+            NodeId(0),
+        )
+        .unwrap();
+        let q = sys
+            .submit_query("SELECT k FROM S [Now]", NodeId(5))
+            .unwrap();
+        sys.run((0..3).map(|i| {
+            Tuple::new(
+                "S",
+                Timestamp(i * 1000),
+                vec![Value::Int(i), Value::Int(i * 1000)],
+            )
+        }))
+        .unwrap();
+        let report = sys.optimize_tree(cosmos_overlay::OptimizerConfig {
+            max_degree: 4,
+            w_delay: 1.0,
+            w_load: 0.0,
+            rounds: 4,
+        });
+        assert!(report.cost_after <= report.cost_before);
+        // delivery continues after reorganization
+        sys.run((3..6).map(|i| {
+            Tuple::new(
+                "S",
+                Timestamp(i * 1000),
+                vec![Value::Int(i), Value::Int(i * 1000)],
+            )
+        }))
+        .unwrap();
+        assert_eq!(sys.results(q).len(), 6);
+    }
+
+    #[test]
+    fn optimize_tree_noop_with_per_source_trees() {
+        let cfg = CosmosConfig {
+            nodes: 8,
+            per_source_trees: true,
+            seed: 2,
+            ..CosmosConfig::default()
+        };
+        let mut sys = Cosmos::new(cfg).unwrap();
+        let report = sys.optimize_tree(cosmos_overlay::OptimizerConfig::default());
+        assert_eq!(report.moves, 0);
+        assert_eq!(report.cost_before, report.cost_after);
+    }
+
+    #[test]
+    fn rep_change_replaces_executor_and_still_delivers() {
+        let mut sys = line_system(true);
+        let q1 = sys
+            .submit_query("SELECT k, x FROM S [Now] WHERE x <= 20.0", NodeId(2))
+            .unwrap();
+        // widening second member forces a representative change
+        let q2 = sys
+            .submit_query("SELECT k, x FROM S [Now] WHERE x <= 40.0", NodeId(3))
+            .unwrap();
+        sys.run((0..10).map(|i| s_tuple(i * 1000, i, (i * 10) as f64)))
+            .unwrap();
+        assert_eq!(sys.results(q1).len(), 3); // x = 0, 10, 20
+        assert_eq!(sys.results(q2).len(), 5); // x = 0..40
+        let gm = sys.group_manager(NodeId(0)).unwrap();
+        assert_eq!(gm.group_count(), 1);
+    }
+}

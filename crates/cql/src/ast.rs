@@ -1,0 +1,489 @@
+//! Abstract syntax tree for the CQL subset, plus the pretty-printer.
+
+use cosmos_types::{TimeDelta, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reference to an attribute, optionally qualified by a stream alias
+/// (`O.itemID`) or bare (`temperature`) when unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrRef {
+    /// Stream alias or stream name qualifying the attribute, if any.
+    pub qualifier: Option<String>,
+    /// The attribute name.
+    pub name: String,
+}
+
+impl AttrRef {
+    /// An unqualified reference.
+    pub fn bare(name: impl Into<String>) -> Self {
+        AttrRef {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// A qualified reference.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        AttrRef {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// An aggregate function usable in a `SELECT` list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(attr)`.
+    Count,
+    /// `SUM(attr)`.
+    Sum,
+    /// `AVG(attr)`.
+    Avg,
+    /// `MIN(attr)`.
+    Min,
+    /// `MAX(attr)`.
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One item of a `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*` — every attribute of every input stream.
+    Star,
+    /// `alias.*` — every attribute of one input stream.
+    QualifiedStar(String),
+    /// A plain attribute reference.
+    Attr(AttrRef),
+    /// An aggregate over an attribute (`None` argument means `COUNT(*)`).
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Its argument; `None` only for `COUNT(*)`.
+        arg: Option<AttrRef>,
+    },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => f.write_str("*"),
+            SelectItem::QualifiedStar(q) => write!(f, "{q}.*"),
+            SelectItem::Attr(a) => write!(f, "{a}"),
+            SelectItem::Agg { func, arg: Some(a) } => write!(f, "{func}({a})"),
+            SelectItem::Agg { func, arg: None } => write!(f, "{func}(*)"),
+        }
+    }
+}
+
+/// A CQL time-based sliding-window specification.
+///
+/// `w(T)` in the paper: `Now` is `T = 0`, `Unbounded` is `T = ∞`, and
+/// `Range d` is `T = d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// `[Now]`: only tuples with the current timestamp.
+    Now,
+    /// `[Unbounded]`: the whole history of the stream.
+    Unbounded,
+    /// `[Range d]`: tuples that arrived within the last `d` time units.
+    Range(TimeDelta),
+}
+
+impl WindowSpec {
+    /// The window size `T` as a [`TimeDelta`] (`Now` → 0, `Unbounded` → ∞).
+    pub fn size(self) -> TimeDelta {
+        match self {
+            WindowSpec::Now => TimeDelta::ZERO,
+            WindowSpec::Unbounded => TimeDelta::INFINITE,
+            WindowSpec::Range(d) => d,
+        }
+    }
+
+    /// Window specification for a given size (inverse of [`size`](Self::size)).
+    pub fn from_size(size: TimeDelta) -> Self {
+        if size == TimeDelta::ZERO {
+            WindowSpec::Now
+        } else if size.is_infinite() {
+            WindowSpec::Unbounded
+        } else {
+            WindowSpec::Range(size)
+        }
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowSpec::Now => f.write_str("[Now]"),
+            WindowSpec::Unbounded => f.write_str("[Unbounded]"),
+            WindowSpec::Range(d) => {
+                let ms = d.millis();
+                if ms % 3_600_000 == 0 && ms != 0 {
+                    write!(f, "[Range {} Hour]", ms / 3_600_000)
+                } else if ms % 60_000 == 0 && ms != 0 {
+                    write!(f, "[Range {} Minute]", ms / 60_000)
+                } else if ms % 1_000 == 0 && ms != 0 {
+                    write!(f, "[Range {} Second]", ms / 1_000)
+                } else {
+                    write!(f, "[Range {ms} Millisecond]")
+                }
+            }
+        }
+    }
+}
+
+/// One stream in a `FROM` clause, with its window and optional alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamRef {
+    /// Name of the stream.
+    pub stream: String,
+    /// Alias used to qualify attribute references (defaults to the
+    /// stream name when absent).
+    pub alias: Option<String>,
+    /// The window applied to the stream.
+    pub window: WindowSpec,
+}
+
+impl StreamRef {
+    /// The name that qualifies this stream's attributes in the query.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.stream)
+    }
+}
+
+impl fmt::Display for StreamRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.stream, self.window)?;
+        if let Some(a) = &self.alias {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A comparison operand: attribute or constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// An attribute reference.
+    Attr(AttrRef),
+    /// A literal constant.
+    Const(Value),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr(a) => write!(f, "{a}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with its sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluate the operator on an ordering produced by a comparison.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One atomic predicate of a `WHERE` conjunction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `left op right`.
+    Cmp {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// `attr BETWEEN lo AND hi` (inclusive on both ends).
+    Between {
+        /// The tested attribute.
+        attr: AttrRef,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            Predicate::Between { attr, lo, hi } => {
+                write!(f, "{attr} BETWEEN {lo} AND {hi}")
+            }
+        }
+    }
+}
+
+/// A parsed continuous query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// `SELECT DISTINCT` flag.
+    pub distinct: bool,
+    /// The `SELECT` list (never empty).
+    pub select: Vec<SelectItem>,
+    /// The `FROM` clause (never empty).
+    pub from: Vec<StreamRef>,
+    /// The `WHERE` conjunction (possibly empty).
+    pub predicates: Vec<Predicate>,
+    /// The `GROUP BY` attributes (possibly empty).
+    pub group_by: Vec<AttrRef>,
+}
+
+impl Query {
+    /// Whether the query contains any aggregate select item.
+    pub fn is_aggregate(&self) -> bool {
+        self.select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Agg { .. }))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, s) in self.select.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        f.write_str(" FROM ")?;
+        for (i, s) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        if !self.predicates.is_empty() {
+            f.write_str(" WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_size_roundtrip() {
+        for w in [
+            WindowSpec::Now,
+            WindowSpec::Unbounded,
+            WindowSpec::Range(TimeDelta::from_hours(3)),
+        ] {
+            assert_eq!(WindowSpec::from_size(w.size()), w);
+        }
+        assert_eq!(WindowSpec::Now.size(), TimeDelta::ZERO);
+        assert!(WindowSpec::Unbounded.size().is_infinite());
+    }
+
+    #[test]
+    fn window_display_uses_natural_units() {
+        assert_eq!(
+            WindowSpec::Range(TimeDelta::from_hours(5)).to_string(),
+            "[Range 5 Hour]"
+        );
+        assert_eq!(
+            WindowSpec::Range(TimeDelta::from_secs(90)).to_string(),
+            "[Range 90 Second]"
+        );
+        assert_eq!(
+            WindowSpec::Range(TimeDelta::from_millis(250)).to_string(),
+            "[Range 250 Millisecond]"
+        );
+        assert_eq!(WindowSpec::Now.to_string(), "[Now]");
+    }
+
+    #[test]
+    fn cmp_op_flip_and_eval() {
+        use std::cmp::Ordering::*;
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flipped(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(!CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Ne.eval(Less));
+        assert!(!CmpOp::Ne.eval(Equal));
+    }
+
+    #[test]
+    fn query_display_reads_like_cql() {
+        let q = Query {
+            distinct: false,
+            select: vec![
+                SelectItem::QualifiedStar("O".into()),
+                SelectItem::Attr(AttrRef::qualified("C", "buyerID")),
+            ],
+            from: vec![
+                StreamRef {
+                    stream: "OpenAuction".into(),
+                    alias: Some("O".into()),
+                    window: WindowSpec::Range(TimeDelta::from_hours(3)),
+                },
+                StreamRef {
+                    stream: "ClosedAuction".into(),
+                    alias: Some("C".into()),
+                    window: WindowSpec::Now,
+                },
+            ],
+            predicates: vec![Predicate::Cmp {
+                left: Operand::Attr(AttrRef::qualified("O", "itemID")),
+                op: CmpOp::Eq,
+                right: Operand::Attr(AttrRef::qualified("C", "itemID")),
+            }],
+            group_by: vec![],
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT O.*, C.buyerID FROM OpenAuction [Range 3 Hour] O, \
+             ClosedAuction [Now] C WHERE O.itemID = C.itemID"
+        );
+        assert!(!q.is_aggregate());
+    }
+
+    #[test]
+    fn aggregate_display() {
+        let q = Query {
+            distinct: true,
+            select: vec![
+                SelectItem::Agg {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+                SelectItem::Agg {
+                    func: AggFunc::Avg,
+                    arg: Some(AttrRef::bare("temp")),
+                },
+            ],
+            from: vec![StreamRef {
+                stream: "S".into(),
+                alias: None,
+                window: WindowSpec::Unbounded,
+            }],
+            predicates: vec![],
+            group_by: vec![AttrRef::bare("station")],
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT DISTINCT COUNT(*), AVG(temp) FROM S [Unbounded] GROUP BY station"
+        );
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn stream_ref_binding() {
+        let s = StreamRef {
+            stream: "S".into(),
+            alias: Some("a".into()),
+            window: WindowSpec::Now,
+        };
+        assert_eq!(s.binding(), "a");
+        let s2 = StreamRef {
+            stream: "S".into(),
+            alias: None,
+            window: WindowSpec::Now,
+        };
+        assert_eq!(s2.binding(), "S");
+    }
+}

@@ -1,0 +1,279 @@
+//! Hand-written lexer for the CQL subset.
+
+use crate::token::{keyword, Token, TokenKind};
+use cosmos_types::{CosmosError, Result, Value};
+
+/// Lex a CQL statement into tokens (with a trailing [`TokenKind::Eof`]).
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::with_capacity(32);
+        loop {
+            self.skip_ws();
+            let offset = self.pos;
+            let Some(&b) = self.bytes.get(self.pos) else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    offset,
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b',' => self.one(TokenKind::Comma),
+                b'.' => self.one(TokenKind::Dot),
+                b'*' => self.one(TokenKind::Star),
+                b'(' => self.one(TokenKind::LParen),
+                b')' => self.one(TokenKind::RParen),
+                b'[' => self.one(TokenKind::LBracket),
+                b']' => self.one(TokenKind::RBracket),
+                b'=' => self.one(TokenKind::Eq),
+                b'!' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        TokenKind::Ne
+                    } else {
+                        return Err(self.err(offset, "expected '=' after '!'"));
+                    }
+                }
+                b'<' => match self.bytes.get(self.pos + 1) {
+                    Some(&b'=') => {
+                        self.pos += 2;
+                        TokenKind::Le
+                    }
+                    Some(&b'>') => {
+                        self.pos += 2;
+                        TokenKind::Ne
+                    }
+                    _ => self.one(TokenKind::Lt),
+                },
+                b'>' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        TokenKind::Ge
+                    } else {
+                        self.one(TokenKind::Gt)
+                    }
+                }
+                b'\'' => self.string(offset)?,
+                b'-' | b'0'..=b'9' => self.number(offset)?,
+                b if b.is_ascii_alphabetic() || b == b'_' => self.ident(),
+                other => {
+                    return Err(
+                        self.err(offset, &format!("unexpected character '{}'", other as char))
+                    )
+                }
+            };
+            out.push(Token { kind, offset });
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn one(&mut self, kind: TokenKind) -> TokenKind {
+        self.pos += 1;
+        kind
+    }
+
+    fn string(&mut self, offset: usize) -> Result<TokenKind> {
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\'' {
+                let s = &self.src[start..self.pos];
+                self.pos += 1;
+                return Ok(TokenKind::Literal(Value::str(s)));
+            }
+            self.pos += 1;
+        }
+        Err(self.err(offset, "unterminated string literal"))
+    }
+
+    fn number(&mut self, offset: usize) -> Result<TokenKind> {
+        let start = self.pos;
+        if self.bytes[self.pos] == b'-' {
+            self.pos += 1;
+            if !self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.err(offset, "expected digits after '-'"));
+            }
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() {
+                self.pos += 1;
+            } else if b == b'.'
+                && !is_float
+                && self
+                    .bytes
+                    .get(self.pos + 1)
+                    .is_some_and(|c| c.is_ascii_digit())
+            {
+                is_float = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(offset, "invalid float literal"))?;
+            Ok(TokenKind::Literal(Value::Float(v)))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(offset, "integer literal out of range"))?;
+            Ok(TokenKind::Literal(Value::Int(v)))
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+
+    fn err(&self, offset: usize, msg: &str) -> CosmosError {
+        CosmosError::Parse(format!("at byte {offset}: {msg}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_table1_query_fragment() {
+        let ks = kinds("SELECT O.* FROM OpenAuction [Range 3 Hour] O");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Select,
+                TokenKind::Ident("O".into()),
+                TokenKind::Dot,
+                TokenKind::Star,
+                TokenKind::From,
+                TokenKind::Ident("OpenAuction".into()),
+                TokenKind::LBracket,
+                TokenKind::Range,
+                TokenKind::Literal(Value::Int(3)),
+                TokenKind::Hour,
+                TokenKind::RBracket,
+                TokenKind::Ident("O".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        assert_eq!(
+            kinds("a >= 1 AND b <> 2 != <="),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ge,
+                TokenKind::Literal(Value::Int(1)),
+                TokenKind::And,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ne,
+                TokenKind::Literal(Value::Int(2)),
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            kinds("10 -3 2.5 -0.25"),
+            vec![
+                TokenKind::Literal(Value::Int(10)),
+                TokenKind::Literal(Value::Int(-3)),
+                TokenKind::Literal(Value::Float(2.5)),
+                TokenKind::Literal(Value::Float(-0.25)),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_integer_is_not_a_float_without_digits() {
+        // "R.A" style refs where the qualifier ends in a digit boundary.
+        assert_eq!(
+            kinds("3.x"),
+            vec![
+                TokenKind::Literal(Value::Int(3)),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_and_errors() {
+        assert_eq!(
+            kinds("'abc'"),
+            vec![TokenKind::Literal(Value::str("abc")), TokenKind::Eof]
+        );
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("§").is_err());
+        assert!(tokenize("- 3").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let ts = tokenize("SELECT a").unwrap();
+        assert_eq!(ts[0].offset, 0);
+        assert_eq!(ts[1].offset, 7);
+    }
+
+    #[test]
+    fn keywords_fold_case() {
+        assert_eq!(
+            kinds("select From WHERE"),
+            vec![
+                TokenKind::Select,
+                TokenKind::From,
+                TokenKind::Where,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

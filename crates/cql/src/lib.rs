@@ -1,0 +1,135 @@
+//! A CQL subset: the continuous-query language used by COSMOS.
+//!
+//! The paper specifies user queries "in high level SQL-like language
+//! statements such as CQL" (STREAM's continuous query language). This
+//! crate implements the select-project-join-aggregate fragment with
+//! time-based sliding windows that Section 4 of the paper reasons about:
+//!
+//! ```sql
+//! SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp
+//! FROM   OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C
+//! WHERE  O.itemID = C.itemID AND O.start_price > 10
+//! ```
+//!
+//! Supported surface:
+//! * `SELECT` lists of attributes, `*`, `alias.*`, and aggregates
+//!   (`COUNT`, `SUM`, `AVG`, `MIN`, `MAX`) with optional `GROUP BY`;
+//! * `FROM` lists of streams with CQL window specifications
+//!   `[Now]`, `[Unbounded]`, `[Range n unit]` and optional aliases;
+//! * `WHERE` conjunctions of comparison predicates between attributes and
+//!   constants (selections) or attributes and attributes (joins), plus
+//!   `BETWEEN`.
+//!
+//! The parser is a hand-written recursive-descent parser over a
+//! hand-written lexer; the AST pretty-printer round-trips through the
+//! parser (property-tested), which the query layer relies on when it
+//! ships reformulated *representative queries* to remote processors as
+//! text.
+
+mod ast;
+mod lexer;
+mod parser;
+mod token;
+
+pub use ast::{
+    AggFunc, AttrRef, CmpOp, Operand, Predicate, Query, SelectItem, StreamRef, WindowSpec,
+};
+pub use lexer::tokenize;
+pub use parser::parse_query;
+pub use token::{is_keyword, Token, TokenKind};
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_ident() -> impl Strategy<Value = String> {
+        "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_filter("not a keyword", |s| !token::is_keyword(s))
+    }
+
+    fn arb_attr() -> impl Strategy<Value = AttrRef> {
+        (proptest::option::of(arb_ident()), arb_ident())
+            .prop_map(|(qualifier, name)| AttrRef { qualifier, name })
+    }
+
+    fn arb_window() -> impl Strategy<Value = WindowSpec> {
+        prop_oneof![
+            Just(WindowSpec::Now),
+            Just(WindowSpec::Unbounded),
+            (1i64..10_000).prop_map(|s| WindowSpec::Range(cosmos_types::TimeDelta::from_secs(s))),
+            (1i64..96).prop_map(|h| WindowSpec::Range(cosmos_types::TimeDelta::from_hours(h))),
+        ]
+    }
+
+    fn arb_operand() -> impl Strategy<Value = Operand> {
+        prop_oneof![
+            arb_attr().prop_map(Operand::Attr),
+            (-1000i64..1000).prop_map(|i| Operand::Const(cosmos_types::Value::Int(i))),
+            (-100i64..100).prop_map(|i| Operand::Const(cosmos_types::Value::Float(i as f64 / 4.0))),
+            "[a-z]{1,6}".prop_map(|s| Operand::Const(cosmos_types::Value::str(s))),
+        ]
+    }
+
+    fn arb_predicate() -> impl Strategy<Value = Predicate> {
+        let cmp = (
+            arb_attr(),
+            prop_oneof![
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne),
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge)
+            ],
+            arb_operand(),
+        )
+            .prop_map(|(a, op, right)| Predicate::Cmp {
+                left: Operand::Attr(a),
+                op,
+                right,
+            });
+        let between =
+            (arb_attr(), -1000i64..0, 0i64..1000).prop_map(|(a, lo, hi)| Predicate::Between {
+                attr: a,
+                lo: cosmos_types::Value::Int(lo),
+                hi: cosmos_types::Value::Int(hi),
+            });
+        prop_oneof![cmp, between]
+    }
+
+    fn arb_query() -> impl Strategy<Value = Query> {
+        (
+            any::<bool>(),
+            proptest::collection::vec(arb_attr().prop_map(SelectItem::Attr), 1..4),
+            proptest::collection::vec((arb_ident(), arb_window()), 1..3),
+            proptest::collection::vec(arb_predicate(), 0..4),
+        )
+            .prop_map(|(distinct, select, from, predicates)| Query {
+                distinct,
+                select,
+                from: from
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (stream, window))| StreamRef {
+                        stream,
+                        alias: Some(format!("a{i}")),
+                        window,
+                    })
+                    .collect(),
+                predicates,
+                group_by: vec![],
+            })
+    }
+
+    proptest! {
+        /// Pretty-printing then re-parsing yields the same AST. The query
+        /// layer ships representative queries as text, so this is a
+        /// correctness-critical property, not a convenience.
+        #[test]
+        fn print_parse_roundtrip(q in arb_query()) {
+            let text = q.to_string();
+            let q2 = parse_query(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+            prop_assert_eq!(q, q2);
+        }
+    }
+}

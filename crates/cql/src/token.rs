@@ -1,0 +1,175 @@
+//! Tokens produced by the CQL lexer.
+
+use cosmos_types::Value;
+use std::fmt;
+
+/// The kind (and payload) of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Keywords (case-insensitive in the source text).
+    Select,
+    Distinct,
+    From,
+    Where,
+    And,
+    Group,
+    By,
+    As,
+    Between,
+    Range,
+    Now,
+    Unbounded,
+    // Aggregate function names.
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    // Time units inside window specifications.
+    Millisecond,
+    Second,
+    Minute,
+    Hour,
+    Day,
+    // Literals and identifiers.
+    Ident(String),
+    Literal(Value),
+    // Punctuation and operators.
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token with its byte offset in the source, for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the source text.
+    pub offset: usize,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Select => write!(f, "SELECT"),
+            TokenKind::Distinct => write!(f, "DISTINCT"),
+            TokenKind::From => write!(f, "FROM"),
+            TokenKind::Where => write!(f, "WHERE"),
+            TokenKind::And => write!(f, "AND"),
+            TokenKind::Group => write!(f, "GROUP"),
+            TokenKind::By => write!(f, "BY"),
+            TokenKind::As => write!(f, "AS"),
+            TokenKind::Between => write!(f, "BETWEEN"),
+            TokenKind::Range => write!(f, "Range"),
+            TokenKind::Now => write!(f, "Now"),
+            TokenKind::Unbounded => write!(f, "Unbounded"),
+            TokenKind::Count => write!(f, "COUNT"),
+            TokenKind::Sum => write!(f, "SUM"),
+            TokenKind::Avg => write!(f, "AVG"),
+            TokenKind::Min => write!(f, "MIN"),
+            TokenKind::Max => write!(f, "MAX"),
+            TokenKind::Millisecond => write!(f, "Millisecond"),
+            TokenKind::Second => write!(f, "Second"),
+            TokenKind::Minute => write!(f, "Minute"),
+            TokenKind::Hour => write!(f, "Hour"),
+            TokenKind::Day => write!(f, "Day"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Literal(v) => write!(f, "{v}"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Map an identifier to a keyword token, if it is one (case-insensitive).
+pub(crate) fn keyword(ident: &str) -> Option<TokenKind> {
+    // Keywords are few; a linear match on the uppercased text is fine.
+    let up = ident.to_ascii_uppercase();
+    let kind = match up.as_str() {
+        "SELECT" => TokenKind::Select,
+        "DISTINCT" => TokenKind::Distinct,
+        "FROM" => TokenKind::From,
+        "WHERE" => TokenKind::Where,
+        "AND" => TokenKind::And,
+        "GROUP" => TokenKind::Group,
+        "BY" => TokenKind::By,
+        "AS" => TokenKind::As,
+        "BETWEEN" => TokenKind::Between,
+        "RANGE" => TokenKind::Range,
+        "NOW" => TokenKind::Now,
+        "UNBOUNDED" => TokenKind::Unbounded,
+        "COUNT" => TokenKind::Count,
+        "SUM" => TokenKind::Sum,
+        "AVG" => TokenKind::Avg,
+        "MIN" => TokenKind::Min,
+        "MAX" => TokenKind::Max,
+        "MILLISECOND" | "MILLISECONDS" => TokenKind::Millisecond,
+        "SECOND" | "SECONDS" => TokenKind::Second,
+        "MINUTE" | "MINUTES" => TokenKind::Minute,
+        "HOUR" | "HOURS" => TokenKind::Hour,
+        "DAY" | "DAYS" => TokenKind::Day,
+        "TRUE" => TokenKind::Literal(Value::Bool(true)),
+        "FALSE" => TokenKind::Literal(Value::Bool(false)),
+        "NULL" => TokenKind::Literal(Value::Null),
+        _ => return None,
+    };
+    Some(kind)
+}
+
+/// Whether `ident` would lex as a keyword rather than an identifier.
+pub fn is_keyword(ident: &str) -> bool {
+    keyword(ident).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(keyword("select"), Some(TokenKind::Select));
+        assert_eq!(keyword("SeLeCt"), Some(TokenKind::Select));
+        assert_eq!(keyword("HOURS"), Some(TokenKind::Hour));
+        assert_eq!(keyword("itemID"), None);
+        assert!(is_keyword("between"));
+        assert!(!is_keyword("OpenAuction"));
+    }
+
+    #[test]
+    fn boolean_and_null_literals() {
+        assert_eq!(keyword("true"), Some(TokenKind::Literal(Value::Bool(true))));
+        assert_eq!(keyword("NULL"), Some(TokenKind::Literal(Value::Null)));
+    }
+
+    #[test]
+    fn display_of_operators() {
+        assert_eq!(TokenKind::Ge.to_string(), ">=");
+        assert_eq!(TokenKind::Ne.to_string(), "!=");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "x");
+    }
+}

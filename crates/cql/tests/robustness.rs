@@ -1,0 +1,67 @@
+//! Parser robustness: no input, however malformed, may panic the
+//! lexer/parser; errors must be reported as `CosmosError::Parse`.
+
+use cosmos_cql::{parse_query, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn tokenize_never_panics(s in ".{0,200}") {
+        let _ = tokenize(&s);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parse_never_panics(s in ".{0,200}") {
+        let _ = parse_query(&s);
+    }
+
+    /// The parser never panics on *almost*-valid input: a valid query
+    /// with random mutations applied.
+    #[test]
+    fn parse_never_panics_on_mutations(
+        cut_start in 0usize..80,
+        cut_len in 0usize..20,
+        insert in "[ a-zA-Z0-9_.,<>=!*()\\[\\]']{0,8}",
+    ) {
+        let base = "SELECT O.itemID, AVG(x) FROM OpenAuction [Range 3 Hour] O, C [Now] \
+                    WHERE O.itemID = C.itemID AND x BETWEEN 1 AND 10 GROUP BY O.itemID";
+        let mut s = base.to_string();
+        let start = cut_start.min(s.len());
+        let end = (start + cut_len).min(s.len());
+        // keep UTF-8 boundaries intact (ASCII base string)
+        s.replace_range(start..end, &insert);
+        let _ = parse_query(&s);
+    }
+
+    /// Every error carries a parse/analyze category and a byte offset.
+    #[test]
+    fn errors_are_parse_errors(s in "[a-z]{1,12}") {
+        if let Err(e) = parse_query(&s) {
+            prop_assert_eq!(e.kind(), "parse");
+            prop_assert!(e.message().contains("at byte"), "{}", e);
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_like_inputs_do_not_recurse() {
+    // The grammar is iterative (AND-lists, comma-lists); long inputs
+    // must not blow the stack.
+    let mut q = String::from("SELECT a FROM S [Now] WHERE a = 1");
+    for i in 0..20_000 {
+        q.push_str(&format!(" AND a = {i}"));
+    }
+    let parsed = parse_query(&q).unwrap();
+    assert_eq!(parsed.predicates.len(), 20_001);
+}
+
+#[test]
+fn long_select_lists() {
+    let cols: Vec<String> = (0..5_000).map(|i| format!("c{i}")).collect();
+    let q = format!("SELECT {} FROM S [Now]", cols.join(", "));
+    assert_eq!(parse_query(&q).unwrap().select.len(), 5_000);
+}

@@ -1,0 +1,196 @@
+//! Weighted undirected overlay graphs with planar node positions.
+
+use cosmos_types::{CosmosError, NodeId, Result};
+
+/// An undirected overlay graph.
+///
+/// Nodes are dense ids `0..n`. Each node has a position in the unit
+/// square; link weights default to the Euclidean distance between the
+/// endpoints, which is the BRITE convention for link delay.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, f64)>>,
+    pos: Vec<(f64, f64)>,
+    edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph of `n` nodes placed at the origin.
+    pub fn new(n: usize) -> Graph {
+        Graph {
+            adj: vec![Vec::new(); n],
+            pos: vec![(0.0, 0.0); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Set the planar position of a node.
+    pub fn set_position(&mut self, u: NodeId, x: f64, y: f64) {
+        self.pos[u.index()] = (x, y);
+    }
+
+    /// The planar position of a node.
+    pub fn position(&self, u: NodeId) -> (f64, f64) {
+        self.pos[u.index()]
+    }
+
+    /// Euclidean distance between two nodes' positions (the *potential*
+    /// delay of an overlay link between them, whether or not one exists).
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        let (x1, y1) = self.pos[u.index()];
+        let (x2, y2) = self.pos[v.index()];
+        ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+    }
+
+    /// Add an undirected edge with an explicit weight.
+    ///
+    /// Rejects self-loops and duplicate edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<()> {
+        if u == v {
+            return Err(CosmosError::Overlay(format!("self loop at {u}")));
+        }
+        let (ui, vi) = (u.index(), v.index());
+        if ui >= self.adj.len() || vi >= self.adj.len() {
+            return Err(CosmosError::Overlay(format!(
+                "edge {u}-{v} references unknown node (n={})",
+                self.adj.len()
+            )));
+        }
+        if self.adj[ui].iter().any(|(n, _)| *n == v) {
+            return Err(CosmosError::Overlay(format!("duplicate edge {u}-{v}")));
+        }
+        self.adj[ui].push((v, w));
+        self.adj[vi].push((u, w));
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// Add an edge weighted by the endpoint distance.
+    pub fn add_edge_by_distance(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        let w = self.distance(u, v).max(f64::EPSILON);
+        self.add_edge(u, v, w)
+    }
+
+    /// Whether the edge `u - v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj
+            .get(u.index())
+            .is_some_and(|ns| ns.iter().any(|(n, _)| *n == v))
+    }
+
+    /// Weight of the edge `u - v`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.adj
+            .get(u.index())?
+            .iter()
+            .find(|(n, _)| *n == v)
+            .map(|(_, w)| *w)
+    }
+
+    /// Neighbors of `u` with edge weights.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[u.index()]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Degree histogram: `hist[d]` = number of nodes of degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let max = self.adj.iter().map(Vec::len).max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for ns in &self.adj {
+            hist[ns.len()] += 1;
+        }
+        hist
+    }
+
+    /// Whether every node is reachable from node 0.
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        crate::paths::bfs_reachable(self, NodeId(0)).len() == self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.5).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.edge_weight(NodeId(1), NodeId(2)), Some(2.5));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(2)), None);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.nodes().count(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = Graph::new(2);
+        assert!(g.add_edge(NodeId(0), NodeId(0), 1.0).is_err());
+        assert!(g.add_edge(NodeId(0), NodeId(5), 1.0).is_err());
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        assert!(g.add_edge(NodeId(1), NodeId(0), 2.0).is_err());
+    }
+
+    #[test]
+    fn distance_follows_positions() {
+        let mut g = Graph::new(2);
+        g.set_position(NodeId(0), 0.0, 0.0);
+        g.set_position(NodeId(1), 3.0, 4.0);
+        assert!((g.distance(NodeId(0), NodeId(1)) - 5.0).abs() < 1e-12);
+        g.add_edge_by_distance(NodeId(0), NodeId(1)).unwrap();
+        assert!((g.edge_weight(NodeId(0), NodeId(1)).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(g.position(NodeId(1)), (3.0, 4.0));
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        assert!(!g.is_connected());
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        assert!(g.is_connected());
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(3), 1.0).unwrap();
+        let h = g.degree_histogram();
+        // node 0 has degree 3, nodes 1..3 have degree 1
+        assert_eq!(h, vec![0, 3, 0, 1]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Prim's minimum spanning tree, producing a dissemination [`Tree`].
+
+use crate::graph::Graph;
+use crate::tree::Tree;
+use cosmos_types::{CosmosError, NodeId, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Candidate {
+    weight: f64,
+    node: NodeId,
+    parent: NodeId,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .weight
+            .partial_cmp(&self.weight)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Build the minimum spanning tree of a connected graph, rooted at
+/// `root` — "a minimum spanning tree is constructed as the dissemination
+/// tree" (Section 5 of the paper).
+pub fn minimum_spanning_tree(g: &Graph, root: NodeId) -> Result<Tree> {
+    let n = g.node_count();
+    if root.index() >= n {
+        return Err(CosmosError::Overlay(format!("unknown root {root}")));
+    }
+    let mut in_tree = vec![false; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    in_tree[root.index()] = true;
+    let mut joined = 1usize;
+    for &(v, w) in g.neighbors(root) {
+        heap.push(Candidate {
+            weight: w,
+            node: v,
+            parent: root,
+        });
+    }
+    while let Some(Candidate {
+        node, parent: p, ..
+    }) = heap.pop()
+    {
+        if in_tree[node.index()] {
+            continue;
+        }
+        in_tree[node.index()] = true;
+        parent[node.index()] = Some(p);
+        joined += 1;
+        for &(v, w) in g.neighbors(node) {
+            if !in_tree[v.index()] {
+                heap.push(Candidate {
+                    weight: w,
+                    node: v,
+                    parent: node,
+                });
+            }
+        }
+    }
+    if joined != n {
+        return Err(CosmosError::Overlay(format!(
+            "graph is disconnected: spanned {joined} of {n} nodes"
+        )));
+    }
+    let edges: Vec<(NodeId, NodeId)> = parent
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.map(|p| (p, NodeId(i as u32))))
+        .collect();
+    Tree::from_edges(n, root, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_minimum_edges() {
+        // triangle with one heavy edge: MST must avoid it
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 10.0).unwrap();
+        let t = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(t.root(), NodeId(0));
+    }
+
+    #[test]
+    fn total_weight_is_minimal_on_known_graph() {
+        // classic 4-node example
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 4.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 6.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 3.0).unwrap();
+        let t = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+        let total: f64 = t.edges().map(|(p, c)| g.edge_weight(p, c).unwrap()).sum();
+        assert!((total - 6.0).abs() < 1e-12); // 1 + 2 + 3
+    }
+
+    #[test]
+    fn rejects_disconnected_graph_and_bad_root() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let err = minimum_spanning_tree(&g, NodeId(0)).unwrap_err();
+        assert_eq!(err.kind(), "overlay");
+        assert!(minimum_spanning_tree(&g, NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = Graph::new(1);
+        let t = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.parent(NodeId(0)), None);
+    }
+}

@@ -1,0 +1,314 @@
+//! Adaptive reorganization of dissemination trees.
+//!
+//! Section 3.2: "The overlay network optimizer periodically monitors the
+//! status of the network and performs the reorganization of the overlay
+//! network if necessary. … By using a configurable cost function defined
+//! on these parameters, it estimates whether a local reorganization of
+//! the overlay trees is beneficial [18, 19]."
+//!
+//! We implement the cost function as a weighted sum of
+//!
+//! * **delay cost** — each consumer node `u` with demand `d(u)` pays
+//!   `d(u) ×` (tree-path delay from the root to `u`), and
+//! * **load cost** — each node pays a quadratic penalty for tree degree
+//!   beyond its capacity (`max_degree`), modelling server overload.
+//!
+//! and the local reorganization as hill-climbing **subtree
+//! reattachment**: a node (with its whole subtree) may move from its
+//! parent to its grandparent (promotion), to a sibling (demotion), or to
+//! any node on its root path — the same move repertoire as the
+//! coherency-preserving tree transformations of ref \[18\]. A move is
+//! applied only when it strictly lowers the global cost; links take
+//! their delay from node positions, so any overlay pair may become a
+//! tree edge (overlay links are logical).
+
+use crate::graph::Graph;
+use crate::tree::Tree;
+use cosmos_types::NodeId;
+
+/// Tunable parameters of the optimizer's cost function.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    /// Tree degree a node sustains without penalty.
+    pub max_degree: usize,
+    /// Weight of the delay term.
+    pub w_delay: f64,
+    /// Weight of the load (degree-overflow) term.
+    pub w_load: f64,
+    /// Hill-climbing sweeps over all nodes.
+    pub rounds: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            max_degree: 8,
+            w_delay: 1.0,
+            w_load: 0.5,
+            rounds: 4,
+        }
+    }
+}
+
+/// Outcome of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeReport {
+    /// Cost before any move.
+    pub cost_before: f64,
+    /// Cost after the final move.
+    pub cost_after: f64,
+    /// Number of accepted reattachments.
+    pub moves: usize,
+}
+
+impl OptimizeReport {
+    /// Fractional improvement `1 − after/before` (0 when nothing moved).
+    pub fn improvement(&self) -> f64 {
+        if self.cost_before <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.cost_after / self.cost_before
+        }
+    }
+}
+
+/// The adaptive dissemination-tree optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct TreeOptimizer {
+    cfg: OptimizerConfig,
+}
+
+impl TreeOptimizer {
+    /// An optimizer with the given configuration.
+    pub fn new(cfg: OptimizerConfig) -> TreeOptimizer {
+        TreeOptimizer { cfg }
+    }
+
+    /// Total cost of a tree under per-node consumer demand.
+    ///
+    /// `demand[u]` is the rate at which node `u` consumes data from the
+    /// root (0 for pure forwarders).
+    pub fn cost(&self, g: &Graph, tree: &Tree, demand: &[f64]) -> f64 {
+        let n = tree.node_count();
+        // Root-path delay per node, computed by preorder accumulation.
+        let mut delay = vec![0.0f64; n];
+        let mut stack = vec![tree.root()];
+        while let Some(u) = stack.pop() {
+            for &c in tree.children(u) {
+                delay[c.index()] = delay[u.index()] + g.distance(u, c).max(f64::EPSILON);
+                stack.push(c);
+            }
+        }
+        let delay_cost: f64 = (0..n).map(|i| demand[i] * delay[i]).sum();
+        let load_cost: f64 = (0..n)
+            .map(|i| {
+                let over = tree
+                    .tree_degree(NodeId(i as u32))
+                    .saturating_sub(self.cfg.max_degree);
+                (over * over) as f64
+            })
+            .sum();
+        self.cfg.w_delay * delay_cost + self.cfg.w_load * load_cost
+    }
+
+    /// Candidate new parents for `u`: grandparent, siblings, and all
+    /// ancestors up to the root.
+    fn candidates(tree: &Tree, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let Some(parent) = tree.parent(u) else {
+            return out;
+        };
+        if let Some(gp) = tree.parent(parent) {
+            out.push(gp);
+            // remaining ancestors
+            let mut a = gp;
+            while let Some(next) = tree.parent(a) {
+                out.push(next);
+                a = next;
+            }
+        }
+        for &s in tree.children(parent) {
+            if s != u {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Run hill-climbing reorganization, mutating `tree` in place.
+    pub fn optimize(&self, g: &Graph, tree: &mut Tree, demand: &[f64]) -> OptimizeReport {
+        assert_eq!(demand.len(), tree.node_count(), "demand per node required");
+        let cost_before = self.cost(g, tree, demand);
+        let mut current = cost_before;
+        let mut moves = 0usize;
+        for _ in 0..self.cfg.rounds {
+            let mut improved = false;
+            for i in 0..tree.node_count() {
+                let u = NodeId(i as u32);
+                if tree.parent(u).is_none() {
+                    continue;
+                }
+                let old_parent = tree.parent(u).unwrap();
+                let mut best: Option<(NodeId, f64)> = None;
+                for cand in Self::candidates(tree, u) {
+                    if tree.reattach(u, cand).is_err() {
+                        continue;
+                    }
+                    let c = self.cost(g, tree, demand);
+                    if c + 1e-12 < best.map_or(current, |(_, bc)| bc) {
+                        best = Some((cand, c));
+                    }
+                    tree.reattach(u, old_parent).expect("revert move");
+                }
+                if let Some((cand, c)) = best {
+                    tree.reattach(u, cand).expect("apply best move");
+                    current = c;
+                    moves += 1;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        OptimizeReport {
+            cost_before,
+            cost_after: current,
+            moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::minimum_spanning_tree;
+    use crate::topology::{generate, TopologyKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A deliberately bad tree: a long chain although the root sits next
+    /// to every consumer. The optimizer should flatten it.
+    #[test]
+    fn flattens_a_degenerate_chain() {
+        let mut g = Graph::new(5);
+        // root at the center, consumers on a circle around it: hopping
+        // consumer-to-consumer is strictly worse than direct links
+        g.set_position(NodeId(0), 0.5, 0.5);
+        g.set_position(NodeId(1), 0.4, 0.5);
+        g.set_position(NodeId(2), 0.6, 0.5);
+        g.set_position(NodeId(3), 0.5, 0.4);
+        g.set_position(NodeId(4), 0.5, 0.6);
+        let mut tree = Tree::from_edges(
+            5,
+            NodeId(0),
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(4)),
+            ],
+        )
+        .unwrap();
+        let demand = vec![0.0, 1.0, 1.0, 1.0, 1.0];
+        let opt = TreeOptimizer::new(OptimizerConfig {
+            max_degree: 8,
+            w_delay: 1.0,
+            w_load: 0.0,
+            rounds: 8,
+        });
+        let report = opt.optimize(&g, &mut tree, &demand);
+        assert!(report.moves > 0);
+        assert!(report.cost_after < report.cost_before);
+        assert!(report.improvement() > 0.0);
+        // depth should have shrunk
+        let max_depth = (0..5).map(|i| tree.depth(NodeId(i))).max().unwrap();
+        assert!(max_depth <= 2, "tree still deep: {max_depth}");
+    }
+
+    #[test]
+    fn load_penalty_limits_fanout() {
+        // star tree exceeding capacity: with a strong load weight the
+        // optimizer must push children down to siblings.
+        let mut g = Graph::new(6);
+        for i in 0..6 {
+            g.set_position(NodeId(i), 0.1 * i as f64, 0.0);
+        }
+        let mut tree = Tree::from_edges(
+            6,
+            NodeId(0),
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(0), NodeId(3)),
+                (NodeId(0), NodeId(4)),
+                (NodeId(0), NodeId(5)),
+            ],
+        )
+        .unwrap();
+        let demand = vec![0.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let opt = TreeOptimizer::new(OptimizerConfig {
+            max_degree: 2,
+            w_delay: 0.01,
+            w_load: 10.0,
+            rounds: 10,
+        });
+        let before_deg = tree.tree_degree(NodeId(0));
+        let report = opt.optimize(&g, &mut tree, &demand);
+        assert!(tree.tree_degree(NodeId(0)) < before_deg);
+        assert!(report.cost_after < report.cost_before);
+    }
+
+    #[test]
+    fn optimum_is_a_fixpoint() {
+        // A tree the optimizer cannot improve stays untouched.
+        let mut g = Graph::new(3);
+        g.set_position(NodeId(0), 0.0, 0.0);
+        g.set_position(NodeId(1), 1.0, 0.0);
+        g.set_position(NodeId(2), 2.0, 0.0);
+        let mut tree = Tree::from_edges(
+            3,
+            NodeId(0),
+            &[(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))],
+        )
+        .unwrap();
+        let demand = vec![0.0, 1.0, 1.0];
+        let opt = TreeOptimizer::new(OptimizerConfig::default());
+        let report = opt.optimize(&g, &mut tree, &demand);
+        assert_eq!(report.moves, 0);
+        assert_eq!(report.cost_before, report.cost_after);
+        assert_eq!(report.improvement(), 0.0);
+    }
+
+    #[test]
+    fn improves_mst_under_skewed_demand() {
+        // On a random power-law overlay, MST minimizes total edge weight,
+        // not demand-weighted root-path delay; the optimizer should win.
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generate(TopologyKind::BarabasiAlbert { m: 2 }, 120, &mut rng).unwrap();
+        let mut tree = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+        let demand: Vec<f64> = (0..120)
+            .map(|i| if i % 7 == 0 { 5.0 } else { 0.1 })
+            .collect();
+        let opt = TreeOptimizer::new(OptimizerConfig {
+            max_degree: 6,
+            w_delay: 1.0,
+            w_load: 0.2,
+            rounds: 3,
+        });
+        let report = opt.optimize(&g, &mut tree, &demand);
+        assert!(
+            report.cost_after <= report.cost_before,
+            "optimizer must never worsen the tree"
+        );
+        assert!(report.improvement() > 0.05, "expected a real improvement");
+    }
+
+    #[test]
+    #[should_panic(expected = "demand per node required")]
+    fn demand_length_is_checked() {
+        let g = Graph::new(2);
+        let mut tree = Tree::from_edges(2, NodeId(0), &[(NodeId(0), NodeId(1))]).unwrap();
+        TreeOptimizer::default().optimize(&g, &mut tree, &[1.0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Shortest paths and reachability on overlay graphs.
+
+use crate::graph::Graph;
+use cosmos_types::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<f64>,
+    prev: Vec<Option<NodeId>>,
+}
+
+impl ShortestPaths {
+    /// Distance from the source to `v` (`f64::INFINITY` if unreachable).
+    pub fn distance(&self, v: NodeId) -> f64 {
+        self.dist[v.index()]
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The shortest path source → `v` as a node list (empty when
+    /// unreachable; `[source]` when `v == source`).
+    pub fn path_to(&self, v: NodeId) -> Vec<NodeId> {
+        if self.dist[v.index()].is_infinite() {
+            return Vec::new();
+        }
+        let mut out = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.prev[cur.index()] {
+            out.push(p);
+            cur = p;
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Min-heap entry ordered by distance.
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are never NaN.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Single-source shortest paths (Dijkstra) over the overlay graph.
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = Some(u);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPaths { source, dist, prev }
+}
+
+/// Nodes reachable from `source` (including it), in BFS order.
+pub fn bfs_reachable(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let n = g.node_count();
+    if source.index() >= n {
+        return Vec::new();
+    }
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut out = Vec::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        out.push(u);
+        for &(v, _) in g.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A weighted diamond: 0 −1→ 1 −1→ 3, 0 −5→ 2 −1→ 3.
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(2), 5.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn dijkstra_finds_cheapest_route() {
+        let sp = dijkstra(&diamond(), NodeId(0));
+        assert_eq!(sp.source(), NodeId(0));
+        assert_eq!(sp.distance(NodeId(3)), 2.0);
+        assert_eq!(sp.path_to(NodeId(3)), vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(sp.distance(NodeId(2)), 3.0); // via 1 and 3, not the direct 5.0 edge
+        assert_eq!(
+            sp.path_to(NodeId(2)),
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(2)]
+        );
+        assert_eq!(sp.path_to(NodeId(0)), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = diamond();
+        // add an isolated node
+        g = {
+            let mut g2 = Graph::new(5);
+            for u in g.nodes() {
+                for &(v, w) in g.neighbors(u) {
+                    if u < v {
+                        g2.add_edge(u, v, w).unwrap();
+                    }
+                }
+            }
+            g2
+        };
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(sp.distance(NodeId(4)).is_infinite());
+        assert!(sp.path_to(NodeId(4)).is_empty());
+        assert_eq!(bfs_reachable(&g, NodeId(0)).len(), 4);
+        assert_eq!(bfs_reachable(&g, NodeId(4)), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn bfs_covers_component() {
+        let g = diamond();
+        let r = bfs_reachable(&g, NodeId(0));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], NodeId(0));
+    }
+}

@@ -1,0 +1,319 @@
+//! Topology generators.
+//!
+//! The paper uses BRITE to generate "a power law network topology with
+//! 1000 nodes" (Section 5). BRITE's power-law mode is Barabási–Albert
+//! preferential attachment; we implement it directly, along with the
+//! Waxman model (BRITE's other router-level mode) and small
+//! deterministic topologies used by tests and the Figure 3 experiment.
+//!
+//! Nodes are placed uniformly at random in the unit square and every
+//! link is weighted by the Euclidean distance between its endpoints,
+//! which serves as the link delay.
+
+use crate::graph::Graph;
+use cosmos_types::{CosmosError, NodeId, Result};
+use rand::Rng;
+
+/// The topology model to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologyKind {
+    /// Barabási–Albert preferential attachment; each arriving node links
+    /// to `m` existing nodes chosen with probability proportional to
+    /// their degree. Produces a power-law degree distribution.
+    BarabasiAlbert {
+        /// Links added per arriving node (`m ≥ 1`).
+        m: usize,
+    },
+    /// Waxman random graph: nodes `u, v` are linked with probability
+    /// `alpha * exp(-d(u,v) / (beta * L))` where `L` is the diameter of
+    /// the placement area. Components are afterwards stitched together
+    /// with shortest available links so the result is connected.
+    Waxman {
+        /// Edge-probability scale (0, 1].
+        alpha: f64,
+        /// Distance decay (0, 1].
+        beta: f64,
+    },
+    /// A `w × h` grid (n must equal `w * h`).
+    Grid {
+        /// Grid width.
+        width: usize,
+    },
+    /// A simple path 0 − 1 − … − (n−1).
+    Line,
+    /// A star centered at node 0.
+    Star,
+}
+
+/// Generate a connected topology of `n` nodes.
+pub fn generate<R: Rng>(kind: TopologyKind, n: usize, rng: &mut R) -> Result<Graph> {
+    if n == 0 {
+        return Err(CosmosError::Overlay(
+            "cannot generate an empty topology".into(),
+        ));
+    }
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.set_position(NodeId(i as u32), rng.gen::<f64>(), rng.gen::<f64>());
+    }
+    match kind {
+        TopologyKind::BarabasiAlbert { m } => barabasi_albert(&mut g, m.max(1), rng)?,
+        TopologyKind::Waxman { alpha, beta } => waxman(&mut g, alpha, beta, rng)?,
+        TopologyKind::Grid { width } => grid(&mut g, width)?,
+        TopologyKind::Line => line(&mut g)?,
+        TopologyKind::Star => star(&mut g)?,
+    }
+    debug_assert!(g.is_connected());
+    Ok(g)
+}
+
+fn barabasi_albert<R: Rng>(g: &mut Graph, m: usize, rng: &mut R) -> Result<()> {
+    let n = g.node_count();
+    let seed = (m + 1).min(n);
+    // Seed clique so early attachments have targets.
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            g.add_edge_by_distance(NodeId(i as u32), NodeId(j as u32))?;
+        }
+    }
+    // Repeated-endpoint list: preferential attachment by sampling it.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+    for i in 0..seed {
+        let u = NodeId(i as u32);
+        for _ in 0..g.degree(u) {
+            endpoints.push(u);
+        }
+    }
+    for i in seed..n {
+        let u = NodeId(i as u32);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m.min(i) && guard < 50 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            g.add_edge_by_distance(u, t)?;
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    Ok(())
+}
+
+fn waxman<R: Rng>(g: &mut Graph, alpha: f64, beta: f64, rng: &mut R) -> Result<()> {
+    let n = g.node_count();
+    let l = 2f64.sqrt(); // diameter of the unit square
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (u, v) = (NodeId(i as u32), NodeId(j as u32));
+            let d = g.distance(u, v);
+            let p = alpha * (-d / (beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                g.add_edge_by_distance(u, v)?;
+            }
+        }
+    }
+    stitch_components(g)?;
+    Ok(())
+}
+
+/// Connect a possibly fragmented graph by linking each later component
+/// to the first one with the shortest inter-component link.
+fn stitch_components(g: &mut Graph) -> Result<()> {
+    loop {
+        let reached = crate::paths::bfs_reachable(g, NodeId(0));
+        if reached.len() == g.node_count() {
+            return Ok(());
+        }
+        let in_comp: Vec<bool> = {
+            let mut v = vec![false; g.node_count()];
+            for u in &reached {
+                v[u.index()] = true;
+            }
+            v
+        };
+        let mut best: Option<(NodeId, NodeId, f64)> = None;
+        for u in g.nodes() {
+            if !in_comp[u.index()] {
+                continue;
+            }
+            for v in g.nodes() {
+                if in_comp[v.index()] {
+                    continue;
+                }
+                let d = g.distance(u, v).max(f64::EPSILON);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((u, v, d));
+                }
+            }
+        }
+        let (u, v, _) = best.expect("disconnected graph has a crossing pair");
+        g.add_edge_by_distance(u, v)?;
+    }
+}
+
+fn grid(g: &mut Graph, width: usize) -> Result<()> {
+    let n = g.node_count();
+    if width == 0 || !n.is_multiple_of(width) {
+        return Err(CosmosError::Overlay(format!(
+            "grid width {width} does not divide node count {n}"
+        )));
+    }
+    let height = n / width;
+    for r in 0..height {
+        for c in 0..width {
+            let u = NodeId((r * width + c) as u32);
+            g.set_position(u, c as f64 / width as f64, r as f64 / height as f64);
+        }
+    }
+    for r in 0..height {
+        for c in 0..width {
+            let u = NodeId((r * width + c) as u32);
+            if c + 1 < width {
+                g.add_edge_by_distance(u, NodeId((r * width + c + 1) as u32))?;
+            }
+            if r + 1 < height {
+                g.add_edge_by_distance(u, NodeId(((r + 1) * width + c) as u32))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn line(g: &mut Graph) -> Result<()> {
+    let n = g.node_count();
+    for i in 0..n {
+        g.set_position(NodeId(i as u32), i as f64 / n.max(1) as f64, 0.5);
+    }
+    for i in 1..n {
+        g.add_edge_by_distance(NodeId((i - 1) as u32), NodeId(i as u32))?;
+    }
+    Ok(())
+}
+
+fn star(g: &mut Graph) -> Result<()> {
+    let n = g.node_count();
+    g.set_position(NodeId(0), 0.5, 0.5);
+    for i in 1..n {
+        let angle = 2.0 * std::f64::consts::PI * (i as f64) / ((n - 1) as f64);
+        g.set_position(
+            NodeId(i as u32),
+            0.5 + 0.4 * angle.cos(),
+            0.5 + 0.4 * angle.sin(),
+        );
+        g.add_edge_by_distance(NodeId(0), NodeId(i as u32))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_topology_is_connected_with_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = generate(TopologyKind::BarabasiAlbert { m: 2 }, 500, &mut rng).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.node_count(), 500);
+        // edges ≈ m * n
+        assert!(
+            g.edge_count() >= 900 && g.edge_count() <= 1100,
+            "{}",
+            g.edge_count()
+        );
+        // heavy tail: some node should have degree far above the mean (~4)
+        let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        assert!(
+            max_deg >= 20,
+            "max degree {max_deg} too small for power law"
+        );
+        // most nodes stay near the minimum degree
+        let low = g.nodes().filter(|&u| g.degree(u) <= 4).count();
+        assert!(low > 250, "only {low} low-degree nodes");
+    }
+
+    #[test]
+    fn ba_is_deterministic_under_a_seed() {
+        let g1 = generate(
+            TopologyKind::BarabasiAlbert { m: 2 },
+            100,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        let g2 = generate(
+            TopologyKind::BarabasiAlbert { m: 2 },
+            100,
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for u in g1.nodes() {
+            assert_eq!(g1.degree(u), g2.degree(u));
+        }
+    }
+
+    #[test]
+    fn waxman_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generate(
+            TopologyKind::Waxman {
+                alpha: 0.4,
+                beta: 0.2,
+            },
+            120,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_line_star_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let grid = generate(TopologyKind::Grid { width: 4 }, 12, &mut rng).unwrap();
+        assert!(grid.is_connected());
+        // 3 horizontal edges × 3 rows + 4 vertical edges × 2 row gaps
+        assert_eq!(grid.edge_count(), 9 + 8);
+        let line = generate(TopologyKind::Line, 5, &mut rng).unwrap();
+        assert_eq!(line.edge_count(), 4);
+        assert_eq!(line.degree(NodeId(0)), 1);
+        assert_eq!(line.degree(NodeId(2)), 2);
+        let star = generate(TopologyKind::Star, 6, &mut rng).unwrap();
+        assert_eq!(star.degree(NodeId(0)), 5);
+        assert!(star.nodes().skip(1).all(|u| star.degree(u) == 1));
+    }
+
+    #[test]
+    fn grid_rejects_bad_width() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(generate(TopologyKind::Grid { width: 5 }, 12, &mut rng).is_err());
+        assert!(generate(TopologyKind::Grid { width: 0 }, 12, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(generate(TopologyKind::Line, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn single_node_topologies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for kind in [
+            TopologyKind::BarabasiAlbert { m: 2 },
+            TopologyKind::Line,
+            TopologyKind::Star,
+        ] {
+            let g = generate(kind, 1, &mut rng).unwrap();
+            assert_eq!(g.node_count(), 1);
+            assert_eq!(g.edge_count(), 0);
+        }
+    }
+}

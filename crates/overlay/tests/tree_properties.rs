@@ -1,0 +1,142 @@
+//! Property tests for the overlay substrate: MST optimality witnesses,
+//! tree-path consistency with graph search, and reattachment invariants.
+
+use cosmos_overlay::{dijkstra, generate, minimum_spanning_tree, Graph, TopologyKind, Tree};
+use cosmos_types::NodeId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_graph(seed: u64, n: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate(TopologyKind::BarabasiAlbert { m: 2 }, n, &mut rng).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The MST satisfies the cut property on sampled tree edges: no
+    /// non-tree edge crossing the cut induced by removing a tree edge is
+    /// cheaper than that tree edge.
+    #[test]
+    fn mst_cut_property(seed in 0u64..500, n in 10usize..60) {
+        let g = random_graph(seed, n);
+        let tree = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+        for (p, c) in tree.edges() {
+            let w = g.edge_weight(p, c).unwrap();
+            // the subtree under `c` is one side of the cut
+            let side: std::collections::BTreeSet<NodeId> =
+                tree.subtree(c).into_iter().collect();
+            for u in g.nodes() {
+                for &(v, uw) in g.neighbors(u) {
+                    if side.contains(&u) != side.contains(&v) {
+                        prop_assert!(
+                            uw >= w - 1e-12,
+                            "edge {u}-{v} ({uw}) beats tree edge {p}-{c} ({w})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tree paths visit each node once, start/end correctly, and every
+    /// consecutive pair is a parent/child link.
+    #[test]
+    fn tree_paths_are_simple_and_valid(seed in 0u64..500, n in 5usize..80) {
+        let g = random_graph(seed, n);
+        let tree = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        for _ in 0..10 {
+            use rand::Rng;
+            let a = NodeId(rng.gen_range(0..n as u32));
+            let b = NodeId(rng.gen_range(0..n as u32));
+            let path = tree.path(a, b);
+            prop_assert_eq!(path.first(), Some(&a));
+            prop_assert_eq!(path.last(), Some(&b));
+            let unique: std::collections::BTreeSet<_> = path.iter().collect();
+            prop_assert_eq!(unique.len(), path.len(), "path revisits a node");
+            for w in path.windows(2) {
+                let linked = tree.parent(w[0]) == Some(w[1]) || tree.parent(w[1]) == Some(w[0]);
+                prop_assert!(linked, "non-adjacent hop {} -> {}", w[0], w[1]);
+            }
+        }
+    }
+
+    /// Dijkstra distances on the *tree* (as a graph) equal the tree-path
+    /// weights — i.e. `Tree::path` really is the unique tree route.
+    #[test]
+    fn tree_path_weight_matches_dijkstra_on_tree(seed in 0u64..200, n in 5usize..50) {
+        let g = random_graph(seed, n);
+        let tree = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+        // rebuild the tree as a standalone graph
+        let mut tg = Graph::new(n);
+        for u in g.nodes() {
+            let (x, y) = g.position(u);
+            tg.set_position(u, x, y);
+        }
+        for (p, c) in tree.edges() {
+            tg.add_edge(p, c, g.edge_weight(p, c).unwrap()).unwrap();
+        }
+        let sp = dijkstra(&tg, NodeId(0));
+        for v in g.nodes() {
+            let path = tree.path(NodeId(0), v);
+            let w: f64 = path
+                .windows(2)
+                .map(|e| g.edge_weight(e[0], e[1]).unwrap())
+                .sum();
+            prop_assert!((w - sp.distance(v)).abs() < 1e-9);
+        }
+    }
+
+    /// Reattaching a subtree preserves the node set, tree size and
+    /// acyclicity (subtree enumeration from the root reaches everyone).
+    #[test]
+    fn reattach_preserves_tree_invariants(seed in 0u64..500, n in 6usize..40) {
+        let g = random_graph(seed, n);
+        let mut tree = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 2);
+        use rand::Rng;
+        for _ in 0..8 {
+            let u = NodeId(rng.gen_range(1..n as u32));
+            let p = NodeId(rng.gen_range(0..n as u32));
+            let _ = tree.reattach(u, p); // may legally fail (cycle)
+            let reach = tree.subtree(tree.root());
+            prop_assert_eq!(reach.len(), n, "tree lost nodes after reattach");
+            prop_assert_eq!(tree.edges().count(), n - 1);
+        }
+    }
+}
+
+/// Deterministic check on the Figure-4-scale topology: 1000-node BA
+/// graphs generate quickly, connect fully, and their MST reaches all.
+#[test]
+fn paper_scale_topology() {
+    let g = random_graph(99, 1000);
+    assert_eq!(g.node_count(), 1000);
+    assert!(g.is_connected());
+    let tree = minimum_spanning_tree(&g, NodeId(0)).unwrap();
+    assert_eq!(tree.node_count(), 1000);
+    assert_eq!(tree.edges().count(), 999);
+    // power-law: maximum degree far above the mean of ~4
+    let max_deg = g.nodes().map(|u| g.degree(u)).max().unwrap();
+    assert!(max_deg > 30, "max degree {max_deg}");
+}
+
+/// `Tree::from_edges` accepts any permutation of the same edge list.
+#[test]
+fn edge_order_does_not_matter() {
+    let edges = [
+        (NodeId(0), NodeId(1)),
+        (NodeId(1), NodeId(2)),
+        (NodeId(0), NodeId(3)),
+    ];
+    let mut rev = edges;
+    rev.reverse();
+    let a = Tree::from_edges(4, NodeId(0), &edges).unwrap();
+    let b = Tree::from_edges(4, NodeId(0), &rev).unwrap();
+    for i in 0..4u32 {
+        assert_eq!(a.parent(NodeId(i)), b.parent(NodeId(i)));
+        assert_eq!(a.depth(NodeId(i)), b.depth(NodeId(i)));
+    }
+}

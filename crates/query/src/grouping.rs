@@ -1,0 +1,610 @@
+//! Incremental greedy query grouping.
+//!
+//! "Each processor maintains a number of query groups such that queries
+//! inside each group have overlapping results and it is beneficial to
+//! rewrite these queries into one query q which contains all the member
+//! queries. … An incremental greedy algorithm is used to optimize the
+//! query grouping, where each new query is assigned to the query group
+//! that can achieve the maximum benefit." (Section 4)
+//!
+//! The [`GroupManager`] implements that algorithm. Groups are indexed by
+//! their *compatibility key* (stream multiset, aggregation shape,
+//! grouping attributes) so a new query only attempts merges against
+//! plausibly mergeable groups; the marginal gain of joining a group is
+//! `C(q) + C(rep) − C(rep ⊕ q)` — the bandwidth saved versus delivering
+//! the query's result separately — and the query joins the group with
+//! the maximum positive gain, or founds a new group otherwise.
+
+use crate::estimate::{cost_bps, StatsCatalog};
+use crate::merge::{merge, retighten_profile};
+use cosmos_cbn::Profile;
+use cosmos_spe::analyze::AnalyzedQuery;
+use cosmos_types::{CosmosError, FxHashMap, GroupId, QueryId, Result, StreamName};
+use std::collections::BTreeMap;
+
+/// A group of queries sharing one representative query.
+#[derive(Debug, Clone)]
+pub struct QueryGroup {
+    /// The group id.
+    pub id: GroupId,
+    /// The name of the representative's shared result stream.
+    pub result_stream: StreamName,
+    /// The member queries.
+    pub members: Vec<(QueryId, AnalyzedQuery)>,
+    /// The representative query (equals the single member for
+    /// singleton groups).
+    pub representative: AnalyzedQuery,
+}
+
+impl QueryGroup {
+    /// The paper's group benefit: `Σᵢ C(qᵢ) − C(rep)` in bytes/second.
+    pub fn benefit(&self, catalog: &StatsCatalog) -> f64 {
+        let members: f64 = self.members.iter().map(|(_, q)| cost_bps(q, catalog)).sum();
+        members - cost_bps(&self.representative, catalog)
+    }
+}
+
+/// Result of inserting one query into the group manager.
+#[derive(Debug, Clone)]
+pub struct GroupingOutcome {
+    /// The group the query landed in.
+    pub group: GroupId,
+    /// The shared result stream to subscribe to.
+    pub result_stream: StreamName,
+    /// The re-tightened profile that extracts this query's results from
+    /// the shared stream.
+    pub profile: Profile,
+    /// Whether the query joined an existing group (vs founding one).
+    pub joined_existing: bool,
+    /// Whether the representative query changed (the processor must
+    /// replace the running representative and re-advertise).
+    pub rep_changed: bool,
+    /// When the representative changed, the re-tightened profiles of the
+    /// *other* members, recomputed against the new representative. A
+    /// member's old profile may be too loose once the shared stream
+    /// widens (its constraints were skipped as "already enforced" by the
+    /// old representative), so every member's subscription must be
+    /// refreshed.
+    pub updated_profiles: Vec<(QueryId, Profile)>,
+}
+
+/// The per-processor grouping state.
+#[derive(Debug, Clone, Default)]
+pub struct GroupManager {
+    groups: BTreeMap<GroupId, QueryGroup>,
+    /// Compatibility key → groups with that key.
+    index: FxHashMap<String, Vec<GroupId>>,
+    /// Query → its group and re-tightened profile.
+    placements: FxHashMap<QueryId, (GroupId, Profile)>,
+    next_group: u64,
+    /// Namespace prefix for generated result-stream names.
+    stream_prefix: String,
+}
+
+/// Minimum marginal gain (bytes/second) required to join a group rather
+/// than founding a new one.
+const GAIN_EPSILON: f64 = 1e-9;
+
+/// Compatibility key: queries can only ever merge when these agree.
+fn compat_key(q: &AnalyzedQuery) -> String {
+    let mut streams: Vec<&str> = q.streams.iter().map(|b| b.stream.as_str()).collect();
+    streams.sort_unstable();
+    let gb: Vec<String> = {
+        let mut g: Vec<String> = q.group_by.iter().map(|g| g.name.clone()).collect();
+        g.sort_unstable();
+        g
+    };
+    format!(
+        "{}|agg={}|distinct={}|gb={}",
+        streams.join(","),
+        q.is_aggregate(),
+        q.distinct,
+        gb.join(",")
+    )
+}
+
+impl GroupManager {
+    /// A manager generating result streams named `{prefix}::g{N}`.
+    pub fn new(stream_prefix: impl Into<String>) -> GroupManager {
+        GroupManager {
+            stream_prefix: stream_prefix.into(),
+            ..GroupManager::default()
+        }
+    }
+
+    /// Insert a query, greedily assigning it to the best group.
+    pub fn insert(
+        &mut self,
+        qid: QueryId,
+        q: AnalyzedQuery,
+        catalog: &StatsCatalog,
+    ) -> Result<GroupingOutcome> {
+        if self.placements.contains_key(&qid) {
+            return Err(CosmosError::Query(format!("query {qid} already inserted")));
+        }
+        let key = compat_key(&q);
+        let cq = cost_bps(&q, catalog);
+        // Find the candidate group with the maximum positive gain.
+        let mut best: Option<(GroupId, AnalyzedQuery, f64)> = None;
+        if let Some(candidates) = self.index.get(&key) {
+            for &gid in candidates {
+                let group = &self.groups[&gid];
+                let Ok(candidate_rep) = merge(&group.representative, &q) else {
+                    continue;
+                };
+                let gain = cq + cost_bps(&group.representative, catalog)
+                    - cost_bps(&candidate_rep, catalog);
+                if gain > GAIN_EPSILON && best.as_ref().is_none_or(|(_, _, bg)| gain > *bg) {
+                    best = Some((gid, candidate_rep, gain));
+                }
+            }
+        }
+        match best {
+            Some((gid, new_rep, _)) => {
+                // Compute the member profile against the new representative
+                // *before* mutating state, so failures leave us consistent.
+                let result_stream = self.groups[&gid].result_stream.clone();
+                let profile = retighten_profile(&q, &new_rep, &result_stream)?;
+                let rep_changed = self.groups[&gid].representative != new_rep;
+                // A widened representative invalidates the existing
+                // members' profiles: recompute them first.
+                let mut updated_profiles = Vec::new();
+                if rep_changed {
+                    for (mid, member) in &self.groups[&gid].members {
+                        let p = retighten_profile(member, &new_rep, &result_stream)?;
+                        updated_profiles.push((*mid, p));
+                    }
+                }
+                let group = self.groups.get_mut(&gid).expect("candidate exists");
+                group.representative = new_rep;
+                group.members.push((qid, q));
+                for (mid, p) in &updated_profiles {
+                    self.placements.insert(*mid, (gid, p.clone()));
+                }
+                self.placements.insert(qid, (gid, profile.clone()));
+                Ok(GroupingOutcome {
+                    group: gid,
+                    result_stream,
+                    profile,
+                    joined_existing: true,
+                    rep_changed,
+                    updated_profiles,
+                })
+            }
+            None => {
+                let gid = GroupId(self.next_group);
+                self.next_group += 1;
+                let result_stream =
+                    StreamName::from(format!("{}::g{}", self.stream_prefix, gid.raw()));
+                let profile = retighten_profile(&q, &q, &result_stream)?;
+                let group = QueryGroup {
+                    id: gid,
+                    result_stream: result_stream.clone(),
+                    members: vec![(qid, q.clone())],
+                    representative: q,
+                };
+                self.groups.insert(gid, group);
+                self.index.entry(key).or_default().push(gid);
+                self.placements.insert(qid, (gid, profile.clone()));
+                Ok(GroupingOutcome {
+                    group: gid,
+                    result_stream,
+                    profile,
+                    joined_existing: false,
+                    rep_changed: false,
+                    updated_profiles: Vec::new(),
+                })
+            }
+        }
+    }
+
+    /// Remove a query; the group's representative is rebuilt from the
+    /// remaining members (or the group dissolved when empty). Returns
+    /// the affected group id, or `None` if the query is unknown.
+    pub fn remove(&mut self, qid: QueryId) -> Option<GroupId> {
+        let (gid, _) = self.placements.remove(&qid)?;
+        let group = self.groups.get_mut(&gid).expect("placement implies group");
+        group.members.retain(|(m, _)| *m != qid);
+        if group.members.is_empty() {
+            let key = compat_key(&group.representative);
+            self.groups.remove(&gid);
+            if let Some(v) = self.index.get_mut(&key) {
+                v.retain(|g| *g != gid);
+            }
+            return Some(gid);
+        }
+        // Rebuild the representative by folding the remaining members.
+        let mut rep = group.members[0].1.clone();
+        for (_, m) in group.members.iter().skip(1) {
+            rep = merge(&rep, m).expect("previously merged members stay mergeable");
+        }
+        group.representative = rep;
+        Some(gid)
+    }
+
+    /// The group containing a query, with its re-tightened profile.
+    pub fn placement(&self, qid: QueryId) -> Option<(&QueryGroup, &Profile)> {
+        let (gid, profile) = self.placements.get(&qid)?;
+        Some((&self.groups[gid], profile))
+    }
+
+    /// A group by id.
+    pub fn group(&self, gid: GroupId) -> Option<&QueryGroup> {
+        self.groups.get(&gid)
+    }
+
+    /// Iterate over all groups.
+    pub fn groups(&self) -> impl Iterator<Item = &QueryGroup> {
+        self.groups.values()
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of inserted queries.
+    pub fn query_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// The paper's grouping ratio: `#groups / #queries` (1.0 when empty).
+    pub fn grouping_ratio(&self) -> f64 {
+        if self.placements.is_empty() {
+            1.0
+        } else {
+            self.groups.len() as f64 / self.placements.len() as f64
+        }
+    }
+
+    /// Total estimated delivery rate without merging: `Σ C(qᵢ)`.
+    pub fn total_member_bps(&self, catalog: &StatsCatalog) -> f64 {
+        self.groups
+            .values()
+            .flat_map(|g| g.members.iter())
+            .map(|(_, q)| cost_bps(q, catalog))
+            .sum()
+    }
+
+    /// Total estimated delivery rate with merging: `Σ C(rep_g)`.
+    pub fn total_rep_bps(&self, catalog: &StatsCatalog) -> f64 {
+        self.groups
+            .values()
+            .map(|g| cost_bps(&g.representative, catalog))
+            .sum()
+    }
+
+    /// Rate-based benefit ratio `1 − Σ C(rep) / Σ C(q)` — the
+    /// topology-independent part of the paper's Figure 4(a) metric.
+    pub fn rate_benefit_ratio(&self, catalog: &StatsCatalog) -> f64 {
+        let members = self.total_member_bps(catalog);
+        if members <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.total_rep_bps(catalog) / members
+        }
+    }
+
+    /// Self-tuning re-optimization (the "Self-tuning" in COSMOS's name):
+    /// greedy insertion is order-sensitive, so periodically re-run the
+    /// assignment with all queries known, inserting in descending `C(q)`
+    /// order (large flows anchor groups; small ones then join the best
+    /// anchor). The new grouping is adopted only if it strictly lowers
+    /// `Σ C(rep)`; returns the refreshed placements
+    /// `(query, result stream, profile)` when it does.
+    pub fn reoptimize(
+        &mut self,
+        catalog: &StatsCatalog,
+    ) -> Result<Option<Vec<(QueryId, StreamName, Profile)>>> {
+        if self.placements.len() < 2 {
+            return Ok(None);
+        }
+        let mut queries: Vec<(QueryId, AnalyzedQuery)> = self
+            .groups
+            .values()
+            .flat_map(|g| g.members.iter().cloned())
+            .collect();
+        queries.sort_by(|(ia, qa), (ib, qb)| {
+            cost_bps(qb, catalog)
+                .partial_cmp(&cost_bps(qa, catalog))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ia.cmp(ib))
+        });
+        let mut candidate = GroupManager::new(self.stream_prefix.clone());
+        candidate.next_group = self.next_group;
+        for (qid, q) in queries {
+            candidate.insert(qid, q, catalog)?;
+        }
+        let (old, new) = (
+            self.total_rep_bps(catalog),
+            candidate.total_rep_bps(catalog),
+        );
+        if new + GAIN_EPSILON >= old {
+            return Ok(None);
+        }
+        let placements: Vec<(QueryId, StreamName, Profile)> = candidate
+            .placements
+            .iter()
+            .map(|(qid, (gid, profile))| {
+                (
+                    *qid,
+                    candidate.groups[gid].result_stream.clone(),
+                    profile.clone(),
+                )
+            })
+            .collect();
+        *self = candidate;
+        Ok(Some(placements))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{AttrStats, StreamStats};
+    use cosmos_cql::parse_query;
+    use cosmos_types::{AttrType, Schema};
+
+    fn catalog() -> StatsCatalog {
+        let mut c = StatsCatalog::new();
+        for name in ["S", "T"] {
+            c.register(
+                name,
+                Schema::of(&[
+                    ("id", AttrType::Int),
+                    ("x", AttrType::Float),
+                    ("timestamp", AttrType::Int),
+                ]),
+                StreamStats::with_rate(10.0)
+                    .attr("id", AttrStats::categorical(50.0))
+                    .attr("x", AttrStats::numeric(0.0, 100.0, 1000.0)),
+            );
+        }
+        c
+    }
+
+    fn q(cat: &StatsCatalog, text: &str) -> AnalyzedQuery {
+        AnalyzedQuery::analyze(&parse_query(text).unwrap(), cat.schema_fn()).unwrap()
+    }
+
+    #[test]
+    fn identical_queries_share_a_group() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        let text = "SELECT id, x FROM S [Now] WHERE x < 50.0";
+        let o1 = gm.insert(QueryId(1), q(&cat, text), &cat).unwrap();
+        let o2 = gm.insert(QueryId(2), q(&cat, text), &cat).unwrap();
+        assert!(!o1.joined_existing);
+        assert!(o2.joined_existing);
+        assert_eq!(o1.group, o2.group);
+        assert!(!o2.rep_changed); // identical query cannot change the rep
+        assert_eq!(gm.group_count(), 1);
+        assert_eq!(gm.query_count(), 2);
+        assert!((gm.grouping_ratio() - 0.5).abs() < 1e-12);
+        // benefit: one member's cost is saved entirely
+        let g = gm.group(o1.group).unwrap();
+        assert!(g.benefit(&cat) > 0.0);
+        assert!(gm.rate_benefit_ratio(&cat) > 0.4);
+    }
+
+    #[test]
+    fn overlapping_queries_merge_with_loosened_rep() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        let o1 = gm
+            .insert(
+                QueryId(1),
+                q(
+                    &cat,
+                    "SELECT id, x FROM S [Now] WHERE x BETWEEN 0.0 AND 60.0",
+                ),
+                &cat,
+            )
+            .unwrap();
+        let o2 = gm
+            .insert(
+                QueryId(2),
+                q(
+                    &cat,
+                    "SELECT id, x FROM S [Now] WHERE x BETWEEN 40.0 AND 100.0",
+                ),
+                &cat,
+            )
+            .unwrap();
+        assert_eq!(o1.group, o2.group);
+        assert!(o2.rep_changed);
+        let g = gm.group(o1.group).unwrap();
+        let c = g.representative.selections[0].constraint_for("x");
+        assert!(c.satisfies(&cosmos_types::Value::Float(0.0)));
+        assert!(c.satisfies(&cosmos_types::Value::Float(100.0)));
+    }
+
+    #[test]
+    fn disjoint_narrow_queries_stay_apart() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        let o1 = gm
+            .insert(
+                QueryId(1),
+                q(&cat, "SELECT id FROM S [Now] WHERE x BETWEEN 0.0 AND 5.0"),
+                &cat,
+            )
+            .unwrap();
+        let o2 = gm
+            .insert(
+                QueryId(2),
+                q(&cat, "SELECT id FROM S [Now] WHERE x BETWEEN 90.0 AND 95.0"),
+                &cat,
+            )
+            .unwrap();
+        assert_ne!(o1.group, o2.group, "hull over the gap should not pay off");
+        assert_eq!(gm.group_count(), 2);
+    }
+
+    #[test]
+    fn different_streams_never_share_groups() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        let o1 = gm
+            .insert(QueryId(1), q(&cat, "SELECT id FROM S [Now]"), &cat)
+            .unwrap();
+        let o2 = gm
+            .insert(QueryId(2), q(&cat, "SELECT id FROM T [Now]"), &cat)
+            .unwrap();
+        assert_ne!(o1.group, o2.group);
+        assert_ne!(o1.result_stream, o2.result_stream);
+    }
+
+    #[test]
+    fn picks_maximum_gain_group() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        // group A: wide range; group B: narrow disjoint range
+        let oa = gm
+            .insert(
+                QueryId(1),
+                q(
+                    &cat,
+                    "SELECT id, x FROM S [Now] WHERE x BETWEEN 0.0 AND 50.0",
+                ),
+                &cat,
+            )
+            .unwrap();
+        let _ob = gm
+            .insert(
+                QueryId(2),
+                q(
+                    &cat,
+                    "SELECT id, x FROM S [Now] WHERE x BETWEEN 98.0 AND 100.0",
+                ),
+                &cat,
+            )
+            .unwrap();
+        // a query inside A's range must join A, not B
+        let oc = gm
+            .insert(
+                QueryId(3),
+                q(
+                    &cat,
+                    "SELECT id, x FROM S [Now] WHERE x BETWEEN 10.0 AND 20.0",
+                ),
+                &cat,
+            )
+            .unwrap();
+        assert_eq!(oc.group, oa.group);
+    }
+
+    #[test]
+    fn placement_returns_profile() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        let o = gm
+            .insert(
+                QueryId(7),
+                q(&cat, "SELECT id FROM S [Now] WHERE x < 10.0"),
+                &cat,
+            )
+            .unwrap();
+        let (g, p) = gm.placement(QueryId(7)).unwrap();
+        assert_eq!(g.id, o.group);
+        assert_eq!(p, &o.profile);
+        assert!(gm.placement(QueryId(99)).is_none());
+        // the profile targets the group's result stream
+        assert!(p.entry(&o.result_stream).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        gm.insert(QueryId(1), q(&cat, "SELECT id FROM S [Now]"), &cat)
+            .unwrap();
+        assert!(gm
+            .insert(QueryId(1), q(&cat, "SELECT id FROM S [Now]"), &cat)
+            .is_err());
+    }
+
+    #[test]
+    fn remove_rebuilds_or_dissolves_groups() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        let wide = "SELECT id, x FROM S [Now] WHERE x BETWEEN 0.0 AND 80.0";
+        let narrow = "SELECT id, x FROM S [Now] WHERE x BETWEEN 0.0 AND 40.0";
+        let o1 = gm.insert(QueryId(1), q(&cat, wide), &cat).unwrap();
+        let o2 = gm.insert(QueryId(2), q(&cat, narrow), &cat).unwrap();
+        assert_eq!(o1.group, o2.group);
+        // removing the wide member shrinks the representative
+        gm.remove(QueryId(1)).unwrap();
+        let g = gm.group(o2.group).unwrap();
+        let c = g.representative.selections[0].constraint_for("x");
+        assert!(!c.satisfies(&cosmos_types::Value::Float(60.0)));
+        // removing the last member dissolves the group
+        gm.remove(QueryId(2)).unwrap();
+        assert_eq!(gm.group_count(), 0);
+        assert!(gm.remove(QueryId(2)).is_none());
+        // and its index slot no longer offers the dead group
+        let o3 = gm.insert(QueryId(3), q(&cat, wide), &cat).unwrap();
+        assert!(!o3.joined_existing);
+    }
+
+    #[test]
+    fn distinct_queries_form_singleton_groups() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        let text = "SELECT DISTINCT id FROM S [Now]";
+        let o1 = gm.insert(QueryId(1), q(&cat, text), &cat).unwrap();
+        let o2 = gm.insert(QueryId(2), q(&cat, text), &cat).unwrap();
+        assert_ne!(o1.group, o2.group);
+    }
+
+    #[test]
+    fn reoptimize_recovers_from_adversarial_insert_order() {
+        // Two disjoint narrow queries arrive first and seed separate
+        // groups; a wide query then joins one of them, leaving the other
+        // stranded. With full knowledge, the wide query anchors a single
+        // group that absorbs both narrow ones.
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        let narrow_a = "SELECT id, x FROM S [Now] WHERE x BETWEEN 0.0 AND 10.0";
+        let narrow_b = "SELECT id, x FROM S [Now] WHERE x BETWEEN 90.0 AND 100.0";
+        let wide = "SELECT id, x FROM S [Now] WHERE x BETWEEN 0.0 AND 100.0";
+        gm.insert(QueryId(1), q(&cat, narrow_a), &cat).unwrap();
+        gm.insert(QueryId(2), q(&cat, narrow_b), &cat).unwrap();
+        gm.insert(QueryId(3), q(&cat, wide), &cat).unwrap();
+        assert_eq!(gm.group_count(), 2, "greedy leaves one narrow stranded");
+        let before = gm.total_rep_bps(&cat);
+        let placements = gm.reoptimize(&cat).unwrap().expect("must improve");
+        assert_eq!(gm.group_count(), 1);
+        assert!(gm.total_rep_bps(&cat) < before);
+        assert_eq!(placements.len(), 3);
+        // every query keeps a valid placement afterwards
+        for qid in [QueryId(1), QueryId(2), QueryId(3)] {
+            assert!(gm.placement(qid).is_some());
+        }
+        // a second pass finds nothing more to do
+        assert!(gm.reoptimize(&cat).unwrap().is_none());
+    }
+
+    #[test]
+    fn reoptimize_noop_cases() {
+        let cat = catalog();
+        let mut gm = GroupManager::new("rep");
+        assert!(gm.reoptimize(&cat).unwrap().is_none()); // empty
+        gm.insert(QueryId(1), q(&cat, "SELECT id FROM S [Now]"), &cat)
+            .unwrap();
+        assert!(gm.reoptimize(&cat).unwrap().is_none()); // single query
+        gm.insert(QueryId(2), q(&cat, "SELECT id FROM S [Now]"), &cat)
+            .unwrap();
+        // already optimal (one group)
+        assert!(gm.reoptimize(&cat).unwrap().is_none());
+        assert_eq!(gm.group_count(), 1);
+    }
+
+    #[test]
+    fn grouping_ratio_of_empty_manager() {
+        let gm = GroupManager::new("rep");
+        assert_eq!(gm.grouping_ratio(), 1.0);
+        assert_eq!(gm.rate_benefit_ratio(&catalog()), 0.0);
+        assert_eq!(gm.groups().count(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Properties of the `C(q)` estimator the grouping algorithm relies on:
+//! selectivities stay in `[0, 1]`, conjunction is monotone (adding a
+//! constraint never increases selectivity), and rates respond
+//! monotonically to windows and predicates.
+
+use cosmos_cbn::{AttrConstraint, Conjunction, Interval};
+use cosmos_cql::parse_query;
+use cosmos_query::estimate::{
+    conjunction_selectivity, constraint_selectivity, cost_bps, output_tuples_per_sec,
+};
+use cosmos_query::{AttrStats, StatsCatalog, StreamStats};
+use cosmos_spe::AnalyzedQuery;
+use cosmos_types::{AttrType, Schema, Value};
+use proptest::prelude::*;
+
+fn catalog() -> StatsCatalog {
+    let mut c = StatsCatalog::new();
+    c.register(
+        "S",
+        Schema::of(&[
+            ("id", AttrType::Int),
+            ("x", AttrType::Float),
+            ("timestamp", AttrType::Int),
+        ]),
+        StreamStats::with_rate(5.0)
+            .attr("id", AttrStats::categorical(64.0))
+            .attr("x", AttrStats::numeric(0.0, 100.0, 500.0)),
+    );
+    c.register(
+        "T",
+        Schema::of(&[("id", AttrType::Int), ("timestamp", AttrType::Int)]),
+        StreamStats::with_rate(3.0).attr("id", AttrStats::categorical(64.0)),
+    );
+    c
+}
+
+fn q(text: &str) -> AnalyzedQuery {
+    AnalyzedQuery::analyze(&parse_query(text).unwrap(), catalog().schema_fn()).unwrap()
+}
+
+fn arb_constraint() -> impl Strategy<Value = AttrConstraint> {
+    (
+        proptest::option::of((-20i64..120, any::<bool>())),
+        proptest::option::of((-20i64..120, any::<bool>())),
+        proptest::collection::btree_set((-20i64..120).prop_map(Value::Int), 0..3),
+    )
+        .prop_map(|(lo, hi, excluded)| AttrConstraint {
+            interval: Interval {
+                lo: lo.map(|(v, i)| (Value::Int(v), i)),
+                hi: hi.map(|(v, i)| (Value::Int(v), i)),
+            },
+            excluded,
+        })
+}
+
+proptest! {
+    /// Single-constraint selectivity is always a probability.
+    #[test]
+    fn constraint_selectivity_in_unit_interval(c in arb_constraint()) {
+        let st = AttrStats::numeric(0.0, 100.0, 500.0);
+        let s = constraint_selectivity(&c, Some(&st));
+        prop_assert!((0.0..=1.0).contains(&s), "sel {s}");
+        let s_none = constraint_selectivity(&c, None);
+        prop_assert!((0.0..=1.0).contains(&s_none));
+    }
+
+    /// Adding a conjunct never increases selectivity.
+    #[test]
+    fn conjunction_is_monotone(
+        lo1 in 0i64..100, w1 in 1i64..100,
+        lo2 in 0i64..100, w2 in 1i64..100,
+    ) {
+        let cat = catalog();
+        let stats = cat.stats(&"S".into());
+        let mut one = Conjunction::always();
+        one.between("x", lo1, lo1 + w1);
+        let mut two = one.clone();
+        two.between("id", lo2 % 64, (lo2 % 64) + (w2 % 64));
+        let s1 = conjunction_selectivity(&one, stats);
+        let s2 = conjunction_selectivity(&two, stats);
+        prop_assert!(s2 <= s1 + 1e-12, "{s2} > {s1}");
+    }
+
+    /// Narrowing a range never increases the estimated output rate.
+    #[test]
+    fn narrower_ranges_cost_less(lo in 0i64..50, wide in 20i64..50, shrink in 1i64..19) {
+        let cat = catalog();
+        let wide_q = q(&format!("SELECT id, x FROM S [Now] WHERE x BETWEEN {lo} AND {}", lo + wide));
+        let narrow_q = q(&format!(
+            "SELECT id, x FROM S [Now] WHERE x BETWEEN {lo} AND {}",
+            lo + wide - shrink
+        ));
+        prop_assert!(cost_bps(&narrow_q, &cat) <= cost_bps(&wide_q, &cat) + 1e-9);
+    }
+
+    /// Wider join windows never lower the estimated join output rate.
+    #[test]
+    fn wider_windows_cost_more(w1 in 1i64..60, extra in 1i64..60) {
+        let cat = catalog();
+        let small = q(&format!(
+            "SELECT A.id FROM S [Range {w1} Second] A, T [Range 10 Second] B WHERE A.id = B.id"
+        ));
+        let big = q(&format!(
+            "SELECT A.id FROM S [Range {} Second] A, T [Range 10 Second] B WHERE A.id = B.id",
+            w1 + extra
+        ));
+        prop_assert!(
+            output_tuples_per_sec(&big, &cat) >= output_tuples_per_sec(&small, &cat) - 1e-9
+        );
+    }
+}
+
+#[test]
+fn rates_are_finite_and_nonnegative_for_the_corpus() {
+    let cat = catalog();
+    for text in [
+        "SELECT id FROM S [Now]",
+        "SELECT id, x FROM S [Unbounded] WHERE x > 50.0",
+        "SELECT A.id FROM S [Unbounded] A, T [Unbounded] B WHERE A.id = B.id",
+        "SELECT id, COUNT(*) FROM S [Range 1 Hour] GROUP BY id",
+        "SELECT A.id FROM S [Now] A, T [Now] B", // cross join
+    ] {
+        let r = output_tuples_per_sec(&q(text), &cat);
+        assert!(r.is_finite() && r >= 0.0, "{text}: {r}");
+        assert!(cost_bps(&q(text), &cat).is_finite());
+    }
+}

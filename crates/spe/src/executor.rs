@@ -1,0 +1,782 @@
+//! Push-based continuous execution of analyzed queries.
+//!
+//! The executor receives source tuples in global timestamp order and
+//! produces the query's result stream incrementally (Istream semantics:
+//! a result tuple is emitted the moment the arrival completing it is
+//! processed, stamped with that arrival's timestamp).
+//!
+//! **Join semantics** are precisely the paper's Lemma 1: for streams
+//! `S1, S2` with window sizes `T1, T2`, tuples `t1, t2` join iff they
+//! satisfy the join predicates and `−T1 ≤ t1.ts − t2.ts ≤ T2`. For *n*-way
+//! joins the condition generalizes to `tᵢ.ts ≥ τ − Tᵢ` for every
+//! participant, where `τ` is the completing arrival's timestamp.
+//!
+//! **Aggregate semantics**: on each arrival that passes the selection,
+//! the sliding window is advanced (tuples older than `τ − T` evicted)
+//! and one result row for the arriving tuple's group is emitted.
+
+use crate::analyze::{AnalyzedQuery, OutputColumn, QAttr};
+use cosmos_cql::AggFunc;
+use cosmos_types::{
+    AttrType, CosmosError, FxHashMap, FxHashSet, Result, Schema, StreamName, Timestamp, Tuple,
+    Value,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Positional source of one output column: `(stream index, attr index)`.
+type ColSource = (usize, usize);
+
+/// A running continuous query.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    query: AnalyzedQuery,
+    result_stream: StreamName,
+    /// Tuples that passed their stream's selection, per stream index.
+    buffers: Vec<VecDeque<Tuple>>,
+    /// Precomputed positional sources of plain output columns.
+    attr_sources: Vec<Option<ColSource>>,
+    /// Precomputed `(left source, right source)` of each join predicate.
+    join_sources: Vec<(ColSource, ColSource)>,
+    distinct_seen: FxHashSet<Vec<Value>>,
+    agg: Option<AggregateState>,
+    last_ts: Timestamp,
+    consumed: u64,
+    emitted: u64,
+}
+
+impl Executor {
+    /// Build an executor for an analyzed query; result tuples are tagged
+    /// with `result_stream`.
+    pub fn new(query: AnalyzedQuery, result_stream: impl Into<StreamName>) -> Result<Executor> {
+        let locate = |qa: &QAttr| -> Result<ColSource> {
+            let si = query
+                .stream_index(&qa.binding)
+                .ok_or_else(|| CosmosError::Engine(format!("unbound binding '{}'", qa.binding)))?;
+            let ai = query.streams[si]
+                .schema
+                .index_of(&qa.name)
+                .ok_or_else(|| CosmosError::Engine(format!("unknown attribute {qa}")))?;
+            Ok((si, ai))
+        };
+        let mut attr_sources = Vec::with_capacity(query.output.len());
+        for col in &query.output {
+            attr_sources.push(match col {
+                OutputColumn::Attr(a) => Some(locate(a)?),
+                OutputColumn::Agg { .. } => None,
+            });
+        }
+        let mut join_sources = Vec::with_capacity(query.joins.len());
+        for j in &query.joins {
+            join_sources.push((locate(&j.left)?, locate(&j.right)?));
+        }
+        let agg = if query.is_aggregate() {
+            Some(AggregateState::new(&query)?)
+        } else {
+            None
+        };
+        Ok(Executor {
+            buffers: vec![VecDeque::new(); query.streams.len()],
+            query,
+            result_stream: result_stream.into(),
+            attr_sources,
+            join_sources,
+            distinct_seen: FxHashSet::default(),
+            agg,
+            last_ts: Timestamp(i64::MIN),
+            consumed: 0,
+            emitted: 0,
+        })
+    }
+
+    /// The analyzed query this executor runs.
+    pub fn query(&self) -> &AnalyzedQuery {
+        &self.query
+    }
+
+    /// The schema of emitted result tuples.
+    pub fn result_schema(&self) -> &Schema {
+        &self.query.output_schema
+    }
+
+    /// The name of the result stream.
+    pub fn result_stream(&self) -> &StreamName {
+        &self.result_stream
+    }
+
+    /// Source tuples consumed so far (arrivals relevant to this query).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Result tuples emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Process an arrival that may have been *early-projected* by the
+    /// CBN: `schema` describes the tuple's actual layout. The tuple is
+    /// re-aligned to the stream's full schema (missing attributes become
+    /// `Null`; the source profile guarantees every attribute the query
+    /// touches is present) and then processed normally.
+    pub fn push_projected(&mut self, tuple: &Tuple, schema: &Schema) -> Vec<Tuple> {
+        let Some(bound) = self.query.streams.iter().find(|b| b.stream == tuple.stream) else {
+            return Vec::new();
+        };
+        if *schema == bound.schema {
+            return self.push(tuple);
+        }
+        let full: Vec<Value> = bound
+            .schema
+            .fields()
+            .iter()
+            .map(|f| {
+                tuple
+                    .get_by_name(schema, &f.name)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            })
+            .collect();
+        let aligned = Tuple::new(tuple.stream.clone(), tuple.timestamp, full);
+        self.push(&aligned)
+    }
+
+    /// Process one source arrival, returning the result tuples it
+    /// completes. Tuples must arrive in non-decreasing timestamp order.
+    pub fn push(&mut self, tuple: &Tuple) -> Vec<Tuple> {
+        debug_assert!(
+            tuple.timestamp >= self.last_ts,
+            "tuples must arrive in timestamp order ({} after {})",
+            tuple.timestamp,
+            self.last_ts
+        );
+        self.last_ts = tuple.timestamp;
+        let mut out = Vec::new();
+        // A stream may be bound several times (self joins); process each.
+        for si in 0..self.query.streams.len() {
+            if self.query.streams[si].stream != tuple.stream {
+                continue;
+            }
+            self.consumed += 1;
+            if !self.query.selections[si].satisfies(tuple, &self.query.streams[si].schema) {
+                continue;
+            }
+            if self.agg.is_some() {
+                self.push_aggregate(si, tuple, &mut out);
+            } else if self.query.streams.len() == 1 {
+                self.emit_single(tuple, &mut out);
+            } else {
+                self.push_join(si, tuple, &mut out);
+            }
+        }
+        self.emitted += out.len() as u64;
+        out
+    }
+
+    /// Finish a candidate result-value vector: distinct check and wrap.
+    fn finish(&mut self, values: Vec<Value>, ts: Timestamp, out: &mut Vec<Tuple>) {
+        if self.query.distinct && !self.distinct_seen.insert(values.clone()) {
+            return;
+        }
+        out.push(Tuple::new(self.result_stream.clone(), ts, values));
+    }
+
+    fn emit_single(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        let values: Vec<Value> = self
+            .attr_sources
+            .iter()
+            .map(|src| {
+                let (_, ai) = src.expect("non-aggregate column");
+                tuple.get(ai).cloned().unwrap_or(Value::Null)
+            })
+            .collect();
+        self.finish(values, tuple.timestamp, out);
+    }
+
+    fn push_join(&mut self, arrival_idx: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        let tau = tuple.timestamp;
+        // Evict tuples that can no longer join any future arrival:
+        // tᵢ.ts < τ − Tᵢ (infinite windows never evict).
+        for (si, buf) in self.buffers.iter_mut().enumerate() {
+            let w = self.query.streams[si].window;
+            if w.is_infinite() {
+                continue;
+            }
+            let horizon = tau - w;
+            while buf.front().is_some_and(|t| t.timestamp < horizon) {
+                buf.pop_front();
+            }
+        }
+        // Enumerate combinations from the other buffers.
+        let n = self.query.streams.len();
+        let mut combo: Vec<Option<&Tuple>> = vec![None; n];
+        combo[arrival_idx] = Some(tuple);
+        let mut results: Vec<Vec<Value>> = Vec::new();
+        enumerate(
+            &self.buffers,
+            arrival_idx,
+            0,
+            &mut combo,
+            &self.join_sources,
+            &self.attr_sources,
+            &mut results,
+        );
+        for values in results {
+            self.finish(values, tau, out);
+        }
+        self.buffers[arrival_idx].push_back(tuple.clone());
+    }
+
+    fn push_aggregate(&mut self, si: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        debug_assert_eq!(si, 0, "aggregates run over a single stream");
+        let agg = self.agg.as_mut().expect("aggregate state");
+        let row = agg.push(&self.query, tuple);
+        self.finish(row, tuple.timestamp, out);
+    }
+}
+
+/// Depth-first enumeration of join combinations.
+fn enumerate<'a>(
+    buffers: &'a [VecDeque<Tuple>],
+    arrival_idx: usize,
+    si: usize,
+    combo: &mut Vec<Option<&'a Tuple>>,
+    join_sources: &[(ColSource, ColSource)],
+    attr_sources: &[Option<ColSource>],
+    results: &mut Vec<Vec<Value>>,
+) {
+    if si == buffers.len() {
+        // All join predicates whose sides are both bound must hold;
+        // at this depth every side is bound.
+        let get = |src: ColSource| -> &Value {
+            combo[src.0]
+                .expect("combo complete")
+                .get(src.1)
+                .expect("attr index valid")
+        };
+        for (l, r) in join_sources {
+            if !get(*l).eq_coerce(get(*r)) {
+                return;
+            }
+        }
+        let values = attr_sources
+            .iter()
+            .map(|src| {
+                let (s, a) = src.expect("non-aggregate column");
+                combo[s]
+                    .expect("combo complete")
+                    .get(a)
+                    .cloned()
+                    .unwrap_or(Value::Null)
+            })
+            .collect();
+        results.push(values);
+        return;
+    }
+    if si == arrival_idx {
+        enumerate(
+            buffers,
+            arrival_idx,
+            si + 1,
+            combo,
+            join_sources,
+            attr_sources,
+            results,
+        );
+        return;
+    }
+    // Early join-predicate pruning would help at scale; buffers in this
+    // system are small (windowed), so plain enumeration is fine.
+    for t in &buffers[si] {
+        combo[si] = Some(t);
+        enumerate(
+            buffers,
+            arrival_idx,
+            si + 1,
+            combo,
+            join_sources,
+            attr_sources,
+            results,
+        );
+    }
+    combo[si] = None;
+}
+
+/// Grouped sliding-window aggregate state.
+#[derive(Debug, Clone)]
+struct AggregateState {
+    /// Buffered contributions: `(timestamp, group key, agg arg values)`.
+    window: VecDeque<(Timestamp, Vec<Value>, Vec<Value>)>,
+    /// Per-group accumulators, one per aggregate column.
+    groups: FxHashMap<Vec<Value>, Vec<Accumulator>>,
+    /// Positional sources of the group-by attributes.
+    group_sources: Vec<usize>,
+    /// Positional sources of each aggregate argument (`None` = COUNT(*)).
+    agg_args: Vec<Option<usize>>,
+    /// The aggregate functions, parallel to `agg_args`.
+    funcs: Vec<AggFunc>,
+    /// Output types of SUM columns (Int sums stay Int).
+    sum_is_int: Vec<bool>,
+}
+
+/// One incremental accumulator supporting insert and remove.
+#[derive(Debug, Clone, Default)]
+struct Accumulator {
+    count: i64,
+    sum: f64,
+    /// Multiset of values for MIN/MAX under sliding windows.
+    values: BTreeMap<Value, usize>,
+}
+
+impl Accumulator {
+    fn insert(&mut self, v: Option<&Value>) {
+        self.count += 1;
+        if let Some(v) = v {
+            if let Some(x) = v.as_f64() {
+                self.sum += x;
+            }
+            *self.values.entry(v.clone()).or_insert(0) += 1;
+        }
+    }
+
+    fn remove(&mut self, v: Option<&Value>) {
+        self.count -= 1;
+        if let Some(v) = v {
+            if let Some(x) = v.as_f64() {
+                self.sum -= x;
+            }
+            if let Some(c) = self.values.get_mut(v) {
+                *c -= 1;
+                if *c == 0 {
+                    self.values.remove(v);
+                }
+            }
+        }
+    }
+
+    fn value(&self, func: AggFunc, sum_is_int: bool) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => {
+                if sum_is_int {
+                    Value::Int(self.sum.round() as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.values.keys().next().cloned().unwrap_or(Value::Null),
+            AggFunc::Max => self
+                .values
+                .keys()
+                .next_back()
+                .cloned()
+                .unwrap_or(Value::Null),
+        }
+    }
+}
+
+impl AggregateState {
+    fn new(query: &AnalyzedQuery) -> Result<AggregateState> {
+        let schema = &query.streams[0].schema;
+        let mut group_sources = Vec::with_capacity(query.group_by.len());
+        for g in &query.group_by {
+            group_sources.push(
+                schema.index_of(&g.name).ok_or_else(|| {
+                    CosmosError::Engine(format!("unknown grouping attribute {g}"))
+                })?,
+            );
+        }
+        let mut agg_args = Vec::new();
+        let mut funcs = Vec::new();
+        let mut sum_is_int = Vec::new();
+        for col in &query.output {
+            if let OutputColumn::Agg { func, arg } = col {
+                funcs.push(*func);
+                match arg {
+                    Some(a) => {
+                        let ai = schema.index_of(&a.name).ok_or_else(|| {
+                            CosmosError::Engine(format!("unknown aggregate argument {a}"))
+                        })?;
+                        agg_args.push(Some(ai));
+                        sum_is_int.push(schema.fields()[ai].ty == AttrType::Int);
+                    }
+                    None => {
+                        agg_args.push(None);
+                        sum_is_int.push(false);
+                    }
+                }
+            }
+        }
+        Ok(AggregateState {
+            window: VecDeque::new(),
+            groups: FxHashMap::default(),
+            group_sources,
+            agg_args,
+            funcs,
+            sum_is_int,
+        })
+    }
+
+    /// Advance the window to `tuple.timestamp`, fold the tuple in, and
+    /// return the output row for its group.
+    fn push(&mut self, query: &AnalyzedQuery, tuple: &Tuple) -> Vec<Value> {
+        let tau = tuple.timestamp;
+        let w = query.streams[0].window;
+        if !w.is_infinite() {
+            let horizon = tau - w;
+            while self.window.front().is_some_and(|(ts, _, _)| *ts < horizon) {
+                let (_, key, args) = self.window.pop_front().expect("checked front");
+                let accs = self.groups.get_mut(&key).expect("group exists");
+                for (ai, acc) in accs.iter_mut().enumerate() {
+                    acc.remove(if self.agg_args[ai].is_some() {
+                        Some(&args[ai])
+                    } else {
+                        None
+                    });
+                }
+                if accs[0].count == 0 {
+                    self.groups.remove(&key);
+                }
+            }
+        }
+        let key: Vec<Value> = self
+            .group_sources
+            .iter()
+            .map(|&i| tuple.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        let args: Vec<Value> = self
+            .agg_args
+            .iter()
+            .map(|src| match src {
+                Some(i) => tuple.get(*i).cloned().unwrap_or(Value::Null),
+                None => Value::Null,
+            })
+            .collect();
+        let accs = self
+            .groups
+            .entry(key.clone())
+            .or_insert_with(|| vec![Accumulator::default(); self.funcs.len()]);
+        for (ai, acc) in accs.iter_mut().enumerate() {
+            acc.insert(if self.agg_args[ai].is_some() {
+                Some(&args[ai])
+            } else {
+                None
+            });
+        }
+        self.window.push_back((tau, key.clone(), args));
+
+        // Assemble the output row in SELECT order.
+        let accs = &self.groups[&key];
+        let mut agg_i = 0usize;
+        query
+            .output
+            .iter()
+            .map(|col| match col {
+                OutputColumn::Attr(a) => {
+                    let gi = query
+                        .group_by
+                        .iter()
+                        .position(|g| g == a)
+                        .expect("validated: attr in GROUP BY");
+                    key[gi].clone()
+                }
+                OutputColumn::Agg { .. } => {
+                    let v = accs[agg_i].value(self.funcs[agg_i], self.sum_is_int[agg_i]);
+                    agg_i += 1;
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::AnalyzedQuery;
+    use cosmos_cql::parse_query;
+
+    fn open_schema() -> Schema {
+        Schema::of(&[
+            ("itemID", AttrType::Int),
+            ("start_price", AttrType::Float),
+            ("timestamp", AttrType::Int),
+        ])
+    }
+
+    fn closed_schema() -> Schema {
+        Schema::of(&[
+            ("itemID", AttrType::Int),
+            ("buyerID", AttrType::Int),
+            ("timestamp", AttrType::Int),
+        ])
+    }
+
+    fn catalog(name: &str) -> Option<Schema> {
+        match name {
+            "Open" => Some(open_schema()),
+            "Closed" => Some(closed_schema()),
+            "S" => Some(Schema::of(&[("k", AttrType::Int), ("v", AttrType::Float)])),
+            _ => None,
+        }
+    }
+
+    fn executor(text: &str) -> Executor {
+        let q = AnalyzedQuery::analyze(&parse_query(text).unwrap(), catalog).unwrap();
+        Executor::new(q, "result").unwrap()
+    }
+
+    fn open_tuple(ts: i64, item: i64, price: f64) -> Tuple {
+        Tuple::new(
+            "Open",
+            Timestamp(ts),
+            vec![Value::Int(item), Value::Float(price), Value::Int(ts)],
+        )
+    }
+
+    fn closed_tuple(ts: i64, item: i64, buyer: i64) -> Tuple {
+        Tuple::new(
+            "Closed",
+            Timestamp(ts),
+            vec![Value::Int(item), Value::Int(buyer), Value::Int(ts)],
+        )
+    }
+
+    #[test]
+    fn single_stream_select_project() {
+        let mut ex = executor("SELECT k FROM S [Now] WHERE v > 1.0");
+        let pass = Tuple::new("S", Timestamp(1), vec![Value::Int(7), Value::Float(2.0)]);
+        let fail = Tuple::new("S", Timestamp(2), vec![Value::Int(8), Value::Float(0.5)]);
+        let out = ex.push(&pass);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values(), &[Value::Int(7)]);
+        assert_eq!(out[0].stream.as_str(), "result");
+        assert_eq!(out[0].timestamp, Timestamp(1));
+        assert!(ex.push(&fail).is_empty());
+        assert_eq!(ex.consumed(), 2);
+        assert_eq!(ex.emitted(), 1);
+        assert_eq!(ex.result_schema().names().collect::<Vec<_>>(), vec!["k"]);
+        assert_eq!(ex.result_stream().as_str(), "result");
+    }
+
+    #[test]
+    fn window_join_follows_lemma1() {
+        // Open [Range 3 Hour], Closed [Now]: a closing auction joins
+        // openings within the last 3 hours (and nothing newer).
+        let mut ex = executor(
+            "SELECT O.itemID, C.buyerID FROM Open [Range 3 Hour] O, Closed [Now] C \
+             WHERE O.itemID = C.itemID",
+        );
+        let h = 3_600_000i64;
+        assert!(ex.push(&open_tuple(0, 1, 10.0)).is_empty());
+        assert!(ex.push(&open_tuple(h, 2, 20.0)).is_empty());
+        // close item 1 at 2h: the opening at t=0 is within 3h → join
+        let out = ex.push(&closed_tuple(2 * h, 1, 99));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values(), &[Value::Int(1), Value::Int(99)]);
+        assert_eq!(out[0].timestamp, Timestamp(2 * h));
+        // close item 1 again at 4h: the opening at t=0 has expired (> 3h)
+        assert!(ex.push(&closed_tuple(4 * h, 1, 100)).is_empty());
+        // close item 2 at 4h: opening at t=1h is exactly 3h old → joins
+        let out = ex.push(&closed_tuple(4 * h, 2, 101)).len();
+        assert_eq!(out, 1);
+    }
+
+    #[test]
+    fn now_window_requires_equal_timestamps() {
+        // Closed [Now]: an opening arriving after a closing with a
+        // smaller timestamp must not join it.
+        let mut ex = executor(
+            "SELECT O.itemID FROM Open [Range 1 Hour] O, Closed [Now] C \
+             WHERE O.itemID = C.itemID",
+        );
+        assert!(ex.push(&closed_tuple(1000, 5, 1)).is_empty());
+        // opening at the same timestamp joins the buffered closing
+        assert_eq!(ex.push(&open_tuple(1000, 5, 1.0)).len(), 1);
+        // opening later does not (closing's Now window has passed)
+        assert!(ex.push(&open_tuple(2000, 5, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn join_predicates_filter_combinations() {
+        let mut ex = executor(
+            "SELECT O.itemID FROM Open [Range 1 Hour] O, Closed [Range 1 Hour] C \
+             WHERE O.itemID = C.itemID",
+        );
+        ex.push(&open_tuple(0, 1, 1.0));
+        ex.push(&open_tuple(0, 2, 1.0));
+        let out = ex.push(&closed_tuple(10, 2, 50));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values(), &[Value::Int(2)]);
+    }
+
+    #[test]
+    fn selections_prune_before_buffering() {
+        let mut ex = executor(
+            "SELECT O.itemID FROM Open [Range 1 Hour] O, Closed [Range 1 Hour] C \
+             WHERE O.itemID = C.itemID AND O.start_price > 15.0",
+        );
+        ex.push(&open_tuple(0, 1, 10.0)); // filtered out
+        ex.push(&open_tuple(0, 2, 20.0)); // kept
+        let out = ex.push(&closed_tuple(10, 1, 50));
+        assert!(out.is_empty());
+        let out = ex.push(&closed_tuple(10, 2, 51));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unbounded_windows_never_evict() {
+        let mut ex = executor(
+            "SELECT O.itemID FROM Open [Unbounded] O, Closed [Now] C \
+             WHERE O.itemID = C.itemID",
+        );
+        ex.push(&open_tuple(0, 1, 1.0));
+        let far = 1_000_000_000i64;
+        assert_eq!(ex.push(&closed_tuple(far, 1, 9)).len(), 1);
+    }
+
+    #[test]
+    fn distinct_deduplicates_result_values() {
+        let mut ex = executor("SELECT DISTINCT k FROM S [Now]");
+        let t1 = Tuple::new("S", Timestamp(1), vec![Value::Int(7), Value::Float(0.0)]);
+        let t2 = Tuple::new("S", Timestamp(2), vec![Value::Int(7), Value::Float(1.0)]);
+        let t3 = Tuple::new("S", Timestamp(3), vec![Value::Int(8), Value::Float(1.0)]);
+        assert_eq!(ex.push(&t1).len(), 1);
+        assert_eq!(ex.push(&t2).len(), 0);
+        assert_eq!(ex.push(&t3).len(), 1);
+    }
+
+    #[test]
+    fn irrelevant_streams_are_ignored() {
+        let mut ex = executor("SELECT k FROM S [Now]");
+        let other = Tuple::new("Unrelated", Timestamp(1), vec![Value::Int(1)]);
+        assert!(ex.push(&other).is_empty());
+        assert_eq!(ex.consumed(), 0);
+    }
+
+    #[test]
+    fn self_join_binds_both_sides() {
+        let mut ex = executor(
+            "SELECT A.itemID FROM Open [Range 1 Hour] A, Open [Range 1 Hour] B \
+             WHERE A.itemID = B.itemID",
+        );
+        // first arrival: both windows contain the tuple at its own
+        // timestamp, so it joins itself once (CQL self-join semantics)
+        let out = ex.push(&open_tuple(0, 1, 1.0));
+        assert_eq!(out.len(), 1);
+        // second arrival t2: pairs (t2, t1), (t1, t2) and (t2, t2)
+        let out = ex.push(&open_tuple(10, 1, 2.0));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn grouped_sliding_aggregates() {
+        let mut ex = executor(
+            "SELECT k, COUNT(*), AVG(v), MIN(v), MAX(v), SUM(v) \
+             FROM S [Range 10 Second] GROUP BY k",
+        );
+        let t = |ts: i64, k: i64, v: f64| {
+            Tuple::new("S", Timestamp(ts), vec![Value::Int(k), Value::Float(v)])
+        };
+        let r1 = ex.push(&t(0, 1, 10.0));
+        assert_eq!(
+            r1[0].values(),
+            &[
+                Value::Int(1),
+                Value::Int(1),
+                Value::Float(10.0),
+                Value::Float(10.0),
+                Value::Float(10.0),
+                Value::Float(10.0)
+            ]
+        );
+        let r2 = ex.push(&t(5_000, 1, 20.0));
+        assert_eq!(
+            r2[0].values(),
+            &[
+                Value::Int(1),
+                Value::Int(2),
+                Value::Float(15.0),
+                Value::Float(10.0),
+                Value::Float(20.0),
+                Value::Float(30.0)
+            ]
+        );
+        // other group independent
+        let r3 = ex.push(&t(6_000, 2, 100.0));
+        assert_eq!(r3[0].values()[1], Value::Int(1));
+        // at t=12s the t=0 tuple has left the 10s window
+        let r4 = ex.push(&t(12_000, 1, 30.0));
+        assert_eq!(
+            r4[0].values(),
+            &[
+                Value::Int(1),
+                Value::Int(2),
+                Value::Float(25.0),
+                Value::Float(20.0),
+                Value::Float(30.0),
+                Value::Float(50.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn count_star_without_group_by() {
+        let mut ex = executor("SELECT COUNT(*) FROM S [Range 5 Second]");
+        let t = |ts: i64| Tuple::new("S", Timestamp(ts), vec![Value::Int(1), Value::Float(0.0)]);
+        assert_eq!(ex.push(&t(0))[0].values(), &[Value::Int(1)]);
+        assert_eq!(ex.push(&t(1_000))[0].values(), &[Value::Int(2)]);
+        assert_eq!(ex.push(&t(4_000))[0].values(), &[Value::Int(3)]);
+        // at t=7s the 5s window keeps only t=4s and t=7s
+        assert_eq!(ex.push(&t(7_000))[0].values(), &[Value::Int(2)]);
+    }
+
+    #[test]
+    fn push_projected_realigns_narrow_tuples() {
+        // The CBN delivers only {k, v} (early projection); the executor
+        // must realign them to the full stream schema.
+        let mut ex = executor("SELECT k FROM S [Now] WHERE v > 1.0");
+        let narrow_schema = Schema::of(&[("v", AttrType::Float), ("k", AttrType::Int)]);
+        // note: reversed column order relative to the registered schema
+        let t = Tuple::new("S", Timestamp(1), vec![Value::Float(2.0), Value::Int(7)]);
+        let out = ex.push_projected(&t, &narrow_schema);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values(), &[Value::Int(7)]);
+        // a tuple missing the filtered attribute cannot satisfy it
+        let missing = Schema::of(&[("k", AttrType::Int)]);
+        let t2 = Tuple::new("S", Timestamp(2), vec![Value::Int(8)]);
+        assert!(ex.push_projected(&t2, &missing).is_empty());
+        // full-schema tuples take the fast path
+        let full = Tuple::new("S", Timestamp(3), vec![Value::Int(9), Value::Float(5.0)]);
+        let full_schema = Schema::of(&[("k", AttrType::Int), ("v", AttrType::Float)]);
+        assert_eq!(ex.push_projected(&full, &full_schema).len(), 1);
+        // tuples from unknown streams are ignored
+        let other = Tuple::new("Other", Timestamp(4), vec![Value::Int(1)]);
+        assert!(ex.push_projected(&other, &missing).is_empty());
+    }
+
+    #[test]
+    fn integer_sums_stay_integers() {
+        let cat =
+            |n: &str| (n == "T").then(|| Schema::of(&[("g", AttrType::Int), ("x", AttrType::Int)]));
+        let q = AnalyzedQuery::analyze(
+            &parse_query("SELECT g, SUM(x) FROM T [Unbounded] GROUP BY g").unwrap(),
+            cat,
+        )
+        .unwrap();
+        let mut ex = Executor::new(q, "r").unwrap();
+        let t = |ts: i64, g: i64, x: i64| {
+            Tuple::new("T", Timestamp(ts), vec![Value::Int(g), Value::Int(x)])
+        };
+        ex.push(&t(0, 1, 5));
+        let out = ex.push(&t(1, 1, 7));
+        assert_eq!(out[0].values(), &[Value::Int(1), Value::Int(12)]);
+        assert!(matches!(out[0].values()[1], Value::Int(_)));
+    }
+}

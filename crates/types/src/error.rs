@@ -1,0 +1,113 @@
+//! Shared error type for the COSMOS workspace.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CosmosError>;
+
+/// Errors produced anywhere in the COSMOS stack.
+///
+/// A single error enum keeps cross-crate plumbing simple; each variant
+/// carries a human-readable message with enough context to act on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CosmosError {
+    /// A CQL statement failed to lex or parse.
+    Parse(String),
+    /// A parsed query failed semantic analysis (unknown stream/attribute,
+    /// type mismatch, unsupported construct).
+    Analyze(String),
+    /// A schema lookup failed or two schemas were incompatible.
+    Schema(String),
+    /// A value had the wrong type for the requested operation.
+    Type(String),
+    /// The content-based network refused an operation (unknown stream,
+    /// malformed profile, routing inconsistency).
+    Network(String),
+    /// The overlay layer refused an operation (unknown node, disconnected
+    /// graph, invalid tree move).
+    Overlay(String),
+    /// The query layer refused an operation (queries not mergeable,
+    /// unknown query/group id).
+    Query(String),
+    /// The stream processing engine refused an operation.
+    Engine(String),
+    /// Simulation/system-level misuse (unknown node id, duplicate stream
+    /// registration, …).
+    System(String),
+}
+
+impl CosmosError {
+    /// Short machine-friendly category name, useful in logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CosmosError::Parse(_) => "parse",
+            CosmosError::Analyze(_) => "analyze",
+            CosmosError::Schema(_) => "schema",
+            CosmosError::Type(_) => "type",
+            CosmosError::Network(_) => "network",
+            CosmosError::Overlay(_) => "overlay",
+            CosmosError::Query(_) => "query",
+            CosmosError::Engine(_) => "engine",
+            CosmosError::System(_) => "system",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            CosmosError::Parse(m)
+            | CosmosError::Analyze(m)
+            | CosmosError::Schema(m)
+            | CosmosError::Type(m)
+            | CosmosError::Network(m)
+            | CosmosError::Overlay(m)
+            | CosmosError::Query(m)
+            | CosmosError::Engine(m)
+            | CosmosError::System(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for CosmosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for CosmosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = CosmosError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            CosmosError::Parse(String::new()).kind(),
+            CosmosError::Analyze(String::new()).kind(),
+            CosmosError::Schema(String::new()).kind(),
+            CosmosError::Type(String::new()).kind(),
+            CosmosError::Network(String::new()).kind(),
+            CosmosError::Overlay(String::new()).kind(),
+            CosmosError::Query(String::new()).kind(),
+            CosmosError::Engine(String::new()).kind(),
+            CosmosError::System(String::new()).kind(),
+        ];
+        let set: std::collections::BTreeSet<_> = kinds.iter().collect();
+        assert_eq!(set.len(), kinds.len());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CosmosError::System("x".into()));
+    }
+}

@@ -1,0 +1,103 @@
+//! Small identifier newtypes.
+//!
+//! All ids are plain integers wrapped in newtypes so they cannot be mixed
+//! up across subsystems. They are `Copy`, ordered and hashable, and print
+//! with a short prefix for readable logs (`n17`, `q3`, …).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Raw integer value of the id.
+            #[inline]
+            pub fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Index form, for direct use with `Vec` storage.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an overlay node (broker or processor).
+    NodeId,
+    "n",
+    u32
+);
+id_type!(
+    /// Identifier of a user query registered with the system.
+    QueryId,
+    "q",
+    u64
+);
+id_type!(
+    /// Identifier of a data-interest profile installed in the CBN.
+    ProfileId,
+    "p",
+    u64
+);
+id_type!(
+    /// Identifier of a subscriber (a local consumer attached to a node).
+    SubscriberId,
+    "sub",
+    u64
+);
+id_type!(
+    /// Identifier of a query group maintained by a processor.
+    GroupId,
+    "g",
+    u64
+);
+id_type!(
+    /// Identifier of an undirected overlay link.
+    LinkId,
+    "l",
+    u32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId(17).to_string(), "n17");
+        assert_eq!(QueryId(3).to_string(), "q3");
+        assert_eq!(ProfileId(0).to_string(), "p0");
+        assert_eq!(SubscriberId(9).to_string(), "sub9");
+        assert_eq!(GroupId(5).to_string(), "g5");
+        assert_eq!(LinkId(2).to_string(), "l2");
+    }
+
+    #[test]
+    fn ordering_and_raw_roundtrip() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::from(7u32).raw(), 7);
+        assert_eq!(QueryId(11).index(), 11);
+    }
+}

@@ -1,0 +1,276 @@
+//! Stream schemas.
+
+use crate::{CosmosError, Result, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Runtime type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// Boolean attribute.
+    Bool,
+    /// 64-bit integer attribute.
+    Int,
+    /// 64-bit float attribute.
+    Float,
+    /// UTF-8 string attribute.
+    Str,
+}
+
+impl AttrType {
+    /// Whether a value inhabits this type (`Null` inhabits every type).
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (AttrType::Bool, Value::Bool(_))
+                | (AttrType::Int, Value::Int(_))
+                | (AttrType::Float, Value::Float(_))
+                | (AttrType::Float, Value::Int(_))
+                | (AttrType::Str, Value::Str(_))
+        )
+    }
+
+    /// Whether the type is numeric (comparable with numeric constants).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrType::Int | AttrType::Float)
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Bool => "BOOL",
+            AttrType::Int => "INT",
+            AttrType::Float => "FLOAT",
+            AttrType::Str => "STRING",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed attribute of a stream schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Attribute name. Source streams use bare names (`itemID`); derived
+    /// result streams use qualified names (`O.itemID`).
+    pub name: String,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of attributes describing the tuples of one stream.
+///
+/// Schemas are immutable and cheap to clone (`Arc` inside). Field order is
+/// the on-the-wire tuple order; lookups by name are linear, which is fine
+/// at schema widths seen in stream systems (≤ a few dozen attributes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Build a schema from fields. Fails on duplicate attribute names.
+    pub fn new(fields: Vec<Field>) -> Result<Schema> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(CosmosError::Schema(format!(
+                    "duplicate attribute name '{}'",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema {
+            fields: fields.into(),
+        })
+    }
+
+    /// Build a schema from `(name, type)` pairs; panics on duplicates.
+    /// Intended for statically known schemas in tests and workloads.
+    pub fn of(pairs: &[(&str, AttrType)]) -> Schema {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+        .expect("static schema must not contain duplicates")
+    }
+
+    /// The fields, in tuple order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Whether the schema contains the attribute.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// All attribute names, in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|f| f.name.as_str())
+    }
+
+    /// Schema containing only the named attributes, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut out = Vec::with_capacity(names.len());
+        for n in names {
+            let f = self
+                .field(n)
+                .ok_or_else(|| CosmosError::Schema(format!("unknown attribute '{n}'")))?;
+            out.push(f.clone());
+        }
+        Schema::new(out)
+    }
+
+    /// Concatenation of two schemas, with each attribute of `self`
+    /// prefixed by `left_prefix.` and each of `other` by `right_prefix.`.
+    ///
+    /// This is how join result schemas are derived: qualified names keep
+    /// same-named attributes from the two inputs distinct.
+    pub fn join(&self, left_prefix: &str, other: &Schema, right_prefix: &str) -> Result<Schema> {
+        let mut out = Vec::with_capacity(self.arity() + other.arity());
+        for f in self.fields() {
+            out.push(Field::new(format!("{left_prefix}.{}", f.name), f.ty));
+        }
+        for f in other.fields() {
+            out.push(Field::new(format!("{right_prefix}.{}", f.name), f.ty));
+        }
+        Schema::new(out)
+    }
+
+    /// Average wire size, in bytes, of a tuple of this schema assuming
+    /// scalar attributes (strings estimated at 12 bytes).
+    pub fn estimated_tuple_bytes(&self) -> usize {
+        self.fields
+            .iter()
+            .map(|f| match f.ty {
+                AttrType::Bool => 1,
+                AttrType::Int | AttrType::Float => 8,
+                AttrType::Str => 12,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fld.name, fld.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auction_schema() -> Schema {
+        Schema::of(&[
+            ("itemID", AttrType::Int),
+            ("sellerID", AttrType::Int),
+            ("start_price", AttrType::Float),
+            ("timestamp", AttrType::Int),
+        ])
+    }
+
+    #[test]
+    fn lookup_and_order() {
+        let s = auction_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("sellerID"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.contains("timestamp"));
+        assert_eq!(s.names().collect::<Vec<_>>()[0], "itemID");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", AttrType::Int),
+            Field::new("a", AttrType::Float),
+        ])
+        .unwrap_err();
+        assert_eq!(err.kind(), "schema");
+    }
+
+    #[test]
+    fn projection_keeps_requested_order() {
+        let s = auction_schema();
+        let p = s.project(&["timestamp", "itemID"]).unwrap();
+        assert_eq!(p.names().collect::<Vec<_>>(), vec!["timestamp", "itemID"]);
+        assert!(s.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn join_qualifies_names() {
+        let open = auction_schema();
+        let closed = Schema::of(&[
+            ("itemID", AttrType::Int),
+            ("buyerID", AttrType::Int),
+            ("timestamp", AttrType::Int),
+        ]);
+        let j = open.join("O", &closed, "C").unwrap();
+        assert_eq!(j.arity(), 7);
+        assert!(j.contains("O.itemID"));
+        assert!(j.contains("C.itemID"));
+        assert!(j.contains("C.buyerID"));
+    }
+
+    #[test]
+    fn admits_follows_coercion() {
+        assert!(AttrType::Float.admits(&Value::Int(3)));
+        assert!(!AttrType::Int.admits(&Value::Float(3.0)));
+        assert!(AttrType::Str.admits(&Value::Null));
+        assert!(AttrType::Int.is_numeric());
+        assert!(!AttrType::Str.is_numeric());
+    }
+
+    #[test]
+    fn estimated_bytes() {
+        let s = Schema::of(&[
+            ("a", AttrType::Int),
+            ("b", AttrType::Str),
+            ("c", AttrType::Bool),
+        ]);
+        assert_eq!(s.estimated_tuple_bytes(), 8 + 12 + 1);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::of(&[("a", AttrType::Int)]);
+        assert_eq!(s.to_string(), "(a INT)");
+    }
+}

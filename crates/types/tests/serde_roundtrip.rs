@@ -1,0 +1,67 @@
+//! Serde round-trips for the wire-facing data model (profiles and
+//! datagrams travel between nodes; in a networked deployment they would
+//! be serialized exactly like this).
+
+use cosmos_types::{AttrType, Field, NodeId, QueryId, Schema, Timestamp, Tuple, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // full-precision doubles: exact round-trips rely on serde_json's
+        // `float_roundtrip` feature (enabled workspace-wide)
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    /// Values survive JSON round-trips bit-for-bit (modulo the float
+    /// range we generate, which excludes NaN).
+    #[test]
+    fn value_roundtrip(v in arb_value()) {
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    /// Tuples round-trip, including stream name and timestamp.
+    #[test]
+    fn tuple_roundtrip(
+        vs in proptest::collection::vec(arb_value(), 0..8),
+        ts in any::<i64>(),
+        name in "[a-zA-Z][a-zA-Z0-9_:]{0,16}",
+    ) {
+        let t = Tuple::new(name.as_str(), Timestamp(ts), vs);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tuple = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}
+
+#[test]
+fn schema_roundtrip() {
+    let s = Schema::new(vec![
+        Field::new("a", AttrType::Int),
+        Field::new("b", AttrType::Float),
+        Field::new("c", AttrType::Str),
+        Field::new("d", AttrType::Bool),
+    ])
+    .unwrap();
+    let json = serde_json::to_string(&s).unwrap();
+    let back: Schema = serde_json::from_str(&json).unwrap();
+    assert_eq!(s, back);
+}
+
+#[test]
+fn id_roundtrips() {
+    for v in [0u32, 1, u32::MAX] {
+        let json = serde_json::to_string(&NodeId(v)).unwrap();
+        assert_eq!(serde_json::from_str::<NodeId>(&json).unwrap(), NodeId(v));
+    }
+    let q = QueryId(u64::MAX);
+    let json = serde_json::to_string(&q).unwrap();
+    assert_eq!(serde_json::from_str::<QueryId>(&json).unwrap(), q);
+}

@@ -1,0 +1,144 @@
+//! Sampling distributions for workload generation.
+
+use rand::Rng;
+
+/// Popularity distribution over `n` items (streams), matching the
+/// paper's "uniform or zipfian" query generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Every item equally likely.
+    Uniform,
+    /// Zipf with skew `s`: `P(i) ∝ 1 / (i+1)^s`.
+    Zipf(f64),
+}
+
+impl Popularity {
+    /// Human-readable label used in experiment tables ("uniform",
+    /// "zipf1.0", …).
+    pub fn label(&self) -> String {
+        match self {
+            Popularity::Uniform => "uniform".to_string(),
+            Popularity::Zipf(s) => format!("zipf{s}"),
+        }
+    }
+}
+
+/// A precomputed sampler for a [`Popularity`] over `n` items.
+#[derive(Debug, Clone)]
+pub struct PopularitySampler {
+    cdf: Vec<f64>,
+}
+
+impl PopularitySampler {
+    /// Build a sampler over `n` items.
+    pub fn new(pop: Popularity, n: usize) -> PopularitySampler {
+        assert!(n > 0, "cannot sample from zero items");
+        let weights: Vec<f64> = match pop {
+            Popularity::Uniform => vec![1.0; n],
+            Popularity::Zipf(s) => (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect(),
+        };
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        PopularitySampler { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one item index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of item `i`.
+    pub fn mass(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(pop: Popularity, n: usize, draws: usize) -> Vec<usize> {
+        let sampler = PopularitySampler::new(pop, n);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[sampler.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let h = histogram(Popularity::Uniform, 10, 20_000);
+        for c in &h {
+            assert!(*c > 1_500 && *c < 2_500, "count {c} too far from 2000");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_monotone() {
+        let h = histogram(Popularity::Zipf(1.0), 10, 20_000);
+        assert!(h[0] > 3 * h[4], "head not heavy enough: {h:?}");
+        // stronger skew concentrates more mass on the head
+        let h2 = histogram(Popularity::Zipf(2.0), 10, 20_000);
+        assert!(h2[0] > h[0]);
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        for pop in [Popularity::Uniform, Popularity::Zipf(1.5)] {
+            let s = PopularitySampler::new(pop, 63);
+            let total: f64 = (0..63).map(|i| s.mass(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert_eq!(s.len(), 63);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn zipf_mass_follows_power_law() {
+        let s = PopularitySampler::new(Popularity::Zipf(1.0), 100);
+        // mass(0) / mass(9) ≈ 10 for s = 1
+        let ratio = s.mass(0) / s.mass(9);
+        assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Popularity::Uniform.label(), "uniform");
+        assert_eq!(Popularity::Zipf(1.5).label(), "zipf1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn zero_items_rejected() {
+        PopularitySampler::new(Popularity::Uniform, 0);
+    }
+}

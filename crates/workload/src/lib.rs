@@ -1,0 +1,26 @@
+//! Workload generators for the COSMOS experiments.
+//!
+//! The paper's preliminary study (Section 5) uses:
+//!
+//! * the **SensorScope** environmental-sensing dataset — "63 streams"
+//!   measuring "key environmental data such as air temperature and
+//!   humidity etc." — emulated here by [`sensor`], a deterministic
+//!   synthetic generator with matching schemas, rates and value
+//!   distributions;
+//! * randomly generated queries — "randomly selecting the involved
+//!   streams, their window sizes and the filtering predicates based on a
+//!   distribution (uniform or zipfian)" — implemented by [`querygen`];
+//! * the **auction monitoring** application of Table 1 (`OpenAuction` /
+//!   `ClosedAuction`), implemented by [`auction`] together with the
+//!   verbatim `q1`/`q2`/`q3` query texts.
+//!
+//! All generators are seeded and fully deterministic.
+
+pub mod auction;
+pub mod dist;
+pub mod querygen;
+pub mod sensor;
+
+pub use dist::Popularity;
+pub use querygen::{QueryGenConfig, QueryGenerator};
+pub use sensor::{sensor_catalog, SensorGenerator, SENSOR_STREAMS};

@@ -1,0 +1,157 @@
+//! System-level edge cases: query distribution policy, accounting
+//! consistency, registry modes under load, and determinism of whole
+//! deployments.
+
+use cosmos::{Cosmos, CosmosConfig, NodeRole};
+use cosmos_cbn::RegistryMode;
+use cosmos_query::{AttrStats, StreamStats};
+use cosmos_types::{AttrType, NodeId, Schema, Timestamp, Tuple, Value};
+
+fn schema() -> Schema {
+    Schema::of(&[
+        ("k", AttrType::Int),
+        ("x", AttrType::Float),
+        ("timestamp", AttrType::Int),
+    ])
+}
+
+fn stats() -> StreamStats {
+    StreamStats::with_rate(1.0)
+        .attr("k", AttrStats::categorical(16.0))
+        .attr("x", AttrStats::numeric(0.0, 100.0, 200.0))
+}
+
+fn tup(ts: i64, k: i64, x: f64) -> Tuple {
+    Tuple::new(
+        "S",
+        Timestamp(ts),
+        vec![Value::Int(k), Value::Float(x), Value::Int(ts)],
+    )
+}
+
+fn deploy(cfg: CosmosConfig) -> Cosmos {
+    let mut sys = Cosmos::new(cfg).unwrap();
+    sys.register_stream("S", schema(), stats(), NodeId(1)).unwrap();
+    sys
+}
+
+#[test]
+fn affinity_one_concentrates_affinity_many_balances() {
+    // With one candidate processor per stream set, all queries over S
+    // land together; with many candidates, load spreads.
+    let run = |affinity: usize| -> Vec<usize> {
+        let mut sys = deploy(CosmosConfig {
+            nodes: 40,
+            seed: 9,
+            processor_fraction: 0.2,
+            affinity_candidates: affinity,
+            merging_enabled: false, // isolate the distribution policy
+            ..CosmosConfig::default()
+        });
+        let mut counts = vec![0usize; 40];
+        for i in 0..32 {
+            let q = sys
+                .submit_query("SELECT k FROM S [Now]", NodeId(i % 40))
+                .unwrap();
+            counts[sys.processor_of(q).unwrap().index()] += 1;
+        }
+        counts
+    };
+    let concentrated = run(1);
+    assert_eq!(concentrated.iter().filter(|&&c| c > 0).count(), 1);
+    let spread = run(8);
+    let busy = spread.iter().filter(|&&c| c > 0).count();
+    assert!(busy >= 4, "affinity 8 should use several processors, used {busy}");
+    // least-loaded choice keeps the spread flat
+    let max = spread.iter().max().unwrap();
+    let min_busy = spread.iter().filter(|&&c| c > 0).min().unwrap();
+    assert!(max - min_busy <= 1, "unbalanced spread: {spread:?}");
+}
+
+#[test]
+fn processor_roles_match_fraction() {
+    let sys = deploy(CosmosConfig {
+        nodes: 40,
+        seed: 1,
+        processor_fraction: 0.25,
+        ..CosmosConfig::default()
+    });
+    let processors = (0..40u32)
+        .filter(|&i| sys.role(NodeId(i)) == NodeRole::Processor)
+        .count();
+    assert_eq!(processors, 10);
+    assert_eq!(sys.processors().len(), 10);
+}
+
+#[test]
+fn weighted_cost_and_bytes_move_together() {
+    let mut sys = deploy(CosmosConfig { nodes: 12, seed: 3, ..CosmosConfig::default() });
+    sys.submit_query("SELECT k, x FROM S [Now]", NodeId(7)).unwrap();
+    let mut last_bytes = 0;
+    let mut last_cost = 0.0;
+    for i in 0..10 {
+        sys.publish(&tup(i * 1000, i, i as f64)).unwrap();
+        assert!(sys.total_bytes() >= last_bytes);
+        assert!(sys.weighted_cost() >= last_cost);
+        last_bytes = sys.total_bytes();
+        last_cost = sys.weighted_cost();
+    }
+    assert!(last_bytes > 0);
+}
+
+#[test]
+fn whole_deployments_are_deterministic() {
+    let run = || {
+        let mut sys = deploy(CosmosConfig { nodes: 24, seed: 77, ..CosmosConfig::default() });
+        let q = sys
+            .submit_query("SELECT k, x FROM S [Now] WHERE x > 25.0", NodeId(13))
+            .unwrap();
+        sys.run((0..40).map(|i| tup(i * 250, i % 16, (i % 100) as f64)))
+            .unwrap();
+        (
+            sys.results(q).to_vec(),
+            sys.total_bytes(),
+            sys.weighted_cost().to_bits(),
+            sys.processor_of(q),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dht_registry_with_many_result_streams() {
+    let mut sys = Cosmos::new(CosmosConfig {
+        nodes: 30,
+        seed: 4,
+        registry_mode: RegistryMode::Dht { replicas: 3 },
+        merging_enabled: false, // one result stream per query
+        ..CosmosConfig::default()
+    })
+    .unwrap();
+    sys.register_stream("S", schema(), stats(), NodeId(1)).unwrap();
+    let qids: Vec<_> = (0..12)
+        .map(|i| {
+            sys.submit_query("SELECT k FROM S [Now]", NodeId(i * 2)).unwrap()
+        })
+        .collect();
+    sys.run((0..10).map(|i| tup(i * 1000, i, 1.0))).unwrap();
+    for q in qids {
+        assert_eq!(sys.results(q).len(), 10);
+    }
+    // registrations: 1 source + 12 result streams, 3 replicas each,
+    // plus lookups — all accounted
+    assert!(sys.registry().control_messages() >= 13 * 3);
+}
+
+#[test]
+fn queries_against_missing_attributes_fail_cleanly() {
+    let mut sys = deploy(CosmosConfig { nodes: 8, seed: 2, ..CosmosConfig::default() });
+    let err = sys
+        .submit_query("SELECT nonexistent FROM S [Now]", NodeId(3))
+        .unwrap_err();
+    assert_eq!(err.kind(), "analyze");
+    // failed submissions leave no residue: a valid query still works
+    let q = sys.submit_query("SELECT k FROM S [Now]", NodeId(3)).unwrap();
+    sys.publish(&tup(0, 1, 1.0)).unwrap();
+    assert_eq!(sys.results(q).len(), 1);
+}

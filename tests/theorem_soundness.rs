@@ -1,0 +1,265 @@
+//! Empirical soundness of the paper's containment theorems.
+//!
+//! Theorem 1 and Theorem 2 are *sufficient* conditions for continuous-
+//! query containment (Definition 1). These tests sample random query
+//! pairs and random stream instances and verify that whenever our
+//! checker says `q1 ⊑ q2`, the executed results agree: every result row
+//! of `q1` appears (projected) among `q2`'s result rows at the same
+//! application time instance.
+
+use cosmos_cql::parse_query;
+use cosmos_query::{contained, correspondence};
+use cosmos_spe::analyze::{AnalyzedQuery, OutputColumn, QAttr};
+use cosmos_spe::oracle;
+use cosmos_types::{AttrType, Schema, Timestamp, Tuple, Value};
+use proptest::prelude::*;
+
+fn catalog(name: &str) -> Option<Schema> {
+    match name {
+        "L" => Some(Schema::of(&[
+            ("k", AttrType::Int),
+            ("x", AttrType::Int),
+            ("timestamp", AttrType::Int),
+        ])),
+        "R" => Some(Schema::of(&[
+            ("k", AttrType::Int),
+            ("y", AttrType::Int),
+            ("timestamp", AttrType::Int),
+        ])),
+        _ => None,
+    }
+}
+
+fn analyzed(text: &str) -> AnalyzedQuery {
+    AnalyzedQuery::analyze(&parse_query(text).unwrap(), catalog).unwrap()
+}
+
+/// Row of a result tuple keyed by q2-namespace column names.
+fn keyed_rows(
+    q: &AnalyzedQuery,
+    out: &[Tuple],
+    rename_into: Option<(&AnalyzedQuery, &[usize])>,
+) -> Vec<(Timestamp, Vec<(String, Value)>)> {
+    let names: Vec<String> = q
+        .output
+        .iter()
+        .map(|c| {
+            let rn = |qa: &QAttr| -> QAttr {
+                match rename_into {
+                    Some((target, map)) => {
+                        let i = q.stream_index(&qa.binding).unwrap();
+                        QAttr::new(&target.streams[map[i]].binding, &qa.name)
+                    }
+                    None => qa.clone(),
+                }
+            };
+            match c {
+                OutputColumn::Attr(a) => rn(a).qualified(),
+                OutputColumn::Agg { func, arg } => format!(
+                    "{func}({})",
+                    arg.as_ref()
+                        .map(|a| rn(a).qualified())
+                        .unwrap_or_else(|| "*".into())
+                ),
+            }
+        })
+        .collect();
+    let mut rows: Vec<_> = out
+        .iter()
+        .map(|t| {
+            let mut row: Vec<(String, Value)> = names
+                .iter()
+                .cloned()
+                .zip(t.values().iter().cloned())
+                .collect();
+            row.sort();
+            row.dedup_by(|a, b| a.0 == b.0);
+            (t.timestamp, row)
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// If the checker claims containment, execution must agree.
+fn assert_containment_sound(q1: &AnalyzedQuery, q2: &AnalyzedQuery, inputs: &[Tuple]) {
+    if !contained(q1, q2) {
+        return;
+    }
+    let map = correspondence(q1, q2).expect("contained implies correspondence");
+    let out1 = oracle::evaluate(q1, "o1", inputs);
+    let out2 = oracle::evaluate(q2, "o2", inputs);
+    let rows1 = keyed_rows(q1, &out1, Some((q2, &map)));
+    let rows2 = keyed_rows(q2, &out2, None);
+    // Every q1 row must appear in q2's rows once q2's row is projected
+    // onto q1's columns (same timestamp).
+    let mut remaining = rows2.clone();
+    for (ts, row) in &rows1 {
+        let pos = remaining.iter().position(|(ts2, row2)| {
+            ts2 == ts
+                && row
+                    .iter()
+                    .all(|(name, v)| row2.iter().any(|(n2, v2)| n2 == name && v2 == v))
+        });
+        let Some(pos) = pos else {
+            panic!(
+                "containment violated: q1 row {row:?}@{ts} missing from q2 output\n\
+                 q1: {q1:#?}\nq2: {q2:#?}"
+            );
+        };
+        remaining.swap_remove(pos);
+    }
+}
+
+fn arb_single() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![
+            Just("[Now]"),
+            Just("[Range 4 Second]"),
+            Just("[Range 9 Second]"),
+            Just("[Unbounded]")
+        ],
+        proptest::option::of((0i64..30, 5i64..30)),
+        proptest::sample::subsequence(vec!["k", "x"], 1..=2),
+    )
+        .prop_map(|(w, range, cols)| {
+            let where_ = match range {
+                Some((lo, width)) => format!(" WHERE x BETWEEN {lo} AND {}", lo + width),
+                None => String::new(),
+            };
+            format!("SELECT {} FROM L {w}{where_}", cols.join(", "))
+        })
+}
+
+fn arb_join() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![
+            Just("[Now]"),
+            Just("[Range 5 Second]"),
+            Just("[Range 12 Second]")
+        ],
+        prop_oneof![
+            Just("[Now]"),
+            Just("[Range 5 Second]"),
+            Just("[Range 12 Second]")
+        ],
+        proptest::option::of(0i64..25),
+    )
+        .prop_map(|(w1, w2, xmin)| {
+            let extra = match xmin {
+                Some(m) => format!(" AND A.x >= {m}"),
+                None => String::new(),
+            };
+            format!("SELECT A.k, A.x, B.y FROM L {w1} A, R {w2} B WHERE A.k = B.k{extra}")
+        })
+}
+
+fn arb_agg() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![Just("[Range 6 Second]"), Just("[Range 14 Second]")],
+        proptest::option::of((0i64..3, 0i64..2)),
+        proptest::sample::subsequence(vec!["COUNT(*)", "SUM(x)", "MAX(x)"], 1..=3),
+    )
+        .prop_map(|(w, krange, aggs)| {
+            let where_ = match krange {
+                Some((lo, width)) => format!(" WHERE k BETWEEN {lo} AND {}", lo + width),
+                None => String::new(),
+            };
+            format!(
+                "SELECT k, {} FROM L {w}{where_} GROUP BY k",
+                aggs.join(", ")
+            )
+        })
+}
+
+fn arb_inputs() -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec((0i64..20, any::<bool>(), 0i64..4, 0i64..35), 10..50).prop_map(
+        |mut raw| {
+            raw.sort_by_key(|(ts, _, _, _)| *ts);
+            raw.into_iter()
+                .map(|(ts, is_l, k, v)| {
+                    let (stream, _) = if is_l { ("L", "x") } else { ("R", "y") };
+                    Tuple::new(
+                        stream,
+                        Timestamp(ts * 1000),
+                        vec![Value::Int(k), Value::Int(v), Value::Int(ts * 1000)],
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1 on single-stream select-project queries.
+    #[test]
+    fn theorem1_single_stream(a in arb_single(), b in arb_single(), inputs in arb_inputs()) {
+        assert_containment_sound(&analyzed(&a), &analyzed(&b), &inputs);
+        assert_containment_sound(&analyzed(&b), &analyzed(&a), &inputs);
+    }
+
+    /// Theorem 1 on window joins (the window-containment condition).
+    #[test]
+    fn theorem1_joins(a in arb_join(), b in arb_join(), inputs in arb_inputs()) {
+        assert_containment_sound(&analyzed(&a), &analyzed(&b), &inputs);
+        assert_containment_sound(&analyzed(&b), &analyzed(&a), &inputs);
+    }
+
+    /// Theorem 2 on grouped aggregates (equal-window condition).
+    #[test]
+    fn theorem2_aggregates(a in arb_agg(), b in arb_agg(), inputs in arb_inputs()) {
+        assert_containment_sound(&analyzed(&a), &analyzed(&b), &inputs);
+        assert_containment_sound(&analyzed(&b), &analyzed(&a), &inputs);
+    }
+
+    /// Containment is reflexive and execution agrees.
+    #[test]
+    fn reflexivity(a in arb_single(), inputs in arb_inputs()) {
+        let q = analyzed(&a);
+        prop_assert!(contained(&q, &q));
+        assert_containment_sound(&q, &q, &inputs);
+    }
+}
+
+/// Deterministic regression cases: the lemma's boundary (`ts` exactly at
+/// the window edge) and the Now-window equality case.
+#[test]
+fn window_boundary_cases() {
+    let narrow =
+        analyzed("SELECT A.k, A.x, B.y FROM L [Range 4 Second] A, R [Now] B WHERE A.k = B.k");
+    let wide =
+        analyzed("SELECT A.k, A.x, B.y FROM L [Range 9 Second] A, R [Now] B WHERE A.k = B.k");
+    assert!(contained(&narrow, &wide));
+    let inputs = vec![
+        Tuple::new(
+            "L",
+            Timestamp(0),
+            vec![Value::Int(1), Value::Int(5), Value::Int(0)],
+        ),
+        // exactly 4s later: inside the narrow window (inclusive)
+        Tuple::new(
+            "R",
+            Timestamp(4_000),
+            vec![Value::Int(1), Value::Int(7), Value::Int(4_000)],
+        ),
+        // 9s: only the wide window
+        Tuple::new(
+            "R",
+            Timestamp(9_000),
+            vec![Value::Int(1), Value::Int(8), Value::Int(9_000)],
+        ),
+        // 10s: neither
+        Tuple::new(
+            "R",
+            Timestamp(10_000),
+            vec![Value::Int(1), Value::Int(9), Value::Int(10_000)],
+        ),
+    ];
+    let narrow_out = oracle::evaluate(&narrow, "n", &inputs);
+    let wide_out = oracle::evaluate(&wide, "w", &inputs);
+    assert_eq!(narrow_out.len(), 1);
+    assert_eq!(wide_out.len(), 2);
+    assert_containment_sound(&narrow, &wide, &inputs);
+}
