@@ -38,9 +38,11 @@ pub mod predicate;
 pub mod profile;
 pub mod registry;
 pub mod router;
+pub mod sat;
 
 pub use matcher::{CountingMatcher, MatchEngine, NaiveMatcher};
 pub use predicate::{AttrConstraint, Conjunction, DiffRange, Interval};
 pub use profile::{Profile, ProfileEntry, Projection};
 pub use registry::{RegisteredStream, RegistryMode, SchemaRegistry};
 pub use router::{Destination, ForwardDecision, Router};
+pub use sat::conjunction_unsat;

@@ -142,7 +142,16 @@ impl<K: Ord + Clone + Hash + Eq> CountingMatcher<K> {
                 idx.accept_all.push(key.clone());
                 continue;
             }
-            for conj in &entry.filters {
+            // Dead conjunctions can never match; skip indexing them. An
+            // entry whose every filter is pruned stays out of `accept_all`
+            // (only an originally-empty filter list means accept-all), so
+            // it simply matches nothing — which is what an unsatisfiable
+            // disjunction denotes.
+            for conj in entry
+                .filters
+                .iter()
+                .filter(|conj| !crate::sat::conjunction_unsat(conj))
+            {
                 let fid = idx.filters.len() as u32;
                 let mut needed = 0u32;
                 for (attr, c) in conj.attr_constraints() {
@@ -419,6 +428,58 @@ mod tests {
         let mut c = CountingMatcher::new();
         c.insert(1, p);
         assert!(c.matches(&tup(7, 0.0, "a"), &schema()).is_empty());
+    }
+
+    #[test]
+    fn deep_unsat_filters_are_pruned_from_the_index() {
+        // One dead conjunction (id ≥ price, price ≥ 5, id < 5 — unsat only
+        // through interaction) plus one live one. The dead filter must not
+        // be indexed at all, and matching must agree with the naive engine.
+        let mut dead = Conjunction::always();
+        dead.diff(
+            "id",
+            "price",
+            crate::predicate::DiffRange::new(0.0, f64::INFINITY),
+        )
+        .lower("price", 5, true)
+        .upper("id", 5, false);
+        assert!(!dead.is_unsat(), "must be invisible to the shallow check");
+        let mut live = Conjunction::always();
+        live.equals("id", 7);
+        let mut p = Profile::new();
+        p.add_interest("S", Projection::All, dead);
+        p.add_interest("S", Projection::All, live);
+        let (mut n, mut c) = both_engines();
+        n.insert(1, p.clone());
+        c.insert(1, p);
+        let idx = &c.streams[&"S".into()];
+        assert_eq!(idx.filters.len(), 1, "dead conjunction still indexed");
+        assert!(idx.accept_all.is_empty());
+        let s = schema();
+        let hit = tup(7, 50.0, "a");
+        let miss = tup(3, 50.0, "a");
+        assert_eq!(n.matches(&hit, &s), vec![1]);
+        assert_eq!(c.matches(&hit, &s), vec![1]);
+        assert!(n.matches(&miss, &s).is_empty());
+        assert!(c.matches(&miss, &s).is_empty());
+    }
+
+    #[test]
+    fn profile_of_only_dead_filters_matches_nothing_but_stays_installed() {
+        let mut dead = Conjunction::always();
+        dead.diff(
+            "id",
+            "price",
+            crate::predicate::DiffRange::new(0.0, f64::INFINITY),
+        )
+        .lower("price", 5, true)
+        .upper("id", 5, false);
+        let mut p = Profile::new();
+        p.add_interest("S", Projection::All, dead);
+        let mut c = CountingMatcher::new();
+        c.insert(1, p);
+        assert_eq!(c.len(), 1);
+        assert!(c.matches(&tup(7, 50.0, "a"), &schema()).is_empty());
     }
 }
 

@@ -1,0 +1,314 @@
+//! Satisfiability of [`Conjunction`]s beyond the shallow per-constraint
+//! check.
+//!
+//! [`Conjunction::is_unsat`] only sees contradictions *inside* a single
+//! constraint (an empty interval, an empty difference range). A
+//! conjunction can still be empty through *interaction* of its
+//! constraints, e.g. `a − b ≥ 0 AND b ≥ 5 AND a < 5`: every individual
+//! constraint is non-empty, yet no assignment satisfies all three.
+//!
+//! Numeric bounds and difference ranges together form a system of
+//! *difference constraints* — exactly the fragment solved by shortest
+//! paths. [`conjunction_unsat`] builds the standard constraint graph
+//! (constraint `x − y ≤ w` ⇒ edge `y → x` of weight `w`, plus a virtual
+//! origin pinned at 0 for absolute bounds) and runs Bellman–Ford: the
+//! system is infeasible iff the graph has a negative cycle. Strict
+//! bounds (`<`, `>`) are tracked as an infinitesimal on each edge, so a
+//! zero-weight cycle containing a strict edge is also infeasible.
+//!
+//! The check is **sound, not complete**: `true` means provably empty
+//! (over the reals; exclusions from `!=` and non-numeric bounds are
+//! ignored, which only widens the admitted set), while `false` merely
+//! means no contradiction was found. Callers use it to prune filters
+//! and reject queries, so only the `true` direction must be trusted.
+
+use crate::predicate::Conjunction;
+use std::collections::BTreeMap;
+
+/// Whether the conjunction provably admits no assignment.
+///
+/// Exact over the reals for the interval + difference-range fragment
+/// (ignoring `!=` exclusions and non-numeric bounds, both of which are
+/// skipped conservatively). Runs in `O(nodes × edges)`.
+pub fn conjunction_unsat(c: &Conjunction) -> bool {
+    if c.is_unsat() {
+        return true;
+    }
+    // Nodes: one per attribute that appears in a difference constraint.
+    // Attributes outside every difference constraint cannot interact, and
+    // their interval emptiness was already covered by `is_unsat` above.
+    let mut idx: BTreeMap<&str, usize> = BTreeMap::new();
+    for (a, b, _) in c.diff_constraints() {
+        let next = idx.len() + 1;
+        idx.entry(a).or_insert(next);
+        let next = idx.len() + 1;
+        idx.entry(b).or_insert(next);
+    }
+    if idx.is_empty() {
+        return false;
+    }
+    let n = idx.len() + 1; // node 0 is the virtual origin (value 0)
+
+    // Edges (from, to, weight, strict): constraint `to − from ≤ weight`,
+    // strict when the bound excludes equality.
+    let mut edges: Vec<(usize, usize, f64, bool)> = Vec::new();
+    for (a, b, r) in c.diff_constraints() {
+        let (ia, ib) = (idx[a], idx[b]);
+        // lo ≤ a − b ≤ hi: `a − b ≤ hi` and `b − a ≤ −lo`.
+        if r.hi.is_finite() {
+            edges.push((ib, ia, r.hi, false));
+        }
+        if r.lo.is_finite() {
+            edges.push((ia, ib, -r.lo, false));
+        }
+    }
+    for (name, ac) in c.attr_constraints() {
+        let Some(&i) = idx.get(name) else { continue };
+        // `a ≤ v` ⇒ a − origin ≤ v; `a ≥ v` ⇒ origin − a ≤ −v.
+        // Non-numeric bounds are skipped (sound: skipping only loosens).
+        if let Some((v, incl)) = &ac.interval.hi {
+            if let Some(x) = v.as_f64() {
+                edges.push((0, i, x, !incl));
+            }
+        }
+        if let Some((v, incl)) = &ac.interval.lo {
+            if let Some(x) = v.as_f64() {
+                edges.push((i, 0, -x, !incl));
+            }
+        }
+    }
+    if edges.is_empty() {
+        return false;
+    }
+
+    // Tolerance scaled to the weights in play so float rounding cannot
+    // manufacture a spurious negative cycle (a false "unsat" would drop a
+    // live filter; missing a borderline cycle merely skips a lint).
+    let max_w = edges.iter().map(|e| e.2.abs()).fold(0.0f64, f64::max);
+    let eps = 1e-9 * (1.0 + max_w) * edges.len() as f64;
+
+    // Lexicographic path weight (sum, strict-edge count): a path is
+    // strictly shorter when its sum is smaller beyond tolerance, or the
+    // sums tie and it crosses more strict bounds (each strict edge is an
+    // infinitesimal −ε).
+    let less = |a: (f64, usize), b: (f64, usize)| -> bool {
+        a.0 < b.0 - eps || (a.0 <= b.0 + eps && a.1 > b.1)
+    };
+
+    // Bellman–Ford from an implicit super-source (all distances 0). After
+    // n relaxation rounds, any still-relaxable edge lies on a negative
+    // (or zero-but-strict) cycle — i.e. the system is infeasible.
+    let mut dist = vec![(0.0f64, 0usize); n];
+    for _ in 0..n {
+        let mut changed = false;
+        for &(u, v, w, strict) in &edges {
+            let cand = (dist[u].0 + w, dist[u].1 + strict as usize);
+            if less(cand, dist[v]) {
+                dist[v] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    edges.iter().any(|&(u, v, w, strict)| {
+        let cand = (dist[u].0 + w, dist[u].1 + strict as usize);
+        less(cand, dist[v])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::DiffRange;
+    use cosmos_types::Value;
+
+    fn ge(lo: f64) -> DiffRange {
+        DiffRange::new(lo, f64::INFINITY)
+    }
+
+    #[test]
+    fn shallow_unsat_is_still_unsat() {
+        let mut c = Conjunction::always();
+        c.between("a", 5, 2);
+        assert!(c.is_unsat());
+        assert!(conjunction_unsat(&c));
+    }
+
+    #[test]
+    fn always_true_is_sat() {
+        assert!(!conjunction_unsat(&Conjunction::always()));
+    }
+
+    #[test]
+    fn deep_unsat_through_a_difference_constraint() {
+        // a ≥ b AND b ≥ 5 AND a < 5: each constraint alone is non-empty.
+        let mut c = Conjunction::always();
+        c.diff("a", "b", ge(0.0))
+            .lower("b", 5, true)
+            .upper("a", 5, false);
+        assert!(!c.is_unsat(), "shallow check must not see this");
+        assert!(conjunction_unsat(&c));
+        // Relaxing the strict bound to ≤ makes a = b = 5 a model.
+        let mut s = Conjunction::always();
+        s.diff("a", "b", ge(0.0))
+            .lower("b", 5, true)
+            .upper("a", 5, true);
+        assert!(!conjunction_unsat(&s));
+    }
+
+    #[test]
+    fn deep_unsat_through_a_chain_of_differences() {
+        // a − b ≥ 1, b − c ≥ 1, a − c ≤ 1: the chain forces a − c ≥ 2.
+        let mut c = Conjunction::always();
+        c.diff("a", "b", ge(1.0)).diff("b", "c", ge(1.0)).diff(
+            "a",
+            "c",
+            DiffRange::new(f64::NEG_INFINITY, 1.0),
+        );
+        assert!(!c.is_unsat());
+        assert!(conjunction_unsat(&c));
+        // Widening the cap to 2 admits a = c + 2, b = c + 1.
+        let mut s = Conjunction::always();
+        s.diff("a", "b", ge(1.0)).diff("b", "c", ge(1.0)).diff(
+            "a",
+            "c",
+            DiffRange::new(f64::NEG_INFINITY, 2.0),
+        );
+        assert!(!conjunction_unsat(&s));
+    }
+
+    #[test]
+    fn zero_cycle_with_strict_bound_is_unsat() {
+        // a = b (difference pinned to 0), b ≥ 5, a < 5.
+        let mut c = Conjunction::always();
+        c.diff("a", "b", DiffRange::new(0.0, 0.0))
+            .lower("b", 5, true)
+            .upper("a", 5, false);
+        assert!(conjunction_unsat(&c));
+    }
+
+    #[test]
+    fn bounds_on_attrs_outside_diffs_do_not_interact() {
+        let mut c = Conjunction::always();
+        c.lower("x", 100, true)
+            .upper("y", -100, true)
+            .diff("a", "b", ge(0.0));
+        assert!(!conjunction_unsat(&c));
+    }
+
+    #[test]
+    fn non_numeric_bounds_are_skipped_soundly() {
+        let mut c = Conjunction::always();
+        c.equals("name", Value::str("abc"))
+            .diff("a", "b", ge(0.0))
+            .lower("b", 1, true);
+        assert!(!conjunction_unsat(&c));
+    }
+
+    #[test]
+    fn unbounded_difference_ranges_add_no_edges() {
+        let mut c = Conjunction::always();
+        c.diff("a", "b", DiffRange::any());
+        assert!(!conjunction_unsat(&c));
+    }
+
+    mod prop_tests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One randomly generated primitive constraint.
+        #[derive(Debug, Clone)]
+        enum Atom {
+            Lower(usize, i64, bool),
+            Upper(usize, i64, bool),
+            Diff(usize, usize, i64, i64),
+        }
+
+        const ATTRS: [&str; 3] = ["a", "b", "c"];
+
+        fn arb_atom() -> impl Strategy<Value = Atom> {
+            let small = -4i64..=4;
+            prop_oneof![
+                (0usize..3, small.clone(), any::<bool>())
+                    .prop_map(|(i, v, inc)| Atom::Lower(i, v, inc)),
+                (0usize..3, small.clone(), any::<bool>())
+                    .prop_map(|(i, v, inc)| Atom::Upper(i, v, inc)),
+                (0usize..3, 1usize..3, small.clone(), small).prop_map(
+                    // `j` is an offset so the pair is never a self-difference.
+                    |(i, off, x, y)| Atom::Diff(i, (i + off) % 3, x.min(y), x.max(y))
+                ),
+            ]
+        }
+
+        fn build(atoms: &[Atom]) -> Conjunction {
+            let mut c = Conjunction::always();
+            for atom in atoms {
+                match *atom {
+                    Atom::Lower(i, v, inc) => {
+                        c.lower(ATTRS[i], v, inc);
+                    }
+                    Atom::Upper(i, v, inc) => {
+                        c.upper(ATTRS[i], v, inc);
+                    }
+                    Atom::Diff(i, j, lo, hi) => {
+                        c.diff(ATTRS[i], ATTRS[j], DiffRange::new(lo as f64, hi as f64));
+                    }
+                }
+            }
+            c
+        }
+
+        fn satisfied_at(c: &Conjunction, p: [i64; 3]) -> bool {
+            let vals: Vec<Value> = p.iter().map(|&v| Value::Int(v)).collect();
+            c.satisfies_with(|name| ATTRS.iter().position(|a| *a == name).map(|i| &vals[i]))
+        }
+
+        proptest! {
+            /// Soundness: if any sampled integer point satisfies the
+            /// conjunction, the kernel must not call it unsatisfiable.
+            #[test]
+            fn never_unsat_when_a_witness_exists(atoms in proptest::collection::vec(arb_atom(), 0..8)) {
+                let c = build(&atoms);
+                let mut witness = false;
+                for x in -5i64..=5 {
+                    for y in -5i64..=5 {
+                        for z in -5i64..=5 {
+                            if satisfied_at(&c, [x, y, z]) {
+                                witness = true;
+                            }
+                        }
+                    }
+                }
+                if witness {
+                    prop_assert!(!conjunction_unsat(&c), "unsat despite witness: {c}");
+                }
+            }
+
+            /// Constraints generated *around* a known point are satisfiable,
+            /// so the kernel must agree.
+            #[test]
+            fn constraints_built_around_a_point_are_sat(
+                p in (-4i64..=4, -4i64..=4, -4i64..=4).prop_map(|(x, y, z)| [x, y, z]),
+                picks in proptest::collection::vec((0usize..3, 0usize..3, any::<bool>(), 0i64..=3), 0..8),
+            ) {
+                let mut c = Conjunction::always();
+                for (i, j, is_diff, slack) in picks {
+                    if is_diff && i != j {
+                        let d = p[i] - p[j];
+                        c.diff(
+                            ATTRS[i],
+                            ATTRS[j],
+                            DiffRange::new((d - slack) as f64, (d + slack) as f64),
+                        );
+                    } else {
+                        c.between(ATTRS[i], p[i] - slack, p[i] + slack);
+                    }
+                }
+                prop_assert!(satisfied_at(&c, p));
+                prop_assert!(!conjunction_unsat(&c), "unsat but {p:?} satisfies: {c}");
+            }
+        }
+    }
+}

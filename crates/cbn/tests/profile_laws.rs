@@ -182,3 +182,63 @@ proptest! {
         }
     }
 }
+
+/// Deterministic replay of the seed in `profile_laws.proptest-regressions`.
+///
+/// The shrunk case is a profile whose only filter has the empty interval
+/// `a ∈ [0, −4]` (an unsatisfiable conjunction) paired with an
+/// accept-all profile (empty filter list). It historically caught the
+/// covering/union laws treating an unsatisfiable disjunct as if it
+/// could match. The workspace's vendored proptest stand-in does not
+/// replay `*.proptest-regressions` seeds, so this ordinary test keeps
+/// the case pinned.
+#[test]
+fn regression_unsat_filter_interval_in_covering_and_union() {
+    let s = schema();
+    let mut dead = Conjunction::always();
+    dead.between("a", Value::Int(0), Value::Int(-4));
+    let mut p = Profile::new();
+    p.add_entry(
+        "S",
+        ProfileEntry {
+            projection: Projection::Attrs(Default::default()),
+            filters: vec![dead],
+        },
+    );
+    let mut q = Profile::new();
+    q.add_entry(
+        "S",
+        ProfileEntry {
+            projection: Projection::Attrs(Default::default()),
+            filters: Vec::new(), // empty filter list = accept-all
+        },
+    );
+    let t = Tuple::new(
+        "S",
+        Timestamp(0),
+        vec![Value::Int(0), Value::Int(0), Value::Int(0)],
+    );
+
+    // The dead disjunct matches nothing; the accept-all profile matches t.
+    assert!(!p.covers_tuple(&t, &s));
+    assert!(q.covers_tuple(&t, &s));
+
+    // union_is_an_upper_bound: the union accepts what either accepts and
+    // structurally covers both operands.
+    let u = p.union(&q);
+    assert!(u.covers_tuple(&t, &s));
+    assert!(u.covers(&p));
+    assert!(u.covers(&q));
+
+    // covering_is_sound: q accepts t, so anything covering q must too.
+    if p.covers(&q) {
+        assert!(p.covers_tuple(&t, &s));
+    }
+
+    // union_laws: commutative and idempotent w.r.t. acceptance.
+    assert_eq!(
+        p.union(&q).covers_tuple(&t, &s),
+        q.union(&p).covers_tuple(&t, &s)
+    );
+    assert_eq!(p.union(&p).covers_tuple(&t, &s), p.covers_tuple(&t, &s));
+}

@@ -112,6 +112,9 @@ pub struct Cosmos {
     query_user: FxHashMap<QueryId, NodeId>,
     query_processor: FxHashMap<QueryId, NodeId>,
     processor_load: FxHashMap<NodeId, usize>,
+    /// Warning-level lint findings per accepted query (error-level
+    /// findings reject the query at submission instead).
+    lint_warnings: FxHashMap<QueryId, Vec<String>>,
     link_bytes: FxHashMap<(NodeId, NodeId), u64>,
     weighted_cost: f64,
     tuples_published: u64,
@@ -170,6 +173,7 @@ impl Cosmos {
             query_user: FxHashMap::default(),
             query_processor: FxHashMap::default(),
             processor_load: FxHashMap::default(),
+            lint_warnings: FxHashMap::default(),
             link_bytes: FxHashMap::default(),
             weighted_cost: 0.0,
             tuples_published: 0,
@@ -399,10 +403,29 @@ impl Cosmos {
         if user.index() >= self.routers.len() {
             return Err(CosmosError::System(format!("unknown user node {user}")));
         }
-        let parsed = cosmos_cql::parse_query(text)?;
+        let spanned = cosmos_cql::parse_query_spanned(text)?;
+        // Static analysis gates registration: a continuous query with an
+        // error-level finding (unsatisfiable WHERE, type mismatch, …)
+        // would run forever and deliver nothing, so refuse it up front.
+        // Warnings don't block; they are kept for inspection.
+        let diags = cosmos_lint::check_query_with(&spanned, self.catalog.schema_fn());
+        if let Some(err) = diags
+            .iter()
+            .find(|d| d.severity == cosmos_lint::Severity::Error)
+        {
+            return Err(CosmosError::Lint(format!("{}: {}", err.code, err.message)));
+        }
+        let warnings: Vec<String> = diags
+            .iter()
+            .map(cosmos_lint::Diagnostic::headline)
+            .collect();
+        let parsed = spanned.query;
         let analyzed = AnalyzedQuery::analyze(&parsed, self.catalog.schema_fn())?;
         let qid = QueryId(self.next_query);
         self.next_query += 1;
+        if !warnings.is_empty() {
+            self.lint_warnings.insert(qid, warnings);
+        }
         let processor = self.pick_processor(&analyzed);
         *self.processor_load.entry(processor).or_insert(0) += 1;
 
@@ -763,6 +786,16 @@ impl Cosmos {
         self.delivered.get(&qid).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Warning-level lint findings recorded when the query was accepted
+    /// (e.g. a join over an `[Unbounded]` window). Empty for clean
+    /// queries; error-level findings reject submission instead.
+    pub fn lint_warnings(&self, qid: QueryId) -> &[String] {
+        self.lint_warnings
+            .get(&qid)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
     /// The user node of a query.
     pub fn user_of(&self, qid: QueryId) -> Option<NodeId> {
         self.query_user.get(&qid).copied()
@@ -1051,6 +1084,42 @@ mod tests {
             .is_err());
         // empty overlay rejected
         assert!(Cosmos::with_graph(CosmosConfig::default(), Graph::new(0)).is_err());
+    }
+
+    #[test]
+    fn lint_rejects_unsatisfiable_queries_at_registration() {
+        let mut sys = line_system(false);
+        let err = sys
+            .submit_query("SELECT k FROM S [Now] WHERE x > 5.0 AND x < 3.0", NodeId(1))
+            .unwrap_err();
+        assert_eq!(err.kind(), "lint");
+        assert!(err.message().contains("C0101"), "{}", err.message());
+        // type errors are caught before registration too
+        let err = sys
+            .submit_query("SELECT k FROM S [Now] WHERE k = 'red'", NodeId(1))
+            .unwrap_err();
+        assert_eq!(err.kind(), "lint");
+        assert!(err.message().contains("C0203"), "{}", err.message());
+        // a rejected query must leave no state behind
+        assert_eq!(sys.query_count(), 0);
+    }
+
+    #[test]
+    fn lint_warnings_are_recorded_for_accepted_queries() {
+        let mut sys = line_system(false);
+        let q = sys
+            .submit_query("SELECT k, AVG(x) FROM S [Now] GROUP BY k", NodeId(1))
+            .unwrap();
+        let warnings = sys.lint_warnings(q);
+        assert!(
+            warnings.iter().any(|w| w.contains("C0302")),
+            "expected a zero-width-aggregate warning, got {warnings:?}"
+        );
+        // clean queries carry no warnings
+        let q2 = sys
+            .submit_query("SELECT k FROM S [Now] WHERE x < 10.0", NodeId(2))
+            .unwrap();
+        assert!(sys.lint_warnings(q2).is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ impl<'a> Lexer<'a> {
                 out.push(Token {
                     kind: TokenKind::Eof,
                     offset,
+                    end: offset,
                 });
                 return Ok(out);
             };
@@ -77,7 +78,11 @@ impl<'a> Lexer<'a> {
                     )
                 }
             };
-            out.push(Token { kind, offset });
+            out.push(Token {
+                kind,
+                offset,
+                end: self.pos,
+            });
         }
     }
 
@@ -262,6 +267,20 @@ mod tests {
         let ts = tokenize("SELECT a").unwrap();
         assert_eq!(ts[0].offset, 0);
         assert_eq!(ts[1].offset, 7);
+    }
+
+    #[test]
+    fn token_ranges_cover_the_source_text() {
+        let src = "SELECT a >= 'hi'";
+        let ts = tokenize(src).unwrap();
+        assert_eq!(&src[ts[0].offset..ts[0].end], "SELECT");
+        assert_eq!(&src[ts[1].offset..ts[1].end], "a");
+        assert_eq!(&src[ts[2].offset..ts[2].end], ">=");
+        assert_eq!(&src[ts[3].offset..ts[3].end], "'hi'");
+        // Eof is an empty range at the end of input.
+        let eof = ts.last().unwrap();
+        assert_eq!(eof.offset, src.len());
+        assert_eq!(eof.end, src.len());
     }
 
     #[test]

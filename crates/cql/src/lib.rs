@@ -29,13 +29,15 @@
 mod ast;
 mod lexer;
 mod parser;
+mod span;
 mod token;
 
 pub use ast::{
     AggFunc, AttrRef, CmpOp, Operand, Predicate, Query, SelectItem, StreamRef, WindowSpec,
 };
 pub use lexer::tokenize;
-pub use parser::parse_query;
+pub use parser::{parse_query, parse_query_spanned};
+pub use span::{QuerySpans, Span, SpannedQuery};
 pub use token::{is_keyword, Token, TokenKind};
 
 #[cfg(test)]

@@ -2,21 +2,34 @@
 
 use crate::ast::*;
 use crate::lexer::tokenize;
+use crate::span::{QuerySpans, Span, SpannedQuery};
 use crate::token::{Token, TokenKind};
 use cosmos_types::{CosmosError, Result, TimeDelta, Value};
 
 /// Parse a single CQL statement into a [`Query`].
 pub fn parse_query(src: &str) -> Result<Query> {
+    parse_query_spanned(src).map(|sq| sq.query)
+}
+
+/// Parse a single CQL statement, keeping byte spans for diagnostics.
+pub fn parse_query_spanned(src: &str) -> Result<SpannedQuery> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let q = p.query()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        last_end: 0,
+    };
+    let sq = p.query()?;
     p.expect(&TokenKind::Eof)?;
-    Ok(q)
+    Ok(sq)
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// End offset of the most recently consumed token; together with a
+    /// saved start offset this brackets whatever a sub-parser consumed.
+    last_end: usize,
 }
 
 impl Parser {
@@ -29,8 +42,13 @@ impl Parser {
         &self.tokens[i].kind
     }
 
+    fn cur_offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
     fn bump(&mut self) -> TokenKind {
         let t = self.tokens[self.pos].kind.clone();
+        self.last_end = self.tokens[self.pos].end;
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -65,39 +83,75 @@ impl Parser {
         }
     }
 
-    fn query(&mut self) -> Result<Query> {
+    fn query(&mut self) -> Result<SpannedQuery> {
+        let q_start = self.cur_offset();
         self.expect(&TokenKind::Select)?;
         let distinct = self.eat(&TokenKind::Distinct);
-        let mut select = vec![self.select_item()?];
-        while self.eat(&TokenKind::Comma) {
+        let mut select = Vec::new();
+        let mut select_spans = Vec::new();
+        loop {
+            let start = self.cur_offset();
             select.push(self.select_item()?);
+            select_spans.push(Span::new(start, self.last_end));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
         }
         self.expect(&TokenKind::From)?;
-        let mut from = vec![self.stream_ref()?];
-        while self.eat(&TokenKind::Comma) {
-            from.push(self.stream_ref()?);
+        let mut from = Vec::new();
+        let mut from_spans = Vec::new();
+        let mut window_spans = Vec::new();
+        loop {
+            let start = self.cur_offset();
+            let (sref, wspan) = self.stream_ref()?;
+            from.push(sref);
+            from_spans.push(Span::new(start, self.last_end));
+            window_spans.push(wspan);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
         }
         let mut predicates = Vec::new();
+        let mut predicate_spans = Vec::new();
         if self.eat(&TokenKind::Where) {
-            predicates.push(self.predicate()?);
-            while self.eat(&TokenKind::And) {
+            loop {
+                let start = self.cur_offset();
                 predicates.push(self.predicate()?);
+                predicate_spans.push(Span::new(start, self.last_end));
+                if !self.eat(&TokenKind::And) {
+                    break;
+                }
             }
         }
         let mut group_by = Vec::new();
+        let mut group_by_spans = Vec::new();
         if self.eat(&TokenKind::Group) {
             self.expect(&TokenKind::By)?;
-            group_by.push(self.attr_ref()?);
-            while self.eat(&TokenKind::Comma) {
+            loop {
+                let start = self.cur_offset();
                 group_by.push(self.attr_ref()?);
+                group_by_spans.push(Span::new(start, self.last_end));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
             }
         }
-        Ok(Query {
-            distinct,
-            select,
-            from,
-            predicates,
-            group_by,
+        Ok(SpannedQuery {
+            query: Query {
+                distinct,
+                select,
+                from,
+                predicates,
+                group_by,
+            },
+            spans: QuerySpans {
+                query: Span::new(q_start, self.last_end),
+                select: select_spans,
+                from: from_spans,
+                windows: window_spans,
+                predicates: predicate_spans,
+                group_by: group_by_spans,
+            },
         })
     }
 
@@ -140,9 +194,11 @@ impl Parser {
         Ok(SelectItem::Attr(AttrRef::bare(first)))
     }
 
-    fn stream_ref(&mut self) -> Result<StreamRef> {
+    fn stream_ref(&mut self) -> Result<(StreamRef, Span)> {
         let stream = self.ident()?;
+        let w_start = self.cur_offset();
         let window = self.window()?;
+        let w_span = Span::new(w_start, self.last_end);
         // Optional alias: `AS alias` or a bare identifier.
         // `AS alias` and a bare identifier alias are equivalent forms.
         let alias = if self.eat(&TokenKind::As) || matches!(self.peek(), TokenKind::Ident(_)) {
@@ -150,11 +206,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(StreamRef {
-            stream,
-            alias,
-            window,
-        })
+        Ok((
+            StreamRef {
+                stream,
+                alias,
+                window,
+            },
+            w_span,
+        ))
     }
 
     fn window(&mut self) -> Result<WindowSpec> {
@@ -444,7 +503,47 @@ mod tests {
     #[test]
     fn peek2_helper() {
         let tokens = tokenize("a.b").unwrap();
-        let p = Parser { tokens, pos: 0 };
+        let p = Parser {
+            tokens,
+            pos: 0,
+            last_end: 0,
+        };
         assert!(p.lookahead_is_dot());
+    }
+
+    #[test]
+    fn spanned_parse_matches_plain_parse() {
+        for src in [Q1, Q2, Q3] {
+            let sq = parse_query_spanned(src).unwrap();
+            assert_eq!(sq.query, parse_query(src).unwrap());
+        }
+    }
+
+    #[test]
+    fn spans_slice_back_to_the_source() {
+        let src = "SELECT O.itemID, COUNT(*) FROM OpenAuction [Range 3 Hour] O \
+                   WHERE O.price > 10 AND O.itemID = 7 GROUP BY O.itemID";
+        let sq = parse_query_spanned(src).unwrap();
+        let s = &sq.spans;
+        assert_eq!(s.query.text(src), src);
+        assert_eq!(s.select.len(), 2);
+        assert_eq!(s.select[0].text(src), "O.itemID");
+        assert_eq!(s.select[1].text(src), "COUNT(*)");
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].text(src), "OpenAuction [Range 3 Hour] O");
+        assert_eq!(s.windows[0].text(src), "[Range 3 Hour]");
+        assert_eq!(s.predicates.len(), 2);
+        assert_eq!(s.predicates[0].text(src), "O.price > 10");
+        assert_eq!(s.predicates[1].text(src), "O.itemID = 7");
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.group_by[0].text(src), "O.itemID");
+    }
+
+    #[test]
+    fn between_predicate_span_covers_all_three_operands() {
+        let src = "SELECT a FROM S [Now] WHERE a BETWEEN 1 AND 10 AND b = 2";
+        let sq = parse_query_spanned(src).unwrap();
+        assert_eq!(sq.spans.predicates[0].text(src), "a BETWEEN 1 AND 10");
+        assert_eq!(sq.spans.predicates[1].text(src), "b = 2");
     }
 }

@@ -1,0 +1,98 @@
+//! Source spans for lint diagnostics.
+//!
+//! Spans live in a side table ([`QuerySpans`]) parallel to the AST rather
+//! than inside AST nodes: the AST is also constructed programmatically
+//! (query generators, merge machinery, tests) and compared structurally
+//! (the print→parse round-trip property), so embedding byte offsets in it
+//! would either poison equality or force every construction site to invent
+//! fake positions. The parser records spans as it goes; consumers that do
+//! not care keep using [`crate::parse_query`] and never see them.
+
+use crate::ast::Query;
+
+/// A half-open byte range `start..end` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Build a span from a byte range.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Slice the source text this span points into.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start.min(src.len())..self.end.min(src.len())]
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Side table of source spans for one parsed [`Query`].
+///
+/// The vectors are parallel to the corresponding AST vectors: entry `i`
+/// of [`QuerySpans::predicates`] covers entry `i` of `Query::predicates`,
+/// and so on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpans {
+    /// The whole statement.
+    pub query: Span,
+    /// Each item in the SELECT list.
+    pub select: Vec<Span>,
+    /// Each stream reference in FROM (including its window and alias).
+    pub from: Vec<Span>,
+    /// Each window specification (`[...]`), parallel to `from`.
+    pub windows: Vec<Span>,
+    /// Each conjunct of the WHERE clause.
+    pub predicates: Vec<Span>,
+    /// Each GROUP BY attribute.
+    pub group_by: Vec<Span>,
+}
+
+/// A parsed query together with its span side table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedQuery {
+    /// The abstract syntax tree.
+    pub query: Query,
+    /// Byte spans into the original source, parallel to `query`.
+    pub spans: QuerySpans,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both_spans() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.join(b), Span::new(3, 12));
+        assert_eq!(b.join(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn text_slices_and_clamps() {
+        let src = "SELECT x";
+        assert_eq!(Span::new(7, 8).text(src), "x");
+        assert_eq!(Span::new(7, 99).text(src), "x");
+        assert_eq!(Span::new(5, 5).text(src), "");
+        assert_eq!(Span::new(3, 7).to_string(), "3..7");
+    }
+}

@@ -52,13 +52,17 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token with its byte offset in the source, for error messages.
+/// A token with its byte range in the source, for error messages and
+/// lint diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
     /// Byte offset of the first character in the source text.
     pub offset: usize,
+    /// Byte offset one past the last character (`offset..end` is the
+    /// token's source text).
+    pub end: usize,
 }
 
 impl fmt::Display for TokenKind {

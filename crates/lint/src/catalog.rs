@@ -1,0 +1,83 @@
+//! Parser for the CLI's `--schemas` catalog files.
+//!
+//! One stream per line, attribute types spelled as [`AttrType`]
+//! displays them:
+//!
+//! ```text
+//! # XMark auction streams
+//! OpenAuction(itemID INT, sellerID INT, start_price FLOAT, timestamp INT)
+//! ClosedAuction(itemID INT, buyerID INT, timestamp INT)
+//! ```
+
+use cosmos_types::{AttrType, CosmosError, Result, Schema};
+use std::collections::BTreeMap;
+
+/// Parse a catalog file into per-stream schemas.
+pub fn parse_catalog(text: &str) -> Result<BTreeMap<String, Schema>> {
+    let mut out = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err =
+            |msg: &str| CosmosError::Schema(format!("catalog line {}: {msg}: {line}", lineno + 1));
+        let open = line.find('(').ok_or_else(|| err("expected '('"))?;
+        let close = line.rfind(')').ok_or_else(|| err("expected ')'"))?;
+        if close < open || !line[close + 1..].trim().is_empty() {
+            return Err(err("malformed stream declaration"));
+        }
+        let stream = line[..open].trim();
+        if stream.is_empty() {
+            return Err(err("missing stream name"));
+        }
+        let mut fields = Vec::new();
+        for part in line[open + 1..close].split(',') {
+            let mut it = part.split_whitespace();
+            let (Some(name), Some(ty), None) = (it.next(), it.next(), it.next()) else {
+                return Err(err("expected 'name TYPE' pairs"));
+            };
+            let ty = match ty.to_ascii_uppercase().as_str() {
+                "BOOL" => AttrType::Bool,
+                "INT" => AttrType::Int,
+                "FLOAT" => AttrType::Float,
+                "STRING" | "STR" => AttrType::Str,
+                other => return Err(err(&format!("unknown type '{other}'"))),
+            };
+            fields.push((name, ty));
+        }
+        let pairs: Vec<(&str, AttrType)> = fields.iter().map(|(n, t)| (*n, *t)).collect();
+        if out.insert(stream.to_string(), Schema::of(&pairs)).is_some() {
+            return Err(err("duplicate stream"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_streams_comments_and_blanks() {
+        let cat = parse_catalog(
+            "# auctions\n\nOpenAuction(itemID INT, start_price FLOAT)\n\
+             Tags(name STRING, hot BOOL)\n",
+        )
+        .unwrap();
+        assert_eq!(cat.len(), 2);
+        let oa = &cat["OpenAuction"];
+        assert_eq!(oa.field("start_price").unwrap().ty, AttrType::Float);
+        assert_eq!(cat["Tags"].field("hot").unwrap().ty, AttrType::Bool);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_catalog("NoParens INT").is_err());
+        assert!(parse_catalog("S(a)").is_err());
+        assert!(parse_catalog("S(a WIBBLE)").is_err());
+        assert!(parse_catalog("S(a INT) trailing").is_err());
+        assert!(parse_catalog("(a INT)").is_err());
+        assert!(parse_catalog("S(a INT)\nS(b INT)").is_err());
+    }
+}

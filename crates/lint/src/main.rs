@@ -1,0 +1,108 @@
+//! `cosmos-lint` CLI: lint `.cql` files of `;`-separated statements.
+//!
+//! ```text
+//! cosmos-lint [--schemas CATALOG] FILE...
+//! ```
+//!
+//! Without `--schemas`, only the catalog-free lints run (satisfiability,
+//! equality chains, windows); with a catalog file (see
+//! [`cosmos_lint::parse_catalog`] for the format) the schema and type
+//! checks run too. Exit status: 0 clean or warnings only, 1 if any
+//! error-level finding (including parse errors), 2 on usage/IO problems.
+
+use cosmos_lint::{codes, parse_catalog, Diagnostic, Severity};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut schemas: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--schemas" => match args.next() {
+                Some(path) => schemas = Some(path),
+                None => return usage("--schemas needs a file argument"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: cosmos-lint [--schemas CATALOG] FILE...");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag '{other}'"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return usage("no input files");
+    }
+
+    let catalog = match schemas {
+        None => None,
+        Some(path) => match std::fs::read_to_string(&path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_catalog(&text) {
+                Ok(cat) => Some(cat),
+                Err(e) => {
+                    eprintln!("cosmos-lint: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("cosmos-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let (mut errors, mut warnings) = (0usize, 0usize);
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cosmos-lint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for (n, stmt) in text
+            .split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .enumerate()
+        {
+            let diags = match cosmos_cql::parse_query_spanned(stmt) {
+                Err(e) => vec![Diagnostic::error(codes::PARSE, e.message(), None)],
+                Ok(sq) => match &catalog {
+                    Some(cat) => {
+                        cosmos_lint::check_query_with(&sq, |name: &str| cat.get(name).cloned())
+                    }
+                    None => cosmos_lint::check_query(&sq),
+                },
+            };
+            for d in &diags {
+                match d.severity {
+                    Severity::Error => errors += 1,
+                    Severity::Warning => warnings += 1,
+                    Severity::Note => {}
+                }
+                println!("{file}: statement {}: {}", n + 1, d.render(stmt));
+            }
+        }
+    }
+    if errors + warnings > 0 {
+        println!(
+            "cosmos-lint: {errors} error{}, {warnings} warning{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cosmos-lint: {msg}\nusage: cosmos-lint [--schemas CATALOG] FILE...");
+    ExitCode::from(2)
+}

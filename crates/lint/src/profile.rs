@@ -1,0 +1,72 @@
+//! Lints over CBN profiles and over the merge machinery's split filters.
+
+use crate::diag::{codes, Diagnostic};
+use cosmos_cbn::{conjunction_unsat, Profile};
+use cosmos_query::merge::retighten_profile;
+use cosmos_spe::analyze::AnalyzedQuery;
+use cosmos_types::StreamName;
+
+/// Check a profile's disjuncts for dead (C0402) and redundant (C0401)
+/// filters. Profiles carry no source text, so findings have no span.
+pub fn check_profile(p: &Profile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (stream, entry) in p.iter() {
+        let dead: Vec<bool> = entry.filters.iter().map(conjunction_unsat).collect();
+        for (i, filter) in entry.filters.iter().enumerate() {
+            if dead[i] {
+                out.push(Diagnostic::warning(
+                    codes::UNSAT_DISJUNCT,
+                    format!(
+                        "disjunct #{i} of the profile entry for stream '{stream}' is \
+                         unsatisfiable and can never match: {filter}"
+                    ),
+                    None,
+                ));
+                continue;
+            }
+            // A live disjunct is redundant when another live disjunct
+            // admits everything it admits. Of two equivalent disjuncts
+            // only the later one is flagged.
+            let subsumed_by = entry.filters.iter().enumerate().find(|&(j, other)| {
+                j != i && !dead[j] && filter.implies(other) && (i > j || !other.implies(filter))
+            });
+            if let Some((j, _)) = subsumed_by {
+                out.push(Diagnostic::warning(
+                    codes::REDUNDANT_DISJUNCT,
+                    format!(
+                        "disjunct #{i} of the profile entry for stream '{stream}' is \
+                         subsumed by disjunct #{j} and is redundant: {filter}"
+                    ),
+                    None,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Merge-safety check (C0501): would splitting `member`'s results out of
+/// the representative's stream require an unsatisfiable filter?
+///
+/// Wraps [`retighten_profile`], which refuses to build a provably-empty
+/// split filter; the refusal is surfaced here as a lint finding.
+pub fn check_split(
+    member: &AnalyzedQuery,
+    rep: &AnalyzedQuery,
+    rep_stream: &StreamName,
+) -> Vec<Diagnostic> {
+    match retighten_profile(member, rep, rep_stream) {
+        Ok(profile) => check_profile(&profile),
+        Err(e) if e.message().contains("unsatisfiable") => vec![Diagnostic::warning(
+            codes::UNSAT_SPLIT_FILTER,
+            format!(
+                "merging this query would fail at split time: {}",
+                e.message()
+            ),
+            None,
+        )],
+        // Other failures (e.g. no correspondence) mean the pair is not
+        // mergeable in the first place — nothing for a lint to flag.
+        Err(_) => Vec::new(),
+    }
+}

@@ -67,9 +67,8 @@ fn long_run_windows_stay_bounded() {
     // One million milliseconds of data through a 5-second join window:
     // buffers must stay small (eviction works), and the executor must
     // keep producing.
-    let mut ex = executor(
-        "SELECT A.k FROM L [Range 5 Second] A, R [Range 5 Second] B WHERE A.k = B.k",
-    );
+    let mut ex =
+        executor("SELECT A.k FROM L [Range 5 Second] A, R [Range 5 Second] B WHERE A.k = B.k");
     let mut produced = 0usize;
     for i in 0..2_000i64 {
         let ts = i * 500;

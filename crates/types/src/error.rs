@@ -31,6 +31,9 @@ pub enum CosmosError {
     Query(String),
     /// The stream processing engine refused an operation.
     Engine(String),
+    /// Static analysis rejected a query or profile (an Error-level lint
+    /// diagnostic; the message carries the diagnostic code).
+    Lint(String),
     /// Simulation/system-level misuse (unknown node id, duplicate stream
     /// registration, …).
     System(String),
@@ -48,6 +51,7 @@ impl CosmosError {
             CosmosError::Overlay(_) => "overlay",
             CosmosError::Query(_) => "query",
             CosmosError::Engine(_) => "engine",
+            CosmosError::Lint(_) => "lint",
             CosmosError::System(_) => "system",
         }
     }
@@ -63,6 +67,7 @@ impl CosmosError {
             | CosmosError::Overlay(m)
             | CosmosError::Query(m)
             | CosmosError::Engine(m)
+            | CosmosError::Lint(m)
             | CosmosError::System(m) => m,
         }
     }
@@ -99,6 +104,7 @@ mod tests {
             CosmosError::Overlay(String::new()).kind(),
             CosmosError::Query(String::new()).kind(),
             CosmosError::Engine(String::new()).kind(),
+            CosmosError::Lint(String::new()).kind(),
             CosmosError::System(String::new()).kind(),
         ];
         let set: std::collections::BTreeSet<_> = kinds.iter().collect();

@@ -31,7 +31,8 @@ fn tup(ts: i64, k: i64, x: f64) -> Tuple {
 
 fn deploy(cfg: CosmosConfig) -> Cosmos {
     let mut sys = Cosmos::new(cfg).unwrap();
-    sys.register_stream("S", schema(), stats(), NodeId(1)).unwrap();
+    sys.register_stream("S", schema(), stats(), NodeId(1))
+        .unwrap();
     sys
 }
 
@@ -61,7 +62,10 @@ fn affinity_one_concentrates_affinity_many_balances() {
     assert_eq!(concentrated.iter().filter(|&&c| c > 0).count(), 1);
     let spread = run(8);
     let busy = spread.iter().filter(|&&c| c > 0).count();
-    assert!(busy >= 4, "affinity 8 should use several processors, used {busy}");
+    assert!(
+        busy >= 4,
+        "affinity 8 should use several processors, used {busy}"
+    );
     // least-loaded choice keeps the spread flat
     let max = spread.iter().max().unwrap();
     let min_busy = spread.iter().filter(|&&c| c > 0).min().unwrap();
@@ -85,8 +89,13 @@ fn processor_roles_match_fraction() {
 
 #[test]
 fn weighted_cost_and_bytes_move_together() {
-    let mut sys = deploy(CosmosConfig { nodes: 12, seed: 3, ..CosmosConfig::default() });
-    sys.submit_query("SELECT k, x FROM S [Now]", NodeId(7)).unwrap();
+    let mut sys = deploy(CosmosConfig {
+        nodes: 12,
+        seed: 3,
+        ..CosmosConfig::default()
+    });
+    sys.submit_query("SELECT k, x FROM S [Now]", NodeId(7))
+        .unwrap();
     let mut last_bytes = 0;
     let mut last_cost = 0.0;
     for i in 0..10 {
@@ -102,7 +111,11 @@ fn weighted_cost_and_bytes_move_together() {
 #[test]
 fn whole_deployments_are_deterministic() {
     let run = || {
-        let mut sys = deploy(CosmosConfig { nodes: 24, seed: 77, ..CosmosConfig::default() });
+        let mut sys = deploy(CosmosConfig {
+            nodes: 24,
+            seed: 77,
+            ..CosmosConfig::default()
+        });
         let q = sys
             .submit_query("SELECT k, x FROM S [Now] WHERE x > 25.0", NodeId(13))
             .unwrap();
@@ -128,10 +141,12 @@ fn dht_registry_with_many_result_streams() {
         ..CosmosConfig::default()
     })
     .unwrap();
-    sys.register_stream("S", schema(), stats(), NodeId(1)).unwrap();
+    sys.register_stream("S", schema(), stats(), NodeId(1))
+        .unwrap();
     let qids: Vec<_> = (0..12)
         .map(|i| {
-            sys.submit_query("SELECT k FROM S [Now]", NodeId(i * 2)).unwrap()
+            sys.submit_query("SELECT k FROM S [Now]", NodeId(i * 2))
+                .unwrap()
         })
         .collect();
     sys.run((0..10).map(|i| tup(i * 1000, i, 1.0))).unwrap();
@@ -145,13 +160,21 @@ fn dht_registry_with_many_result_streams() {
 
 #[test]
 fn queries_against_missing_attributes_fail_cleanly() {
-    let mut sys = deploy(CosmosConfig { nodes: 8, seed: 2, ..CosmosConfig::default() });
+    let mut sys = deploy(CosmosConfig {
+        nodes: 8,
+        seed: 2,
+        ..CosmosConfig::default()
+    });
+    // the lint pass catches the bad attribute before analysis
     let err = sys
         .submit_query("SELECT nonexistent FROM S [Now]", NodeId(3))
         .unwrap_err();
-    assert_eq!(err.kind(), "analyze");
+    assert_eq!(err.kind(), "lint");
+    assert!(err.message().contains("C0202"), "{}", err.message());
     // failed submissions leave no residue: a valid query still works
-    let q = sys.submit_query("SELECT k FROM S [Now]", NodeId(3)).unwrap();
+    let q = sys
+        .submit_query("SELECT k FROM S [Now]", NodeId(3))
+        .unwrap();
     sys.publish(&tup(0, 1, 1.0)).unwrap();
     assert_eq!(sys.results(q).len(), 1);
 }

@@ -1,0 +1,270 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real crates.io
+//! dependency can never be fetched. This crate keeps the benchmark
+//! harness API the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `BenchmarkId`, `Throughput`,
+//! `black_box`) and implements a simple wall-clock runner: each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! short measurement window, and the mean iteration time (plus
+//! throughput, when declared) is printed. No statistical analysis or
+//! HTML reports. See `vendor/README.md` for the vendoring policy.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration workload, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this measurement batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let label = id.into_label();
+        run_benchmark(&label, None, self.measurement_time, f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's measurement
+    /// window is fixed, so the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, self.throughput, self.criterion.measurement_time, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    window: Duration,
+    mut f: F,
+) {
+    // Calibrate: run single iterations until we know roughly how long
+    // one takes (also serves as warm-up).
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed / iters.max(1) as u32;
+
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!(" ({:.3e} elem/s)", per_sec(n)),
+            Throughput::Bytes(n) => format!(" ({:.3e} B/s)", per_sec(n)),
+        }
+    });
+    println!(
+        "bench: {label:<50} {per_iter:>12?}/iter over {iters} iters{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.throughput(Throughput::Elements(100));
+            group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+                b.iter(|| {
+                    ran += 1;
+                    (0..n).sum::<u64>()
+                })
+            });
+            group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+            group.finish();
+        }
+        assert!(ran > 0);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group!(test_group, noop_bench);
+    criterion_main!(test_main_entry);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    fn test_main_entry() {
+        // Referenced by criterion_main! expansion above to prove the
+        // macro compiles; not executed as part of the test suite.
+    }
+
+    #[test]
+    fn macros_compile() {
+        let _ = test_group as fn();
+        let _ = main as fn();
+    }
+}

@@ -1,0 +1,249 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the constructs the workspace's patterns use: literal
+//! characters, `.` (printable characters), character classes with
+//! ranges and `\`-escapes, and the `{m,n}` / `{n}` / `{m,}` / `*` /
+//! `+` / `?` quantifiers. Alternation and groups are not supported and
+//! panic with a clear message.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// One repeatable unit of the pattern.
+enum Atom {
+    /// A fixed set of candidate characters.
+    Chars(Vec<char>),
+    /// `.`: mostly printable ASCII, with occasional non-ASCII to keep
+    /// robustness tests honest about UTF-8.
+    Any,
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for q in &atoms {
+        let count = rng.gen_range(q.min..=q.max);
+        for _ in 0..count {
+            out.push(sample_atom(&q.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Chars(cs) => cs[rng.gen_range(0..cs.len())],
+        Atom::Any => {
+            if rng.gen_range(0..16usize) == 0 {
+                const EXOTIC: &[char] = &['é', 'λ', '漢', '🦀', '\t', '\u{0}'];
+                EXOTIC[rng.gen_range(0..EXOTIC.len())]
+            } else {
+                char::from(rng.gen_range(0x20u8..=0x7E))
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let (atom, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                atom
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling '\\' in pattern '{pattern}'"));
+                i += 1;
+                Atom::Chars(vec![unescape(c)])
+            }
+            '(' | ')' | '|' => panic!(
+                "pattern '{pattern}': groups/alternation are not supported by the \
+                 vendored proptest stand-in"
+            ),
+            c => {
+                i += 1;
+                Atom::Chars(vec![c])
+            }
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        atoms.push(Quantified { atom, min, max });
+    }
+    atoms
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (Atom, usize) {
+    let mut set = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        panic!("pattern '{pattern}': negated classes are not supported");
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(
+                *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling '\\' in class of pattern '{pattern}'")),
+            )
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // A '-' with a following endpoint (not ']' and not trailing)
+        // forms a range; otherwise '-' is a literal.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            let hi = chars[i + 1];
+            assert!(
+                c <= hi,
+                "pattern '{pattern}': reversed range {c}-{hi} in class"
+            );
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    set.push(ch);
+                }
+            }
+            i += 2;
+        } else {
+            set.push(c);
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "pattern '{pattern}': unterminated character class"
+    );
+    assert!(
+        !set.is_empty(),
+        "pattern '{pattern}': empty character class"
+    );
+    (Atom::Chars(set), i + 1)
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("pattern '{pattern}': unterminated quantifier"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("pattern '{pattern}': bad quantifier '{{{body}}}'"))
+            };
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let m = parse_n(lo);
+                    (m, m + 8)
+                }
+                Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+            };
+            assert!(
+                min <= max,
+                "pattern '{pattern}': reversed quantifier '{{{body}}}'"
+            );
+            (min, max, close + 1)
+        }
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('?') => (0, 1, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        crate::__new_rng("pattern-tests")
+    }
+
+    #[test]
+    fn workspace_patterns_generate_matching_strings() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let s = sample("[a-zA-Z][a-zA-Z0-9_:]{0,16}", &mut rng);
+            assert!((1..=17).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic(), "{s:?}");
+            assert!(s
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+
+            let s = sample("[a-zA-Z0-9 _-]{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _-".contains(c)));
+
+            let s = sample(r"[ a-zA-Z0-9_.,<>=!*()\[\]']{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.,<>=!*()[]'".contains(c)));
+
+            let s = sample(".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn quantifier_forms() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            assert_eq!(sample("a{3}", &mut rng), "aaa");
+            let s = sample("a+b?c*", &mut rng);
+            assert!(s.starts_with('a'));
+            let s = sample("x{2,}", &mut rng);
+            assert!(s.chars().count() >= 2);
+        }
+    }
+
+    #[test]
+    fn literal_and_escape() {
+        let mut rng = rng();
+        assert_eq!(sample(r"ab\.c", &mut rng), "ab.c");
+        assert_eq!(sample(r"\[Now\]", &mut rng), "[Now]");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn groups_rejected() {
+        sample("(a|b)", &mut rng());
+    }
+}

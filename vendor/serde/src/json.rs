@@ -1,0 +1,405 @@
+//! Compact JSON rendering and parsing for [`Content`] trees.
+//!
+//! Lives inside the serde stand-in (rather than the vendored
+//! `serde_json`) so that non-string map keys can round-trip: JSON object
+//! keys must be strings, so such keys are rendered as JSON-encoded
+//! strings and re-parsed on the way out by [`crate::content_seq`].
+
+use crate::{Content, DeError};
+
+pub(crate) fn render(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::Int(i) => out.push_str(&i.to_string()),
+        Content::UInt(u) => out.push_str(&u.to_string()),
+        Content::Float(f) => {
+            if f.is_finite() {
+                // Rust's Display for f64 is the shortest representation
+                // that round-trips, and never uses exponent notation.
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => render_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match k {
+                    Content::Str(s) => render_string(s, out),
+                    // JSON object keys must be strings: render the key
+                    // as JSON, then encode that document as a string.
+                    other => render_string(&other.to_json(), out),
+                }
+                out.push(':');
+                render(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn parse(src: &str) -> Result<Content, DeError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(DeError::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError::custom(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), DeError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(DeError::custom(format!(
+                "expected '{lit}' at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, DeError> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|()| Content::Null),
+            Some(b't') => self.eat_literal("true").map(|()| Content::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| Content::Bool(false)),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(DeError::custom(format!(
+                "unexpected character '{}' at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(DeError::custom("unexpected end of input")),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Content, DeError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => {
+                    return Err(DeError::custom(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Content, DeError> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((Content::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => {
+                    return Err(DeError::custom(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // Safe: we started inside a str and only stopped on ASCII.
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| DeError::custom("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| DeError::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat_literal("\\u")?;
+                                let lo = self.hex4()?;
+                                let code = 0x10000
+                                    + ((hi - 0xD800) << 10)
+                                    + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(ch.ok_or_else(|| DeError::custom("invalid unicode escape"))?);
+                        }
+                        other => {
+                            return Err(DeError::custom(format!(
+                                "invalid escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(DeError::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, DeError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| DeError::custom("truncated unicode escape"))?;
+        let s =
+            std::str::from_utf8(slice).map_err(|_| DeError::custom("invalid unicode escape"))?;
+        let v =
+            u32::from_str_radix(s, 16).map_err(|_| DeError::custom("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Content, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::custom("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Content::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Content::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::Float)
+            .map_err(|_| DeError::custom(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(c: Content) {
+        let rendered = c.to_json();
+        let parsed = Content::parse_json(&rendered).unwrap();
+        assert_eq!(parsed, c, "via {rendered}");
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(Content::Null);
+        roundtrip(Content::Bool(true));
+        roundtrip(Content::Int(-42));
+        roundtrip(Content::Int(i64::MIN));
+        roundtrip(Content::UInt(u64::MAX));
+        roundtrip(Content::Float(1.5));
+        roundtrip(Content::Float(-0.000123));
+        roundtrip(Content::Str("he\"llo\\\n\tworld \u{1F600} é".into()));
+    }
+
+    #[test]
+    fn integral_float_parses_as_int() {
+        // Rendered integral floats lose the ".0" marker; f64's
+        // Deserialize accepts Int, so values still round-trip.
+        let parsed = Content::parse_json(&Content::Float(3.0).to_json()).unwrap();
+        assert_eq!(parsed, Content::Int(3));
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        roundtrip(Content::Map(vec![
+            (
+                Content::Str("items".into()),
+                Content::Seq(vec![
+                    Content::Int(1),
+                    Content::Null,
+                    Content::Str("x".into()),
+                ]),
+            ),
+            (Content::Str("empty".into()), Content::Seq(vec![])),
+            (Content::Str("nested".into()), Content::Map(vec![])),
+        ]));
+    }
+
+    #[test]
+    fn non_string_keys_round_trip_through_strings() {
+        let m = Content::Map(vec![(
+            Content::Seq(vec![Content::Str("a".into()), Content::Str("b".into())]),
+            Content::Int(1),
+        )]);
+        let parsed = Content::parse_json(&m.to_json()).unwrap();
+        // Keys come back as strings holding JSON...
+        let Content::Map(entries) = &parsed else {
+            panic!("expected map")
+        };
+        let key = entries[0].0.as_str().unwrap();
+        // ...which content_seq re-parses.
+        let items = crate::content_seq(&Content::Str(key.into()), 2).unwrap();
+        assert_eq!(items[0], Content::Str("a".into()));
+        assert_eq!(items[1], Content::Str("b".into()));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Content::parse_json("").is_err());
+        assert!(Content::parse_json("[1,").is_err());
+        assert!(Content::parse_json("{\"a\"}").is_err());
+        assert!(Content::parse_json("1 2").is_err());
+        assert!(Content::parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let parsed = Content::parse_json("  { \"a\" : [ 1 , 2 ] }  ").unwrap();
+        assert_eq!(
+            parsed,
+            Content::Map(vec![(
+                Content::Str("a".into()),
+                Content::Seq(vec![Content::Int(1), Content::Int(2)])
+            )])
+        );
+    }
+}

@@ -1,0 +1,513 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real crates.io
+//! dependency can never be fetched. This crate keeps the parts of the
+//! serde surface the workspace relies on — `#[derive(Serialize,
+//! Deserialize)]` and the trait names — while replacing serde's
+//! visitor-based architecture with a much smaller design: values
+//! serialize into a [`Content`] tree, and deserialize back out of one.
+//! `serde_json` (also vendored) renders and parses `Content` as JSON.
+//!
+//! The derive macros live in the companion `serde_derive` proc-macro
+//! crate and generate `to_content`/`from_content` implementations with
+//! serde's externally-tagged enum layout, so the wire format looks like
+//! what real serde_json would produce for the same types. See
+//! `vendor/README.md` for the vendoring policy.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod json;
+
+/// A self-describing value tree — the intermediate representation every
+/// serializable type converts to and from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key/value map (keys need not be strings).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        json::render(self, &mut out);
+        out
+    }
+
+    /// Parse a JSON document.
+    pub fn parse_json(s: &str) -> Result<Content, DeError> {
+        json::parse(s)
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can convert themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Serialize `self` into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize a value from a content tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by derive-generated code (public but doc-hidden).
+// ---------------------------------------------------------------------------
+
+/// Look up a field by name in a map content node.
+#[doc(hidden)]
+pub fn map_get<'a>(c: &'a Content, key: &str) -> Result<&'a Content, DeError> {
+    match c {
+        Content::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k.as_str() == Some(key))
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom(format!("missing field '{key}'"))),
+        other => Err(DeError::custom(format!(
+            "expected map with field '{key}', found {other}"
+        ))),
+    }
+}
+
+/// View a content node as a sequence of exactly `n` elements.
+///
+/// A string node is re-parsed as JSON first: map *keys* are rendered as
+/// JSON-encoded strings when they are not plain strings (JSON object
+/// keys must be strings), and this is where they round-trip back.
+#[doc(hidden)]
+pub fn content_seq(c: &Content, n: usize) -> Result<Vec<Content>, DeError> {
+    let items = match c {
+        Content::Seq(items) => items.clone(),
+        Content::Str(s) => match Content::parse_json(s)? {
+            Content::Seq(items) => items,
+            other => {
+                return Err(DeError::custom(format!(
+                    "expected sequence, found string {other}"
+                )))
+            }
+        },
+        other => Err(DeError::custom(format!("expected sequence, found {other}")))?,
+    };
+    if items.len() != n {
+        return Err(DeError::custom(format!(
+            "expected sequence of {n} elements, found {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<bool, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i128;
+                if let Ok(i) = i64::try_from(v) {
+                    Content::Int(i)
+                } else {
+                    Content::UInt(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<$t, DeError> {
+                let out = match c {
+                    Content::Int(i) => <$t>::try_from(*i).ok(),
+                    Content::UInt(u) => <$t>::try_from(*u).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    DeError::custom(format!(
+                        "expected {}, found {c}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*}
+}
+impl_serde_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<f64, DeError> {
+        match c {
+            Content::Float(f) => Ok(*f),
+            Content::Int(i) => Ok(*i as f64),
+            Content::UInt(u) => Ok(*u as f64),
+            other => Err(DeError::custom(format!("expected float, found {other}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<f32, DeError> {
+        f64::from_content(c).map(|f| f as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<String, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<char, DeError> {
+        let s = String::from_content(c)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom(format!("expected char, found '{s}'"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Box<T>, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+// The `rc` feature of real serde; always available here.
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_content(c: &Content) -> Result<Arc<str>, DeError> {
+        String::from_content(c).map(Arc::from)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<[T]> {
+    fn from_content(c: &Content) -> Result<Arc<[T]>, DeError> {
+        Vec::<T>::from_content(c).map(Arc::from)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Arc<T>, DeError> {
+        T::from_content(c).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Option<T>, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Vec<T>, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected sequence, found {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<BTreeSet<T>, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected sequence, found {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_content(c: &Content) -> Result<HashSet<T, S>, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected sequence, found {other}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<BTreeMap<K, V>, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected map, found {other}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_content(c: &Content) -> Result<HashMap<K, V, S>, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected map, found {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($n:expr => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<($($name,)+), DeError> {
+                let items = content_seq(c, $n)?;
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_serde_tuple!(2 => A: 0, B: 1);
+impl_serde_tuple!(3 => A: 0, B: 1, C: 2);
+impl_serde_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Content, DeError> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN] {
+            assert_eq!(i64::from_content(&v.to_content()).unwrap(), v);
+        }
+        assert_eq!(u64::from_content(&u64::MAX.to_content()).unwrap(), u64::MAX);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn collection_roundtrips() {
+        let v = vec![1i64, 2, 3];
+        assert_eq!(Vec::<i64>::from_content(&v.to_content()).unwrap(), v);
+        let m: BTreeMap<String, i64> = [("a".to_string(), 1)].into_iter().collect();
+        assert_eq!(
+            BTreeMap::<String, i64>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+        let o: Option<i64> = Some(4);
+        assert_eq!(Option::<i64>::from_content(&o.to_content()).unwrap(), o);
+        assert_eq!(
+            Option::<i64>::from_content(&None::<i64>.to_content()).unwrap(),
+            None
+        );
+        let t = (1i64, "x".to_string());
+        assert_eq!(<(i64, String)>::from_content(&t.to_content()).unwrap(), t);
+    }
+
+    #[test]
+    fn arc_impls() {
+        let s: Arc<str> = Arc::from("abc");
+        assert_eq!(&*Arc::<str>::from_content(&s.to_content()).unwrap(), "abc");
+        let xs: Arc<[i64]> = Arc::from(vec![1i64, 2]);
+        assert_eq!(
+            &*Arc::<[i64]>::from_content(&xs.to_content()).unwrap(),
+            &[1, 2]
+        );
+    }
+
+    #[test]
+    fn out_of_range_ints_error() {
+        assert!(u8::from_content(&Content::Int(300)).is_err());
+        assert!(i64::from_content(&Content::UInt(u64::MAX)).is_err());
+        assert!(u64::from_content(&Content::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! Workspace-local stand-in for the `serde_derive` crate.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the vendored `serde`
+//! stand-in (`to_content`/`from_content` against a `Content` tree).
+//! The real serde_derive depends on `syn`/`quote`, which cannot be
+//! fetched in this offline environment, so this implementation parses
+//! the item's `TokenStream` by hand and emits generated code as source
+//! text parsed back into a `TokenStream`.
+//!
+//! Supported shapes (everything the workspace derives on): unit,
+//! tuple, and named-field structs, and enums whose variants are unit,
+//! tuple, or named-field — all without generic parameters. Enum wire
+//! layout follows serde's externally-tagged convention: unit variants
+//! serialize as the variant-name string, payload variants as a
+//! single-entry map from variant name to payload. Container/field
+//! attributes (`#[serde(...)]`) are not supported and are rejected so
+//! they cannot be silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field list.
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize` (the vendored stand-in trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct_body(name, fields),
+        Item::Enum { name, variants } => serialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("generated Serialize impl should parse")
+}
+
+/// Derive `serde::Deserialize` (the vendored stand-in trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct_body(name, fields),
+        Item::Enum { name, variants } => deserialize_enum_body(name, variants),
+    };
+    let name = item_name(&item);
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(\n\
+                 __c: &::serde::Content,\n\
+             ) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse()
+        .expect("generated Deserialize impl should parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected 'struct' or 'enum', found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stand-in does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("unexpected enum body for `{name}`: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive serde traits for '{other}' items"),
+    }
+}
+
+/// Skip leading `#[...]` attributes and `pub`/`pub(...)` visibility,
+/// rejecting `#[serde(...)]` which this stand-in cannot honour.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let attr = g.stream().to_string();
+                        if attr.starts_with("serde") {
+                            panic!(
+                                "#[serde(...)] attributes are not supported by the \
+                                 vendored serde_derive stand-in (found `{attr}`)"
+                            );
+                        }
+                    }
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, skipping types (angle-bracket
+/// aware so commas inside generics don't split fields).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return fields,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&mut tokens);
+    }
+}
+
+/// Advance past a type, stopping after the next top-level `,` (or end).
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0usize;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Count the fields of a tuple struct/variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in body {
+        any = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                tokens.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        } else if let Some(tok) = tokens.peek() {
+            panic!("unexpected token after variant `{name}`: {tok:?}");
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text)
+// ---------------------------------------------------------------------------
+
+fn serialize_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        // Newtype structs are transparent, matching serde's layout.
+        Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Seq(vec![{items}])")
+        }
+        Fields::Named(names) => {
+            let entries = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str(\"{f}\".to_string()), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+    }
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = __c; Ok({name}) }}"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Fields::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{ let __items = ::serde::content_seq(__c, {n})?; \
+                 Ok({name}({items})) }}"
+            )
+        }
+        Fields::Named(names) => {
+            let inits = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::map_get(__c, \"{f}\")?)?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("Ok({name} {{ {inits} }})")
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Content::Str(\"{vname}\".to_string())"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Content::Map(vec![(\
+                     ::serde::Content::Str(\"{vname}\".to_string()), \
+                     ::serde::Serialize::to_content(__f0))])"
+                ),
+                Fields::Tuple(n) => {
+                    let binds = (0..*n)
+                        .map(|i| format!("__f{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let items = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Content::Map(vec![(\
+                         ::serde::Content::Str(\"{vname}\".to_string()), \
+                         ::serde::Content::Seq(vec![{items}]))])"
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::serde::Content::Str(\"{f}\".to_string()), \
+                                 ::serde::Serialize::to_content({f}))"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                         ::serde::Content::Str(\"{vname}\".to_string()), \
+                         ::serde::Content::Map(vec![{entries}]))])"
+                    )
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("match self {{\n{arms}\n}}")
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect::<String>();
+    let payload_arms = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "Some(\"{vname}\") => \
+                     Ok({name}::{vname}(::serde::Deserialize::from_content(__v)?)),"
+                )),
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    Some(format!(
+                        "Some(\"{vname}\") => {{ \
+                         let __items = ::serde::content_seq(__v, {n})?; \
+                         Ok({name}::{vname}({items})) }},"
+                    ))
+                }
+                Fields::Named(fields) => {
+                    let inits = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(\
+                                 ::serde::map_get(__v, \"{f}\")?)?"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    Some(format!(
+                        "Some(\"{vname}\") => Ok({name}::{vname} {{ {inits} }}),"
+                    ))
+                }
+            }
+        })
+        .collect::<String>();
+    format!(
+        "match __c {{\n\
+             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => Err(::serde::DeError::custom(format!(\n\
+                     \"unknown variant '{{__other}}' of {name}\"\n\
+                 ))),\n\
+             }},\n\
+             ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __v) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                     {payload_arms}\n\
+                     __other => Err(::serde::DeError::custom(format!(\n\
+                         \"unknown variant {{__other:?}} of {name}\"\n\
+                     ))),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::DeError::custom(format!(\n\
+                 \"expected {name}, found {{__other}}\"\n\
+             ))),\n\
+         }}"
+    )
+}

@@ -1,0 +1,113 @@
+//! Workspace-local stand-in for the `serde_json` crate.
+//!
+//! The build environment has no network access, so the real crates.io
+//! dependency can never be fetched. The vendored `serde` stand-in
+//! already serializes through a JSON-renderable [`serde::Content`]
+//! tree, so this crate is a thin facade: [`Value`] *is* that tree, and
+//! [`to_string`]/[`from_str`] render and parse it. See
+//! `vendor/README.md` for the vendoring policy.
+
+use std::fmt;
+
+/// A JSON value (the vendored serde's content tree).
+pub type Value = serde::Content;
+
+/// A serialization or deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(serde::DeError);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e)
+    }
+}
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_content().to_json())
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let content = Value::parse_json(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Convert any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_content())
+}
+
+/// Infallible conversion used by the `json!` macro (callers of the
+/// macro need not depend on `serde` directly).
+#[doc(hidden)]
+pub fn __to_content<T: serde::Serialize>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Build a [`Value`] from JSON-like syntax.
+///
+/// Supports `null`, arrays of expressions, flat objects with
+/// string-literal keys and expression values, and bare expressions
+/// (anything implementing the vendored `serde::Serialize`). Nested
+/// object literals must be built with nested `json!` calls.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $($crate::__to_content(&$elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![ $((
+            $crate::Value::Str($key.to_string()),
+            $crate::__to_content(&$val),
+        )),* ])
+    };
+    ($other:expr) => { $crate::__to_content(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects() {
+        let label = "uniform";
+        let v = json!({
+            "distribution": label,
+            "queries": 128usize,
+            "ratio": 0.25,
+            "ok": true,
+        });
+        let s = v.to_string();
+        assert_eq!(
+            s,
+            r#"{"distribution":"uniform","queries":128,"ratio":0.25,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn json_macro_misc() {
+        assert_eq!(json!(null).to_string(), "null");
+        assert_eq!(json!([1, 2, 3]).to_string(), "[1,2,3]");
+        assert_eq!(json!("x").to_string(), "\"x\"");
+        assert_eq!(json!({}).to_string(), "{}");
+    }
+
+    #[test]
+    fn to_string_from_str_roundtrip() {
+        let v = vec![1i64, -5, 42];
+        let s = to_string(&v).unwrap();
+        let back: Vec<i64> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert!(from_str::<Vec<i64>>("[1,").is_err());
+    }
+}
