@@ -72,6 +72,8 @@ impl Default for CosmosConfig {
 struct RepSite {
     processor: NodeId,
     executor: Executor,
+    /// Generation stamp of this executor (see [`Cosmos::executor_generation`]).
+    generation: u64,
 }
 
 /// The analyzed query of one member inside a group.
@@ -121,6 +123,10 @@ pub struct Cosmos {
     next_sub: u64,
     next_query: u64,
     baseline_counter: u64,
+    /// Monotone counter stamped onto every freshly created executor.
+    executor_gen: u64,
+    /// Per-query generation of the executor currently serving it.
+    query_executor_gen: FxHashMap<QueryId, u64>,
 }
 
 impl Cosmos {
@@ -180,6 +186,8 @@ impl Cosmos {
             next_sub: 0,
             next_query: 0,
             baseline_counter: 0,
+            executor_gen: 0,
+            query_executor_gen: FxHashMap::default(),
             graph,
         })
     }
@@ -480,11 +488,14 @@ impl Cosmos {
             self.routers[processor.index()].add_local_subscriber(sub, source_profile.clone());
             self.spe_subs.insert(sub, result_stream.clone());
             self.propagate_per_stream(processor, &source_profile)?;
+            self.executor_gen += 1;
+            self.query_executor_gen.insert(qid, self.executor_gen);
             self.reps.insert(
                 result_stream.clone(),
                 RepSite {
                     processor,
                     executor,
+                    generation: self.executor_gen,
                 },
             );
         } else if rep_changed {
@@ -494,8 +505,21 @@ impl Cosmos {
             self.registry
                 .update_schema(&result_stream, rep.output_schema.clone())?;
             let executor = Executor::new(rep.clone(), result_stream.clone())?;
+            self.executor_gen += 1;
             let site = self.reps.get_mut(&result_stream).expect("rep exists");
             site.executor = executor;
+            site.generation = self.executor_gen;
+            // The replaced executor starts fresh: every member of the
+            // group (the new one included) is now served by the new
+            // generation.
+            self.query_executor_gen.insert(qid, self.executor_gen);
+            if let Some(manager) = self.managers.get(&processor) {
+                if let Some((g, _)) = manager.placement(qid) {
+                    for (mid, _) in &g.members {
+                        self.query_executor_gen.insert(*mid, self.executor_gen);
+                    }
+                }
+            }
             // Re-subscribe the SPE input with the widened profile.
             let source_profile = rep.source_profile();
             let sub = *self
@@ -506,6 +530,11 @@ impl Cosmos {
                 .expect("spe subscription exists");
             self.routers[processor.index()].add_local_subscriber(sub, source_profile.clone());
             self.propagate_per_stream(processor, &source_profile)?;
+        } else {
+            // Joined an existing group without widening it: the query is
+            // served by the warm, already-running executor.
+            let gen = self.reps[&result_stream].generation;
+            self.query_executor_gen.insert(qid, gen);
         }
 
         // A widened representative invalidates the other members'
@@ -601,19 +630,23 @@ impl Cosmos {
                 let sub = self.alloc_sub();
                 self.routers[p.index()].add_local_subscriber(sub, rep.source_profile());
                 self.spe_subs.insert(sub, stream.clone());
+                self.executor_gen += 1;
                 self.reps.insert(
                     stream,
                     RepSite {
                         processor: p,
                         executor,
+                        generation: self.executor_gen,
                     },
                 );
             }
             // Refresh the affected users' subscriptions.
-            for (qid, _stream, profile) in placements {
+            for (qid, stream, profile) in placements {
                 let user = self.query_user[&qid];
                 let sub = self.user_sub_of_query[&qid];
                 self.routers[user.index()].add_local_subscriber(sub, profile);
+                let gen = self.reps[&stream].generation;
+                self.query_executor_gen.insert(qid, gen);
             }
         }
         if improved > 0 {
@@ -671,8 +704,13 @@ impl Cosmos {
                     self.registry
                         .update_schema(&result_stream, rep.output_schema.clone())?;
                     let executor = Executor::new(rep.clone(), result_stream.clone())?;
+                    self.executor_gen += 1;
                     let site = self.reps.get_mut(&result_stream).expect("rep exists");
                     site.executor = executor;
+                    site.generation = self.executor_gen;
+                    for mid in &members {
+                        self.query_executor_gen.insert(*mid, self.executor_gen);
+                    }
                     let source_profile = rep.source_profile();
                     let spe_sub = *self
                         .spe_subs
@@ -716,6 +754,7 @@ impl Cosmos {
         }
         self.query_user.remove(&qid);
         self.query_processor.remove(&qid);
+        self.query_executor_gen.remove(&qid);
         self.rebuild_routes();
         Ok(())
     }
@@ -848,6 +887,61 @@ impl Cosmos {
     /// Number of queries in the system.
     pub fn query_count(&self) -> usize {
         self.next_query as usize
+    }
+
+    /// Generation stamp of the executor currently serving a query.
+    ///
+    /// Every time an executor is (re)created — a group is founded, a
+    /// representative is widened by a new member, a group is rebuilt by
+    /// [`Cosmos::reoptimize_groups`], or it shrinks after an
+    /// [`Cosmos::unsubscribe`] — the affected queries are stamped with a
+    /// fresh, globally monotone generation. A query that joins a warm
+    /// group without widening it inherits the running executor's stamp.
+    /// The scenario harness uses this to cut oracle epochs exactly where
+    /// window state restarts; `None` after unsubscription or for unknown
+    /// ids.
+    pub fn executor_generation(&self, qid: QueryId) -> Option<u64> {
+        self.query_executor_gen.get(&qid).copied()
+    }
+
+    /// A deterministic digest of the routing state: dissemination-tree
+    /// edges (shared and per-source), every router's local subscriptions,
+    /// and every router's reverse-path neighbor interests.
+    ///
+    /// Two runs of the same seeded scenario must produce identical
+    /// digests at every step (the harness's determinism contract); the
+    /// digest also pins routing-state invariance across replays.
+    pub fn routing_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (parent, child) in self.tree.edges() {
+            (parent.raw(), child.raw()).hash(&mut h);
+        }
+        let mut origins: Vec<NodeId> = self.source_trees.keys().copied().collect();
+        origins.sort_unstable();
+        for origin in origins {
+            origin.raw().hash(&mut h);
+            for (parent, child) in self.source_trees[&origin].edges() {
+                (parent.raw(), child.raw()).hash(&mut h);
+            }
+        }
+        for r in &self.routers {
+            let mut locals: Vec<String> = r
+                .local_subscribers()
+                .map(|(sub, p)| format!("{sub:?}={p:?}"))
+                .collect();
+            locals.sort_unstable();
+            locals.hash(&mut h);
+            let mut interests: Vec<String> = self
+                .graph
+                .neighbors(r.node())
+                .iter()
+                .filter_map(|(n, _)| r.neighbor_interest(*n).map(|p| format!("{n}={p:?}")))
+                .collect();
+            interests.sort_unstable();
+            interests.hash(&mut h);
+        }
+        h.finish()
     }
 }
 

@@ -1,0 +1,38 @@
+//! Deterministic scenario harness for whole-system COSMOS testing.
+//!
+//! A [`Scenario`] is a seeded, fully serializable description of one
+//! end-to-end experiment: an overlay deployment plus an interleaved
+//! schedule of stream registrations, query submissions, tuple
+//! publications, unsubscriptions, group re-optimizations, tree
+//! reorganizations, and dissemination-link failures. The harness runs a
+//! scenario against a real [`cosmos::Cosmos`] instance several times and
+//! checks two oracle families after every run:
+//!
+//! - **differential** — every query's delivered tuples equal the
+//!   centralized [`cosmos_spe::oracle::evaluate`] output over the same
+//!   published inputs, cut into epochs wherever the system restarts the
+//!   executor serving the query (see [`run::Epoch`]);
+//! - **metamorphic** — results are invariant between merging enabled and
+//!   disabled (Theorems 1–2: merge/split is semantically invisible), and
+//!   invariant under tree re-optimization injected after every event
+//!   (routing is semantically transparent).
+//!
+//! Failures are written as replayable JSON scenario files, minimized by
+//! a greedy event-level shrinker ([`shrink::shrink`]; the vendored
+//! proptest has no shrinking, so the harness owns minimization). The
+//! `cosmos-sim` binary exposes `run --seed`, `replay <file>`, and
+//! `sweep --seeds N` over this library.
+
+pub mod gen;
+pub mod oracle;
+pub mod run;
+pub mod scenario;
+pub mod shrink;
+
+pub use oracle::{
+    assert_results_match_oracle, check_scenario, check_scenario_opts, normalize_delivered,
+    normalize_expected, CheckOptions, Failure, Report,
+};
+pub use run::{run_scenario, Epoch, QueryRun, RunOptions, RunOutcome};
+pub use scenario::{Event, Scenario, ScenarioConfig, TopologySpec};
+pub use shrink::shrink;

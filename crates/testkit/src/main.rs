@@ -1,0 +1,200 @@
+//! `cosmos-sim` CLI: run, replay, and sweep deterministic scenarios.
+//!
+//! ```text
+//! cosmos-sim run --seed S [--no-shrink] [--out FILE]
+//! cosmos-sim replay FILE
+//! cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]
+//! ```
+//!
+//! `run` expands one seed and checks every oracle; on failure the
+//! scenario is minimized and written as a replayable JSON file. `replay`
+//! re-checks a scenario file (shrunk files stay failing until the bug is
+//! fixed, then flip to PASS). `sweep` runs a contiguous seed range, as
+//! CI does. The hidden `--inject-bug` flag disables selection
+//! re-tightening in the merge layer — a deliberately broken build used
+//! to prove the oracles catch real merge bugs.
+//!
+//! Exit status: 0 all scenarios pass, 1 any oracle failure, 2 usage/IO.
+
+use cosmos_testkit::{check_scenario, gen, shrink, Scenario};
+use std::process::ExitCode;
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cosmos-sim: {msg}");
+    eprintln!(
+        "usage: cosmos-sim run --seed S [--no-shrink] [--out FILE]\n\
+         \u{20}      cosmos-sim replay FILE\n\
+         \u{20}      cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    seed: u64,
+    seeds: u64,
+    start: u64,
+    no_shrink: bool,
+    out: Option<String>,
+    out_dir: String,
+    files: Vec<String>,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage("no command");
+    };
+    let mut o = Opts {
+        seed: 0,
+        seeds: 64,
+        start: 0,
+        no_shrink: false,
+        out: None,
+        out_dir: "cosmos-sim-failures".into(),
+        files: Vec::new(),
+    };
+    let mut seed_given = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    o.seed = v;
+                    seed_given = true;
+                }
+                None => return usage("--seed needs an integer"),
+            },
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => o.seeds = v,
+                None => return usage("--seeds needs an integer"),
+            },
+            "--start" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => o.start = v,
+                None => return usage("--start needs an integer"),
+            },
+            "--no-shrink" => o.no_shrink = true,
+            "--out" => match args.next() {
+                Some(v) => o.out = Some(v),
+                None => return usage("--out needs a path"),
+            },
+            "--out-dir" => match args.next() {
+                Some(v) => o.out_dir = v,
+                None => return usage("--out-dir needs a path"),
+            },
+            "--inject-bug" => cosmos_query::merge::faultinject::set_skip_retighten(true),
+            "--help" | "-h" => {
+                return usage("");
+            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag '{other}'")),
+            file => o.files.push(file.to_string()),
+        }
+    }
+    match cmd.as_str() {
+        "run" => {
+            if !seed_given {
+                return usage("run needs --seed");
+            }
+            if run_one(o.seed, &o) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "replay" => {
+            if o.files.len() != 1 {
+                return usage("replay needs exactly one scenario file");
+            }
+            replay(&o.files[0])
+        }
+        "sweep" => {
+            let mut failed = 0u64;
+            for seed in o.start..o.start + o.seeds {
+                if !run_one(seed, &o) {
+                    failed += 1;
+                }
+            }
+            println!(
+                "sweep: {}/{} seeds passed (start {})",
+                o.seeds - failed,
+                o.seeds,
+                o.start
+            );
+            if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => usage(&format!("unknown command '{other}'")),
+    }
+}
+
+/// Expand, check, and (on failure) minimize + persist one seed.
+/// Returns true on pass.
+fn run_one(seed: u64, o: &Opts) -> bool {
+    let scenario = gen::generate(seed);
+    match check_scenario(&scenario) {
+        Ok(r) => {
+            println!(
+                "seed {seed}: PASS — {} queries ({} rejected), {} tuples, {} epochs, \
+                 {} merge-compared, digest {:016x}",
+                r.queries, r.rejected, r.published, r.epochs, r.merge_compared, r.digest
+            );
+            true
+        }
+        Err(f) => {
+            eprintln!("seed {seed}: FAIL {f}");
+            eprintln!("  scenario: {}", scenario.summary());
+            let minimized = if o.no_shrink {
+                scenario
+            } else {
+                let m = shrink(&scenario, 300);
+                eprintln!("  shrunk to: {}", m.summary());
+                m
+            };
+            let path = o
+                .out
+                .clone()
+                .unwrap_or_else(|| format!("{}/seed-{seed}.json", o.out_dir));
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&path, minimized.to_json()) {
+                Ok(()) => eprintln!("  wrote {path} (replay with: cosmos-sim replay {path})"),
+                Err(e) => eprintln!("  could not write {path}: {e}"),
+            }
+            false
+        }
+    }
+}
+
+/// Re-check a scenario file.
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cosmos-sim: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = match Scenario::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cosmos-sim: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("replaying seed {}: {}", scenario.seed, scenario.summary());
+    match check_scenario(&scenario) {
+        Ok(r) => {
+            println!(
+                "PASS — {} queries, {} tuples, digest {:016x}",
+                r.queries, r.published, r.digest
+            );
+            ExitCode::SUCCESS
+        }
+        Err(f) => {
+            eprintln!("FAIL {f}");
+            ExitCode::FAILURE
+        }
+    }
+}

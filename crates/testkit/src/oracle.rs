@@ -1,0 +1,401 @@
+//! The differential and metamorphic oracles.
+//!
+//! **Differential.** For every accepted query, per executor epoch, the
+//! delivered tuples must equal the centralized
+//! [`cosmos_spe::oracle::evaluate`] output over the published inputs of
+//! that epoch. The reference evaluator is incremental (it appends
+//! outputs per arrival), so a warm group join — where the query starts
+//! listening to an executor with pre-existing window state — is exactly
+//! the reference output over `[exec_start, end)` with the prefix
+//! produced by `[exec_start, member_start)` skipped.
+//!
+//! **Metamorphic (merge).** Theorems 1–2: merging is semantically
+//! invisible, so delivered results with merging enabled must equal the
+//! non-share baseline. Executor restarts only happen with merging on
+//! (groups never change shape in baseline mode), so the whole-run
+//! comparison is performed for queries whose delivery is restart-proof:
+//! stateless queries (single stream, no aggregate, no DISTINCT), and
+//! stateful queries that lived in a single cold-started epoch in both
+//! runs. Everything else is still covered per-epoch by the differential
+//! oracle in both modes.
+//!
+//! **Metamorphic (tree).** Re-running with a tree re-optimization
+//! injected after every event must leave every query's delivered
+//! results unchanged: routing adaptation never touches executor state.
+//!
+//! **Determinism.** Running the same scenario twice must produce
+//! identical digests — the contract that makes `run --seed` replayable.
+
+use crate::run::{run_scenario, RunOptions, RunOutcome};
+use crate::scenario::Scenario;
+use cosmos_spe::{oracle, AnalyzedQuery};
+use cosmos_types::{QueryId, Timestamp, Tuple, Value};
+
+/// A minimal, displayable oracle violation.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which oracle fired (`differential (merged)`, `metamorphic-merge`,
+    /// `metamorphic-tree`, `determinism`, `run-error`).
+    pub oracle: String,
+    /// The offending query's scenario label, when attributable.
+    pub label: Option<u32>,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.label {
+            Some(l) => write!(f, "[{}] query #{l}: {}", self.oracle, self.detail),
+            None => write!(f, "[{}] {}", self.oracle, self.detail),
+        }
+    }
+}
+
+/// Statistics of a passing scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Accepted queries.
+    pub queries: usize,
+    /// Rejected submissions (lint/analysis).
+    pub rejected: usize,
+    /// Published source tuples.
+    pub published: usize,
+    /// Executor epochs checked differentially.
+    pub epochs: usize,
+    /// Queries compared whole-run between merged and baseline modes.
+    pub merge_compared: usize,
+    /// The base run's digest.
+    pub digest: u64,
+}
+
+/// Which oracles to run (all by default; the injected-bug acceptance
+/// test isolates the metamorphic family).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// Per-epoch differential comparison, both modes.
+    pub differential: bool,
+    /// Merged-vs-baseline whole-run comparison.
+    pub metamorphic_merge: bool,
+    /// Tree-reorganization invariance.
+    pub metamorphic_tree: bool,
+    /// Same-scenario digest equality.
+    pub determinism: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            differential: true,
+            metamorphic_merge: true,
+            metamorphic_tree: true,
+            determinism: true,
+        }
+    }
+}
+
+/// Run every oracle over a scenario.
+pub fn check_scenario(scenario: &Scenario) -> Result<Report, Failure> {
+    check_scenario_opts(scenario, &CheckOptions::default())
+}
+
+/// Run the selected oracles over a scenario.
+pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<Report, Failure> {
+    let run_err = |e: cosmos_types::CosmosError| Failure {
+        oracle: "run-error".into(),
+        label: None,
+        detail: e.to_string(),
+    };
+    let merged = run_scenario(scenario, &RunOptions::default()).map_err(run_err)?;
+
+    if opts.determinism {
+        let again = run_scenario(scenario, &RunOptions::default()).map_err(run_err)?;
+        if again.digest != merged.digest || again.routing_digests != merged.routing_digests {
+            return Err(Failure {
+                oracle: "determinism".into(),
+                label: None,
+                detail: format!(
+                    "two runs of the same scenario diverged: digest {:016x} vs {:016x}",
+                    merged.digest, again.digest
+                ),
+            });
+        }
+    }
+
+    if opts.differential {
+        differential(&merged, "merged")?;
+    }
+
+    let baseline = run_scenario(
+        scenario,
+        &RunOptions {
+            merging: false,
+            ..RunOptions::default()
+        },
+    )
+    .map_err(run_err)?;
+    if opts.differential {
+        differential(&baseline, "baseline")?;
+    }
+
+    let mut merge_compared = 0usize;
+    if opts.metamorphic_merge {
+        merge_compared = metamorphic_merge(&merged, &baseline)?;
+    }
+
+    if opts.metamorphic_tree {
+        let treed = run_scenario(
+            scenario,
+            &RunOptions {
+                merging: true,
+                optimize_every_event: true,
+            },
+        )
+        .map_err(run_err)?;
+        metamorphic_tree(&merged, &treed)?;
+    }
+
+    Ok(Report {
+        queries: merged.queries.len(),
+        rejected: merged.rejected.len(),
+        published: merged.published.len(),
+        epochs: merged.queries.iter().map(|q| q.epochs.len()).sum(),
+        merge_compared,
+        digest: merged.digest,
+    })
+}
+
+/// Quantize floats before comparison. The deployed executor maintains
+/// running SUM/AVG accumulators (evictions subtract), while the
+/// reference evaluator recomputes each aggregate from scratch; f64
+/// addition is not associative, so the two legitimately drift by a few
+/// ulps once windows start evicting. Sensor magnitudes are ~1e2, so
+/// quantizing to 1e-6 absolute erases that noise without masking any
+/// real divergence (which shows up as whole tuples, not last digits).
+fn canon(v: Value) -> Value {
+    match v {
+        Value::Float(x) => Value::Float((x * 1e6).round() / 1e6),
+        other => other,
+    }
+}
+
+/// Normalized delivered multiset: `(timestamp, sorted values)`, sorted.
+/// Delivered tuples carry the member's column set but in the
+/// representative schema's order, so comparisons are value-multiset
+/// based, per timestamp, with floats quantized (see [`canon`]).
+pub fn normalize_delivered(tuples: &[Tuple]) -> Vec<(Timestamp, Vec<Value>)> {
+    let mut out: Vec<(Timestamp, Vec<Value>)> = tuples
+        .iter()
+        .map(|t| {
+            let mut vs: Vec<Value> = t.values().iter().cloned().map(canon).collect();
+            vs.sort();
+            (t.timestamp, vs)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Normalize reference-evaluation tuples the same way, first deduping
+/// columns by name (the split profile projects each column once, however
+/// often the member's SELECT repeats it).
+pub fn normalize_expected(tuples: &[Tuple], names: &[String]) -> Vec<(Timestamp, Vec<Value>)> {
+    let mut out: Vec<(Timestamp, Vec<Value>)> = tuples
+        .iter()
+        .map(|t| {
+            let mut row: Vec<(String, Value)> = names
+                .iter()
+                .cloned()
+                .zip(t.values().iter().cloned())
+                .collect();
+            row.sort();
+            row.dedup_by(|a, b| a.0 == b.0);
+            let mut vs: Vec<Value> = row.into_iter().map(|(_, v)| canon(v)).collect();
+            vs.sort();
+            (t.timestamp, vs)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn first_diff(want: &[(Timestamp, Vec<Value>)], got: &[(Timestamp, Vec<Value>)]) -> String {
+    let i = want
+        .iter()
+        .zip(got.iter())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| want.len().min(got.len()));
+    format!(
+        "expected {} tuples, got {}; first divergence at #{i}: expected {:?}, got {:?}",
+        want.len(),
+        got.len(),
+        want.get(i),
+        got.get(i)
+    )
+}
+
+/// Per-query, per-epoch comparison against the reference evaluator.
+fn differential(run: &RunOutcome, mode: &str) -> Result<(), Failure> {
+    for q in &run.queries {
+        let names: Vec<String> = q
+            .analyzed
+            .output_schema
+            .names()
+            .map(str::to_string)
+            .collect();
+        let input_end = q.input_end.unwrap_or(run.published.len());
+        for (i, ep) in q.epochs.iter().enumerate() {
+            let in_end = q
+                .epochs
+                .get(i + 1)
+                .map(|n| n.member_start)
+                .unwrap_or(input_end);
+            let del_end = q
+                .epochs
+                .get(i + 1)
+                .map(|n| n.delivered_start)
+                .unwrap_or(q.delivered.len());
+            if ep.exec_start > ep.member_start || ep.member_start > in_end {
+                return Err(Failure {
+                    oracle: format!("differential ({mode})"),
+                    label: Some(q.label),
+                    detail: format!(
+                        "inconsistent epoch bounds: exec {} member {} end {in_end}",
+                        ep.exec_start, ep.member_start
+                    ),
+                });
+            }
+            let full = oracle::evaluate(&q.analyzed, "ref", &run.published[ep.exec_start..in_end]);
+            let skip = if ep.member_start > ep.exec_start {
+                oracle::evaluate(
+                    &q.analyzed,
+                    "ref",
+                    &run.published[ep.exec_start..ep.member_start],
+                )
+                .len()
+            } else {
+                0
+            };
+            let want = normalize_expected(&full[skip.min(full.len())..], &names);
+            let got = normalize_delivered(&q.delivered[ep.delivered_start..del_end]);
+            if want != got {
+                return Err(Failure {
+                    oracle: format!("differential ({mode})"),
+                    label: Some(q.label),
+                    detail: format!(
+                        "'{}' epoch {i} (inputs {}..{in_end}, warm-skip {skip}): {}",
+                        q.text,
+                        ep.exec_start,
+                        first_diff(&want, &got)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Is delivery for this query unaffected by executor restarts?
+fn stateless(q: &AnalyzedQuery) -> bool {
+    !q.is_aggregate() && q.streams.len() == 1 && !q.distinct
+}
+
+/// Merged vs baseline whole-run comparison. Returns how many queries
+/// were comparable.
+fn metamorphic_merge(merged: &RunOutcome, baseline: &RunOutcome) -> Result<usize, Failure> {
+    for (label, _) in &merged.rejected {
+        if baseline.queries.iter().any(|q| q.label == *label) {
+            return Err(Failure {
+                oracle: "metamorphic-merge".into(),
+                label: Some(*label),
+                detail: "rejected with merging enabled but accepted in baseline mode".into(),
+            });
+        }
+    }
+    let mut compared = 0usize;
+    for q in &merged.queries {
+        let Some(base) = baseline.queries.iter().find(|b| b.label == q.label) else {
+            return Err(Failure {
+                oracle: "metamorphic-merge".into(),
+                label: Some(q.label),
+                detail: "accepted with merging enabled but rejected in baseline mode".into(),
+            });
+        };
+        let cold_single = |runs: &crate::run::QueryRun| {
+            runs.epochs.len() == 1 && runs.epochs[0].member_start == runs.epochs[0].exec_start
+        };
+        if !(stateless(&q.analyzed) || (cold_single(q) && cold_single(base))) {
+            continue;
+        }
+        compared += 1;
+        let want = normalize_delivered(&base.delivered);
+        let got = normalize_delivered(&q.delivered);
+        if want != got {
+            return Err(Failure {
+                oracle: "metamorphic-merge".into(),
+                label: Some(q.label),
+                detail: format!(
+                    "'{}': merged delivery differs from baseline: {}",
+                    q.text,
+                    first_diff(&want, &got)
+                ),
+            });
+        }
+    }
+    Ok(compared)
+}
+
+/// Tree-reorganization invariance: every query delivers identically.
+fn metamorphic_tree(merged: &RunOutcome, treed: &RunOutcome) -> Result<(), Failure> {
+    for q in &merged.queries {
+        let Some(t) = treed.queries.iter().find(|t| t.label == q.label) else {
+            return Err(Failure {
+                oracle: "metamorphic-tree".into(),
+                label: Some(q.label),
+                detail: "query vanished under injected tree re-optimization".into(),
+            });
+        };
+        let want = normalize_delivered(&q.delivered);
+        let got = normalize_delivered(&t.delivered);
+        if want != got {
+            return Err(Failure {
+                oracle: "metamorphic-tree".into(),
+                label: Some(q.label),
+                detail: format!(
+                    "'{}': delivery changed under injected tree re-optimization: {}",
+                    q.text,
+                    first_diff(&want, &got)
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Assert that a deployed system's delivered results match the reference
+/// evaluator for each `(query id, CQL text)` over `inputs` — the shared
+/// helper behind `tests/distributed_vs_local.rs`-style pinned cases.
+///
+/// Queries must have been submitted before any of `inputs` were
+/// published (cold start, single epoch); `inputs` is the full published
+/// history in order.
+pub fn assert_results_match_oracle(
+    sys: &cosmos::Cosmos,
+    queries: &[(QueryId, String)],
+    inputs: &[Tuple],
+) {
+    for (qid, text) in queries {
+        let analyzed = AnalyzedQuery::analyze(
+            &cosmos_cql::parse_query(text).expect("query parses"),
+            sys.catalog().schema_fn(),
+        )
+        .expect("query analyzes");
+        let names: Vec<String> = analyzed.output_schema.names().map(str::to_string).collect();
+        let want = normalize_expected(&oracle::evaluate(&analyzed, "ref", inputs), &names);
+        let got = normalize_delivered(sys.results(*qid));
+        assert_eq!(
+            want, got,
+            "deployment diverged from local evaluation for {text}"
+        );
+    }
+}

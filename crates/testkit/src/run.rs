@@ -1,0 +1,282 @@
+//! Scenario execution against a real `Cosmos` deployment.
+//!
+//! The runner drives the event schedule and keeps, per query, the
+//! bookkeeping the oracles need:
+//!
+//! - `published` — every tuple the system accepted, in order. The
+//!   discrete-event `publish` drives each tuple to completion, so this
+//!   sequence *is* the global input history.
+//! - epochs — COSMOS restarts a representative executor with empty
+//!   windows whenever its group changes shape (a widening member, an
+//!   [`cosmos::Cosmos::unsubscribe`] shrink, a
+//!   [`cosmos::Cosmos::reoptimize_groups`] rebuild). Delivered results
+//!   are only comparable against a reference evaluation that starts at
+//!   the same point, so the runner snapshots every query's
+//!   [`cosmos::Cosmos::executor_generation`] after each event and opens
+//!   a new [`Epoch`] whenever it moves. A query that joins a warm group
+//!   without widening it inherits a running executor — its epoch's
+//!   `exec_start` (where the executor's history began) then predates its
+//!   `member_start` (where the query subscribed), and the oracle skips
+//!   the reference outputs produced in between.
+
+use crate::scenario::{Event, Scenario};
+use cosmos::{Cosmos, CosmosConfig};
+use cosmos_cbn::RegistryMode;
+use cosmos_spe::AnalyzedQuery;
+use cosmos_types::{NodeId, QueryId, Result, StreamName, Tuple};
+use cosmos_workload::sensor_catalog;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Per-run toggles the metamorphic oracles vary.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Query merging (Section 4) on or off.
+    pub merging: bool,
+    /// Inject a tree re-optimization after every event (results must be
+    /// invariant — routing is semantically transparent).
+    pub optimize_every_event: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            merging: true,
+            optimize_every_event: false,
+        }
+    }
+}
+
+/// One window-state lifetime of the executor serving a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Epoch {
+    /// Executor generation stamp.
+    pub generation: u64,
+    /// Index into `published` where this executor's input history began.
+    pub exec_start: usize,
+    /// Index into `published` where this query started receiving from
+    /// the executor (`== exec_start` except for warm group joins).
+    pub member_start: usize,
+    /// Length of the query's delivery buffer when the epoch opened.
+    pub delivered_start: usize,
+}
+
+/// One accepted query's bookkeeping across a run.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// Scenario-stable label.
+    pub label: u32,
+    /// CQL text.
+    pub text: String,
+    /// The id this run assigned.
+    pub qid: QueryId,
+    /// Analyzed form (for reference evaluation).
+    pub analyzed: AnalyzedQuery,
+    /// Executor epochs, in order.
+    pub epochs: Vec<Epoch>,
+    /// Tuples delivered to the user, in delivery order.
+    pub delivered: Vec<Tuple>,
+    /// `published` length at withdrawal (`None` while live at the end).
+    pub input_end: Option<usize>,
+}
+
+/// Everything one run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Accepted queries in submission order.
+    pub queries: Vec<QueryRun>,
+    /// `(label, error)` of rejected submissions.
+    pub rejected: Vec<(u32, String)>,
+    /// Accepted source tuples, in publish order.
+    pub published: Vec<Tuple>,
+    /// Tuples bounced for lack of an advertised stream.
+    pub skipped_publishes: usize,
+    /// Events skipped because their precondition no longer held.
+    pub skipped_events: usize,
+    /// [`Cosmos::routing_digest`] after every event.
+    pub routing_digests: Vec<u64>,
+    /// Digest over delivered results, epochs, and routing state — equal
+    /// across runs iff the runs were observably identical.
+    pub digest: u64,
+}
+
+/// Execute a scenario once.
+pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome> {
+    let sc = &scenario.config;
+    let nodes = sc.nodes as u32;
+    let mut sys = Cosmos::new(CosmosConfig {
+        nodes: sc.nodes,
+        topology: sc.topology.kind(),
+        processor_fraction: sc.processor_fraction,
+        registry_mode: if sc.dht_replicas == 0 {
+            RegistryMode::Flooding
+        } else {
+            RegistryMode::Dht {
+                replicas: sc.dht_replicas,
+            }
+        },
+        seed: sc.cosmos_seed,
+        affinity_candidates: sc.affinity_candidates,
+        merging_enabled: opts.merging,
+        per_source_trees: sc.per_source_trees,
+    })?;
+    let sensors = sensor_catalog();
+
+    let mut queries: Vec<QueryRun> = Vec::new();
+    let mut by_label: HashMap<u32, usize> = HashMap::new();
+    let mut rejected: Vec<(u32, String)> = Vec::new();
+    let mut published: Vec<Tuple> = Vec::new();
+    let mut skipped_publishes = 0usize;
+    let mut skipped_events = 0usize;
+    // Generation → `published` length when first observed. Executors are
+    // only created while handling an event and every live member
+    // observes its generation at the end of that same event, so the
+    // first observation is the creation point.
+    let mut gen_created_at: HashMap<u64, usize> = HashMap::new();
+    let mut routing_digests: Vec<u64> = Vec::new();
+
+    for ev in &scenario.events {
+        match ev {
+            Event::Register { stream, origin } => {
+                let key = StreamName::from(stream.as_str());
+                match (sensors.schema(&key), sensors.stats(&key)) {
+                    (Some(schema), Some(stats)) => {
+                        if sys
+                            .register_stream(
+                                stream.as_str(),
+                                schema.clone(),
+                                stats.clone(),
+                                NodeId(*origin % nodes),
+                            )
+                            .is_err()
+                        {
+                            skipped_events += 1;
+                        }
+                    }
+                    _ => skipped_events += 1,
+                }
+            }
+            Event::Submit { label, user, text } => {
+                match sys.submit_query(text, NodeId(*user % nodes)) {
+                    Ok(qid) => {
+                        let analyzed = AnalyzedQuery::analyze(
+                            &cosmos_cql::parse_query(text)?,
+                            sys.catalog().schema_fn(),
+                        )?;
+                        by_label.insert(*label, queries.len());
+                        queries.push(QueryRun {
+                            label: *label,
+                            text: text.clone(),
+                            qid,
+                            analyzed,
+                            epochs: Vec::new(),
+                            delivered: Vec::new(),
+                            input_end: None,
+                        });
+                    }
+                    Err(e) => rejected.push((*label, e.to_string())),
+                }
+            }
+            Event::Publish { tuples } => {
+                for t in tuples {
+                    match sys.publish(t) {
+                        Ok(()) => published.push(t.clone()),
+                        Err(_) => skipped_publishes += 1,
+                    }
+                }
+            }
+            Event::Unsubscribe { label } => match by_label.get(label) {
+                Some(&i)
+                    if queries[i].input_end.is_none()
+                        && sys.unsubscribe(queries[i].qid).is_ok() =>
+                {
+                    queries[i].input_end = Some(published.len());
+                    queries[i].delivered = sys.results(queries[i].qid).to_vec();
+                }
+                _ => skipped_events += 1,
+            },
+            Event::Reoptimize => {
+                if sys.reoptimize_groups().is_err() {
+                    skipped_events += 1;
+                }
+            }
+            Event::OptimizeTree => {
+                sys.optimize_tree(cosmos_overlay::OptimizerConfig::default());
+            }
+            Event::FailLink { nth } => {
+                let edges: Vec<(NodeId, NodeId)> = sys.tree().edges().collect();
+                if edges.is_empty() || sc.per_source_trees {
+                    skipped_events += 1;
+                } else {
+                    let (a, b) = edges[*nth as usize % edges.len()];
+                    if sys.fail_tree_link(a, b).is_err() {
+                        skipped_events += 1;
+                    }
+                }
+            }
+        }
+        if opts.optimize_every_event {
+            sys.optimize_tree(cosmos_overlay::OptimizerConfig::default());
+        }
+        // Epoch snapshot: cut a new epoch for every live query whose
+        // executor generation moved during this event.
+        for q in queries.iter_mut() {
+            if q.input_end.is_some() {
+                continue;
+            }
+            let Some(generation) = sys.executor_generation(q.qid) else {
+                continue;
+            };
+            let exec_start = *gen_created_at.entry(generation).or_insert(published.len());
+            if q.epochs.last().map(|e| e.generation) != Some(generation) {
+                q.epochs.push(Epoch {
+                    generation,
+                    exec_start,
+                    member_start: published.len(),
+                    delivered_start: sys.results(q.qid).len(),
+                });
+            }
+        }
+        routing_digests.push(sys.routing_digest());
+    }
+
+    for q in queries.iter_mut() {
+        if q.input_end.is_none() {
+            q.delivered = sys.results(q.qid).to_vec();
+        }
+    }
+
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for d in &routing_digests {
+        d.hash(&mut h);
+    }
+    for q in &queries {
+        q.label.hash(&mut h);
+        format!("{:?}", q.delivered).hash(&mut h);
+        for e in &q.epochs {
+            (
+                e.generation,
+                e.exec_start,
+                e.member_start,
+                e.delivered_start,
+            )
+                .hash(&mut h);
+        }
+    }
+    for (label, err) in &rejected {
+        label.hash(&mut h);
+        err.hash(&mut h);
+    }
+    (published.len(), skipped_publishes, skipped_events).hash(&mut h);
+    let digest = h.finish();
+
+    Ok(RunOutcome {
+        queries,
+        rejected,
+        published,
+        skipped_publishes,
+        skipped_events,
+        routing_digests,
+        digest,
+    })
+}

@@ -4,12 +4,16 @@
 //! query merging, representative execution, and result-stream splitting
 //! included — are exactly the tuples a local, brute-force evaluation of
 //! that query over the same inputs produces.
+//!
+//! The comparison itself lives in `cosmos_testkit` (shared with the
+//! `cosmos-sim` scenario harness); these tests keep a corpus of pinned
+//! deployments around it. For randomized end-to-end coverage beyond the
+//! proptest below, see `crates/testkit` and the CI `sim-sweep` job.
 
 use cosmos::{Cosmos, CosmosConfig};
 use cosmos_cbn::RegistryMode;
-use cosmos_cql::parse_query;
 use cosmos_query::{AttrStats, StatsCatalog, StreamStats};
-use cosmos_spe::{oracle, AnalyzedQuery};
+use cosmos_testkit::assert_results_match_oracle;
 use cosmos_types::{AttrType, NodeId, QueryId, Schema, StreamName, Timestamp, Tuple, Value};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -68,63 +72,10 @@ fn deploy(nodes: usize, seed: u64, merging: bool, registry: RegistryMode) -> Cos
     sys
 }
 
-/// Normalized result multiset: `(timestamp, sorted name→value pairs)`.
-fn normalize(tuples: &[Tuple], names: &[String]) -> Vec<(Timestamp, Vec<(String, Value)>)> {
-    let mut out: Vec<_> = tuples
-        .iter()
-        .map(|t| {
-            let mut row: Vec<(String, Value)> = names
-                .iter()
-                .cloned()
-                .zip(t.values().iter().cloned())
-                .collect();
-            row.sort();
-            row.dedup_by(|a, b| a.0 == b.0);
-            (t.timestamp, row)
-        })
-        .collect();
-    out.sort();
-    out
-}
-
 /// Check a deployed system against local oracle evaluation.
 fn check_deployment(sys: &mut Cosmos, queries: &[(QueryId, String)], inputs: &[Tuple]) {
     sys.run(inputs.iter().cloned()).unwrap();
-    let cat = catalog();
-    for (qid, text) in queries {
-        let analyzed =
-            AnalyzedQuery::analyze(&parse_query(text).unwrap(), cat.schema_fn()).unwrap();
-        let expected = oracle::evaluate(&analyzed, "x", inputs);
-        let expected_names: Vec<String> =
-            analyzed.output_schema.names().map(str::to_string).collect();
-        let got = sys.results(*qid);
-        // Delivered tuples carry the member's column set, but in the
-        // representative schema's order; compare per-timestamp sorted
-        // value multisets, which is order-insensitive.
-        let want = normalize(&expected, &expected_names);
-        let mut got_vals: Vec<(Timestamp, Vec<Value>)> = got
-            .iter()
-            .map(|t| {
-                let mut vs = t.values().to_vec();
-                vs.sort();
-                (t.timestamp, vs)
-            })
-            .collect();
-        got_vals.sort();
-        let mut want_vals: Vec<(Timestamp, Vec<Value>)> = want
-            .into_iter()
-            .map(|(ts, row)| {
-                let mut vs: Vec<Value> = row.into_iter().map(|(_, v)| v).collect();
-                vs.sort();
-                (ts, vs)
-            })
-            .collect();
-        want_vals.sort();
-        assert_eq!(
-            want_vals, got_vals,
-            "deployment diverged from local evaluation for {text}"
-        );
-    }
+    assert_results_match_oracle(sys, queries, inputs);
 }
 
 fn l(ts: i64, k: i64, x: i64) -> Tuple {

@@ -159,6 +159,111 @@ fn dht_registry_with_many_result_streams() {
 }
 
 #[test]
+fn unsubscribe_collapses_group_to_remaining_member() {
+    let mut sys = deploy(CosmosConfig {
+        nodes: 16,
+        seed: 6,
+        affinity_candidates: 1, // both queries land on the same processor
+        ..CosmosConfig::default()
+    });
+    let wide = sys
+        .submit_query("SELECT k, x FROM S [Now] WHERE x >= 0.0", NodeId(3))
+        .unwrap();
+    let narrow = sys
+        .submit_query("SELECT k, x FROM S [Now] WHERE x > 50.0", NodeId(9))
+        .unwrap();
+    let p = sys.processor_of(narrow).unwrap();
+    {
+        let mgr = sys.group_manager(p).unwrap();
+        assert_eq!(mgr.group_count(), 1, "the two selections must merge");
+        let g = mgr.groups().next().unwrap();
+        assert_eq!(g.members.len(), 2);
+        let narrow_q = &g.members.iter().find(|(m, _)| *m == narrow).unwrap().1;
+        assert_ne!(
+            &g.representative, narrow_q,
+            "the representative must be wider than the narrow member"
+        );
+    }
+
+    // Withdrawing the wide member shrinks the group to a singleton whose
+    // representative collapses back to the member query itself...
+    sys.unsubscribe(wide).unwrap();
+    {
+        let mgr = sys.group_manager(p).unwrap();
+        assert_eq!(mgr.group_count(), 1);
+        let g = mgr.groups().next().unwrap();
+        assert_eq!(g.members.len(), 1);
+        assert_eq!(g.members[0].0, narrow);
+        assert_eq!(
+            g.representative, g.members[0].1,
+            "singleton representative must equal its member"
+        );
+    }
+    // ...and self-tuning finds nothing left to improve.
+    assert_eq!(sys.reoptimize_groups().unwrap(), 0);
+
+    // The collapsed representative filters at the source again: only
+    // x > 50 survives, delivered solely to the remaining query.
+    sys.run((0..20).map(|i| tup(i * 1000, i, (i * 10) as f64)))
+        .unwrap();
+    let expected = (0..20).filter(|i| i * 10 > 50).count();
+    assert_eq!(sys.results(narrow).len(), expected);
+    assert_eq!(sys.results(wide).len(), 0, "withdrawn before any input");
+}
+
+#[test]
+fn advertisement_and_subscription_are_decoupled() {
+    let mut sys = deploy(CosmosConfig {
+        nodes: 16,
+        seed: 8,
+        ..CosmosConfig::default()
+    });
+
+    // An advertised stream with no subscribers absorbs publishes: they
+    // route nowhere and deliver nothing, but they are not errors.
+    for i in 0..5 {
+        sys.publish(&tup(i * 1000, i, 60.0)).unwrap();
+    }
+
+    // An unadvertised stream bounces both publishes and queries.
+    let t = Tuple::new(
+        "T",
+        Timestamp(0),
+        vec![Value::Int(0), Value::Float(1.0), Value::Int(0)],
+    );
+    assert!(sys.publish(&t).is_err(), "publish before advertisement");
+    assert!(
+        sys.submit_query("SELECT k FROM T [Now]", NodeId(2))
+            .is_err(),
+        "subscribe before advertisement"
+    );
+
+    // Advertising T after queries over S already exist opens it up.
+    let on_s = sys
+        .submit_query("SELECT k, x FROM S [Now] WHERE x > 50.0", NodeId(4))
+        .unwrap();
+    sys.register_stream("T", schema(), stats(), NodeId(7))
+        .unwrap();
+    let on_t = sys
+        .submit_query("SELECT k FROM T [Now]", NodeId(11))
+        .unwrap();
+
+    for i in 5..10 {
+        sys.publish(&tup(i * 1000, i, 60.0)).unwrap();
+        sys.publish(&Tuple::new(
+            "T",
+            Timestamp(i * 1000),
+            vec![Value::Int(i), Value::Float(1.0), Value::Int(i * 1000)],
+        ))
+        .unwrap();
+    }
+    // Subscriptions only see tuples published after they existed: the
+    // five pre-subscription tuples on S are gone for good.
+    assert_eq!(sys.results(on_s).len(), 5);
+    assert_eq!(sys.results(on_t).len(), 5);
+}
+
+#[test]
 fn queries_against_missing_attributes_fail_cleanly() {
     let mut sys = deploy(CosmosConfig {
         nodes: 8,
