@@ -44,5 +44,5 @@ pub use matcher::{CountingMatcher, MatchEngine, NaiveMatcher};
 pub use predicate::{AttrConstraint, Conjunction, DiffRange, Interval};
 pub use profile::{Profile, ProfileEntry, Projection};
 pub use registry::{RegisteredStream, RegistryMode, SchemaRegistry};
-pub use router::{Destination, ForwardDecision, Router};
+pub use router::{BatchForward, Destination, ForwardDecision, ProjectionPlan, Router};
 pub use sat::conjunction_unsat;

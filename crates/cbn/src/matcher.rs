@@ -35,6 +35,13 @@ pub trait MatchEngine<K: Ord + Clone> {
     fn remove(&mut self, key: &K);
     /// Keys of all profiles covering the tuple, sorted.
     fn matches(&self, tuple: &Tuple, schema: &Schema) -> Vec<K>;
+    /// Per-tuple match keys for a *stream-homogeneous* batch (all tuples
+    /// share `tuples[0].stream` and `schema`). The default delegates to
+    /// [`MatchEngine::matches`]; indexed engines override it to pay the
+    /// stream-partition lookup once per batch instead of once per tuple.
+    fn matches_batch(&self, tuples: &[Tuple], schema: &Schema) -> Vec<Vec<K>> {
+        tuples.iter().map(|t| self.matches(t, schema)).collect()
+    }
     /// Number of installed profiles.
     fn len(&self) -> usize;
     /// Whether no profile is installed.
@@ -102,9 +109,11 @@ struct StreamIndex<K> {
     /// Keys whose entry for this stream has no filters (accept all).
     accept_all: Vec<K>,
     filters: Vec<FilterEntry<K>>,
-    /// Fast path: pure point constraints without exclusions,
-    /// keyed by `(attribute, value)`.
-    eq_index: FxHashMap<(String, Value), Vec<u32>>,
+    /// Fast path: pure point constraints without exclusions, keyed by
+    /// attribute then value. Nested (rather than `(String, Value)`-keyed)
+    /// so a probe borrows the tuple's name and value — the hot path
+    /// allocates nothing.
+    eq_index: FxHashMap<String, FxHashMap<Value, Vec<u32>>>,
     /// General constraints evaluated by scan: `(attribute, constraint,
     /// filter index)`.
     scan: Vec<(String, AttrConstraint, u32)>,
@@ -166,7 +175,9 @@ impl<K: Ord + Clone + Hash + Eq> CountingMatcher<K> {
                         {
                             if lo == hi {
                                 idx.eq_index
-                                    .entry((attr.to_string(), lo.clone()))
+                                    .entry(attr.to_string())
+                                    .or_default()
+                                    .entry(lo.clone())
                                     .or_default()
                                     .push(fid);
                                 continue;
@@ -200,6 +211,55 @@ impl<K: Ord + Clone + Hash + Eq> CountingMatcher<K> {
     }
 }
 
+impl<K: Ord + Clone> StreamIndex<K> {
+    /// Match one tuple against this stream's index, appending the sorted,
+    /// deduplicated keys to `out`. `counts` is a scratch buffer reused
+    /// across the tuples of a batch.
+    fn match_into(&self, tuple: &Tuple, schema: &Schema, counts: &mut Vec<u32>, out: &mut Vec<K>) {
+        out.extend_from_slice(&self.accept_all);
+        if !self.filters.is_empty() {
+            let lookup = |name: &str| -> Option<&Value> { tuple.get_by_name(schema, name) };
+            counts.clear();
+            counts.resize(self.filters.len(), 0);
+            // Equality fast path: probe (attr, value) for every attribute
+            // the tuple actually carries, borrowing both.
+            for (i, f) in schema.fields().iter().enumerate() {
+                let Some(v) = tuple.get(i) else { continue };
+                if let Some(fids) = self
+                    .eq_index
+                    .get(f.name.as_str())
+                    .and_then(|per_value| per_value.get(v))
+                {
+                    for &fid in fids {
+                        counts[fid as usize] += 1;
+                    }
+                }
+            }
+            // General constraints.
+            for (attr, c, fid) in &self.scan {
+                if let Some(v) = lookup(attr) {
+                    if c.satisfies(v) {
+                        counts[*fid as usize] += 1;
+                    }
+                }
+            }
+            for (fid, entry) in self.filters.iter().enumerate() {
+                if counts[fid] != entry.needed {
+                    continue;
+                }
+                let diffs_ok = entry.diffs.iter().all(|(a, b, r)| {
+                    matches!((lookup(a), lookup(b)), (Some(x), Some(y)) if r.satisfies(x, y))
+                });
+                if diffs_ok {
+                    out.push(entry.key.clone());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
 impl<K: Ord + Clone + Hash + Eq> MatchEngine<K> for CountingMatcher<K> {
     fn insert(&mut self, key: K, profile: Profile) {
         let mut affected: BTreeSet<StreamName> =
@@ -224,44 +284,32 @@ impl<K: Ord + Clone + Hash + Eq> MatchEngine<K> for CountingMatcher<K> {
         let Some(idx) = self.streams.get(&tuple.stream) else {
             return Vec::new();
         };
-        let mut out: Vec<K> = idx.accept_all.clone();
-        if !idx.filters.is_empty() {
-            // Attribute lookup for this tuple (arity is small).
-            let lookup = |name: &str| -> Option<&Value> { tuple.get_by_name(schema, name) };
-            let mut counts = vec![0u32; idx.filters.len()];
-            // Equality fast path: probe (attr, value) for every attribute
-            // the tuple actually carries.
-            for (i, f) in schema.fields().iter().enumerate() {
-                let Some(v) = tuple.get(i) else { continue };
-                if let Some(fids) = idx.eq_index.get(&(f.name.clone(), v.clone())) {
-                    for &fid in fids {
-                        counts[fid as usize] += 1;
-                    }
-                }
-            }
-            // General constraints.
-            for (attr, c, fid) in &idx.scan {
-                if let Some(v) = lookup(attr) {
-                    if c.satisfies(v) {
-                        counts[*fid as usize] += 1;
-                    }
-                }
-            }
-            for (fid, entry) in idx.filters.iter().enumerate() {
-                if counts[fid] != entry.needed {
-                    continue;
-                }
-                let diffs_ok = entry.diffs.iter().all(|(a, b, r)| {
-                    matches!((lookup(a), lookup(b)), (Some(x), Some(y)) if r.satisfies(x, y))
-                });
-                if diffs_ok {
-                    out.push(entry.key.clone());
-                }
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
+        let mut counts = Vec::new();
+        let mut out = Vec::new();
+        idx.match_into(tuple, schema, &mut counts, &mut out);
         out
+    }
+
+    fn matches_batch(&self, tuples: &[Tuple], schema: &Schema) -> Vec<Vec<K>> {
+        let Some(first) = tuples.first() else {
+            return Vec::new();
+        };
+        debug_assert!(
+            tuples.iter().all(|t| t.stream == first.stream),
+            "matches_batch requires a stream-homogeneous batch"
+        );
+        let Some(idx) = self.streams.get(&first.stream) else {
+            return vec![Vec::new(); tuples.len()];
+        };
+        let mut counts = Vec::new();
+        tuples
+            .iter()
+            .map(|t| {
+                let mut out = Vec::new();
+                idx.match_into(t, schema, &mut counts, &mut out);
+                out
+            })
+            .collect()
     }
 
     fn len(&self) -> usize {
@@ -462,6 +510,29 @@ mod tests {
         assert_eq!(c.matches(&hit, &s), vec![1]);
         assert!(n.matches(&miss, &s).is_empty());
         assert!(c.matches(&miss, &s).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_agree_with_single() {
+        let (mut n, mut c) = both_engines();
+        for (k, p) in [
+            (1u32, profile_eq_id(7)),
+            (2, profile_price_range(0.0, 100.0)),
+            (3, Profile::whole_stream("S")),
+        ] {
+            n.insert(k, p.clone());
+            c.insert(k, p);
+        }
+        let s = schema();
+        let batch: Vec<Tuple> = (0..20).map(|i| tup(i % 9, (i * 13) as f64, "x")).collect();
+        let singles: Vec<Vec<u32>> = batch.iter().map(|t| c.matches(t, &s)).collect();
+        assert_eq!(c.matches_batch(&batch, &s), singles);
+        assert_eq!(n.matches_batch(&batch, &s), singles);
+        // unknown stream: one empty result per tuple
+        let other = vec![Tuple::new("Other", Timestamp(0), vec![Value::Int(1)])];
+        let os = Schema::of(&[("id", AttrType::Int)]);
+        assert_eq!(c.matches_batch(&other, &os), vec![Vec::<u32>::new()]);
+        assert!(c.matches_batch(&[], &s).is_empty());
     }
 
     #[test]

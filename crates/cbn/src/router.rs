@@ -16,9 +16,11 @@
 //! forward upstream.
 
 use crate::matcher::{CountingMatcher, MatchEngine};
-use crate::profile::Profile;
-use cosmos_types::{NodeId, Schema, SubscriberId, Tuple};
+use crate::profile::{Profile, ProfileEntry};
+use cosmos_types::{FxHashMap, NodeId, Schema, SchemaId, StreamName, SubscriberId, Tuple};
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Where a routed datagram goes next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -41,6 +43,69 @@ pub struct ForwardDecision {
     pub schema: Schema,
 }
 
+/// All tuples of one routed batch bound for one destination: the
+/// projected tuples in arrival order and their shared layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchForward {
+    /// The next hop.
+    pub dest: Destination,
+    /// The projected tuples, in batch order.
+    pub tuples: Vec<Tuple>,
+    /// The layout shared by every tuple in `tuples`.
+    pub schema: Schema,
+}
+
+/// A compiled projection for one (incoming schema, destination) pair:
+/// the per-tuple work is reduced to a bounds-checked column gather (or
+/// a refcount bump when the projection is the identity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionPlan {
+    /// Gather indices into the incoming tuple; `None` = identity.
+    indices: Option<Box<[usize]>>,
+    /// The (interned) layout of the projected tuples.
+    out_schema: Schema,
+}
+
+impl ProjectionPlan {
+    /// Compile the projection of one profile entry against a schema.
+    fn compile(entry: &ProfileEntry, schema: &Schema) -> ProjectionPlan {
+        if !entry.projection.narrows(schema) {
+            let out_schema = schema.clone();
+            let _ = out_schema.id(); // pre-intern for cheap fan-out keys
+            return ProjectionPlan {
+                indices: None,
+                out_schema,
+            };
+        }
+        let idx = entry.projection.indices(schema);
+        let names: Vec<&str> = idx
+            .iter()
+            .map(|&i| schema.fields()[i].name.as_str())
+            .collect();
+        let out_schema = schema
+            .project(&names)
+            .expect("projection indices come from the schema itself");
+        let _ = out_schema.id();
+        ProjectionPlan {
+            indices: Some(idx.into_boxed_slice()),
+            out_schema,
+        }
+    }
+
+    /// The layout this plan produces.
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Whether the plan forwards tuples unchanged.
+    pub fn is_identity(&self) -> bool {
+        self.indices.is_none()
+    }
+}
+
+/// Per-destination compiled plans for one (schema, stream) pair.
+type PlanMap = FxHashMap<Destination, Option<Arc<ProjectionPlan>>>;
+
 /// The routing state of one CBN node.
 #[derive(Debug, Clone)]
 pub struct Router {
@@ -48,8 +113,20 @@ pub struct Router {
     neighbor_interest: BTreeMap<NodeId, Profile>,
     local_interest: BTreeMap<SubscriberId, Profile>,
     engine: CountingMatcher<Destination>,
-    tuples_routed: u64,
-    tuples_dropped: u64,
+    /// Compiled projection plans, keyed by (incoming schema, stream) and
+    /// then destination. Cleared whenever the installed interests change
+    /// (see [`Router::interest_generation`]).
+    plans: RefCell<FxHashMap<(SchemaId, StreamName), PlanMap>>,
+    /// Bumped on every interest mutation; plan caches keyed off a stale
+    /// generation are unreachable because the cache is cleared in the
+    /// same call.
+    interest_gen: u64,
+    plan_caching: bool,
+    tuples_routed: Cell<u64>,
+    tuples_dropped: Cell<u64>,
+    plan_hits: Cell<u64>,
+    plan_misses: Cell<u64>,
+    projections_built: Cell<u64>,
 }
 
 impl Router {
@@ -60,9 +137,23 @@ impl Router {
             neighbor_interest: BTreeMap::new(),
             local_interest: BTreeMap::new(),
             engine: CountingMatcher::new(),
-            tuples_routed: 0,
-            tuples_dropped: 0,
+            plans: RefCell::new(FxHashMap::default()),
+            interest_gen: 0,
+            plan_caching: true,
+            tuples_routed: Cell::new(0),
+            tuples_dropped: Cell::new(0),
+            plan_hits: Cell::new(0),
+            plan_misses: Cell::new(0),
+            projections_built: Cell::new(0),
         }
+    }
+
+    /// Drop every compiled plan and stamp a new interest generation.
+    /// Called by every interest mutator — the invalidation contract is
+    /// "any change to any installed profile clears the whole cache".
+    fn invalidate_plans(&mut self) {
+        self.interest_gen += 1;
+        self.plans.get_mut().clear();
     }
 
     /// The node this router belongs to.
@@ -72,6 +163,7 @@ impl Router {
 
     /// Replace the merged interest of the subtree behind `neighbor`.
     pub fn set_neighbor_interest(&mut self, neighbor: NodeId, profile: Profile) {
+        self.invalidate_plans();
         if profile.is_empty() {
             self.neighbor_interest.remove(&neighbor);
             self.engine.remove(&Destination::Neighbor(neighbor));
@@ -96,6 +188,7 @@ impl Router {
     /// the dissemination tree is reorganized and subscriptions are
     /// re-propagated along the new paths.
     pub fn clear_neighbor_interests(&mut self) {
+        self.invalidate_plans();
         let neighbors: Vec<NodeId> = self.neighbor_interest.keys().copied().collect();
         for n in neighbors {
             self.engine.remove(&Destination::Neighbor(n));
@@ -110,12 +203,14 @@ impl Router {
 
     /// Install the profile of a locally attached subscriber.
     pub fn add_local_subscriber(&mut self, sub: SubscriberId, profile: Profile) {
+        self.invalidate_plans();
         self.engine.insert(Destination::Local(sub), profile.clone());
         self.local_interest.insert(sub, profile);
     }
 
     /// Remove a locally attached subscriber.
     pub fn remove_local_subscriber(&mut self, sub: SubscriberId) {
+        self.invalidate_plans();
         self.local_interest.remove(&sub);
         self.engine.remove(&Destination::Local(sub));
     }
@@ -155,6 +250,65 @@ impl Router {
         out.normalized()
     }
 
+    /// The profile installed for a destination, if any.
+    fn profile_of(&self, dest: Destination) -> Option<&Profile> {
+        match dest {
+            Destination::Neighbor(n) => self.neighbor_interest.get(&n),
+            Destination::Local(s) => self.local_interest.get(&s),
+        }
+    }
+
+    /// Fetch (compiling on first use) the plan for one destination from
+    /// the per-(schema, stream) plan map. `None` means the destination
+    /// has no entry for this stream and must be skipped.
+    fn lookup_plan(
+        &self,
+        map: &mut PlanMap,
+        dest: Destination,
+        stream: &StreamName,
+        schema: &Schema,
+    ) -> Option<Arc<ProjectionPlan>> {
+        if let Some(cached) = map.get(&dest) {
+            self.plan_hits.set(self.plan_hits.get() + 1);
+            return cached.clone();
+        }
+        self.plan_misses.set(self.plan_misses.get() + 1);
+        let plan = self
+            .profile_of(dest)
+            .and_then(|p| p.entry(stream))
+            .map(|entry| Arc::new(ProjectionPlan::compile(entry, schema)));
+        map.insert(dest, plan.clone());
+        plan
+    }
+
+    /// Project `tuple` through `plan`, sharing one projected tuple among
+    /// every destination of this fan-out whose plan produces the same
+    /// layout (`memo` lives for one incoming tuple).
+    fn apply_plan(
+        &self,
+        plan: &ProjectionPlan,
+        tuple: &Tuple,
+        memo: &mut Vec<(SchemaId, Tuple)>,
+    ) -> Tuple {
+        if plan.is_identity() {
+            return tuple.clone();
+        }
+        let out_id = plan.out_schema.id();
+        if let Some((_, shared)) = memo.iter().find(|(id, _)| *id == out_id) {
+            return shared.clone();
+        }
+        let projected = tuple
+            .project_indices(
+                plan.indices
+                    .as_ref()
+                    .expect("non-identity plan has indices"),
+            )
+            .expect("plan indices are in bounds for the compiled schema");
+        self.projections_built.set(self.projections_built.get() + 1);
+        memo.push((out_id, projected.clone()));
+        projected
+    }
+
     /// Route an incoming datagram.
     ///
     /// `from` is the neighbor the datagram arrived from (`None` when it
@@ -162,47 +316,165 @@ impl Router {
     /// Each decision carries the tuple projected onto that destination's
     /// attribute set and the projected schema.
     pub fn route(
-        &mut self,
+        &self,
         tuple: &Tuple,
         schema: &Schema,
         from: Option<NodeId>,
     ) -> Vec<ForwardDecision> {
         let matched = self.engine.matches(tuple, schema);
         let mut out = Vec::with_capacity(matched.len());
-        for dest in matched {
-            if let Destination::Neighbor(n) = dest {
-                if Some(n) == from {
-                    continue;
+        if self.plan_caching {
+            let mut plans = self.plans.borrow_mut();
+            let map = plans
+                .entry((schema.id(), tuple.stream.clone()))
+                .or_default();
+            let mut memo: Vec<(SchemaId, Tuple)> = Vec::new();
+            for dest in matched {
+                if let Destination::Neighbor(n) = dest {
+                    if Some(n) == from {
+                        continue;
+                    }
                 }
-            }
-            let profile = match dest {
-                Destination::Neighbor(n) => &self.neighbor_interest[&n],
-                Destination::Local(s) => &self.local_interest[&s],
-            };
-            if let Some((t, s)) = profile.project_tuple(tuple, schema) {
+                let Some(plan) = self.lookup_plan(map, dest, &tuple.stream, schema) else {
+                    continue;
+                };
+                let t = self.apply_plan(&plan, tuple, &mut memo);
                 out.push(ForwardDecision {
                     dest,
                     tuple: t,
-                    schema: s,
+                    schema: plan.out_schema.clone(),
                 });
+            }
+        } else {
+            // Seed-era path: re-resolve the projection per destination
+            // and clone per destination. Kept as the benchmark baseline.
+            for dest in matched {
+                if let Destination::Neighbor(n) = dest {
+                    if Some(n) == from {
+                        continue;
+                    }
+                }
+                let profile = self.profile_of(dest).expect("matched dest has a profile");
+                if let Some((t, s)) = profile.project_tuple(tuple, schema) {
+                    out.push(ForwardDecision {
+                        dest,
+                        tuple: t,
+                        schema: s,
+                    });
+                }
             }
         }
         if out.is_empty() {
-            self.tuples_dropped += 1;
+            self.tuples_dropped.set(self.tuples_dropped.get() + 1);
         } else {
-            self.tuples_routed += 1;
+            self.tuples_routed.set(self.tuples_routed.get() + 1);
         }
         out
     }
 
+    /// Route a *stream-homogeneous* batch (every tuple on the same
+    /// stream, laid out by `schema`) through this node together.
+    ///
+    /// Equivalent to calling [`Router::route`] per tuple and grouping
+    /// the decisions by destination — per-destination tuple order is
+    /// batch order — but the match-index partition is looked up once,
+    /// each projection plan once, and the accounting amortized.
+    pub fn route_batch(
+        &self,
+        tuples: &[Tuple],
+        schema: &Schema,
+        from: Option<NodeId>,
+    ) -> Vec<BatchForward> {
+        let Some(first) = tuples.first() else {
+            return Vec::new();
+        };
+        debug_assert!(
+            tuples.iter().all(|t| t.stream == first.stream),
+            "route_batch requires a stream-homogeneous batch"
+        );
+        let matched = self.engine.matches_batch(tuples, schema);
+        let mut plans = self.plans.borrow_mut();
+        let map = plans
+            .entry((schema.id(), first.stream.clone()))
+            .or_default();
+        let mut by_dest: BTreeMap<Destination, BatchForward> = BTreeMap::new();
+        let mut memo: Vec<(SchemaId, Tuple)> = Vec::new();
+        let mut routed = 0u64;
+        let mut dropped = 0u64;
+        for (tuple, dests) in tuples.iter().zip(&matched) {
+            memo.clear();
+            let mut forwarded = false;
+            for &dest in dests {
+                if let Destination::Neighbor(n) = dest {
+                    if Some(n) == from {
+                        continue;
+                    }
+                }
+                let Some(plan) = self.lookup_plan(map, dest, &first.stream, schema) else {
+                    continue;
+                };
+                let t = self.apply_plan(&plan, tuple, &mut memo);
+                by_dest
+                    .entry(dest)
+                    .or_insert_with(|| BatchForward {
+                        dest,
+                        tuples: Vec::new(),
+                        schema: plan.out_schema.clone(),
+                    })
+                    .tuples
+                    .push(t);
+                forwarded = true;
+            }
+            if forwarded {
+                routed += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        self.tuples_routed.set(self.tuples_routed.get() + routed);
+        self.tuples_dropped.set(self.tuples_dropped.get() + dropped);
+        by_dest.into_values().collect()
+    }
+
+    /// Enable or disable the projection-plan cache (and with it the
+    /// fan-out sharing of projected tuples). Disabling restores the
+    /// seed-era per-destination projection path; used for A/B
+    /// benchmarking, on by default.
+    pub fn set_plan_caching(&mut self, enabled: bool) {
+        self.plan_caching = enabled;
+        self.invalidate_plans();
+    }
+
+    /// Generation stamp of the installed interests; moves on every
+    /// interest mutation, at which point the plan cache is empty.
+    pub fn interest_generation(&self) -> u64 {
+        self.interest_gen
+    }
+
+    /// Number of compiled plans currently cached.
+    pub fn cached_plan_count(&self) -> usize {
+        self.plans.borrow().values().map(|m| m.len()).sum()
+    }
+
+    /// `(hits, misses)` of the projection-plan cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plan_hits.get(), self.plan_misses.get())
+    }
+
+    /// Narrowing projections actually materialized (fan-out sharing and
+    /// plan identity both avoid builds this counter would otherwise see).
+    pub fn projections_built(&self) -> u64 {
+        self.projections_built.get()
+    }
+
     /// Datagrams that produced at least one forwarding decision.
     pub fn tuples_routed(&self) -> u64 {
-        self.tuples_routed
+        self.tuples_routed.get()
     }
 
     /// Datagrams that matched no interest and were dropped here.
     pub fn tuples_dropped(&self) -> u64 {
-        self.tuples_dropped
+        self.tuples_dropped.get()
     }
 }
 
@@ -344,6 +616,91 @@ mod tests {
         r.remove_local_subscriber(SubscriberId(1));
         assert_eq!(r.route(&tup(5, 0.0), &schema(), None).len(), 0);
         assert!(r.local_interest(SubscriberId(1)).is_none());
+    }
+
+    #[test]
+    fn plans_are_cached_and_invalidated_on_churn() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &["id"]));
+        r.add_local_subscriber(SubscriberId(7), interest(0, 10, &[]));
+        let g0 = r.interest_generation();
+        let s = schema();
+        assert_eq!(r.cached_plan_count(), 0);
+
+        r.route(&tup(5, 1.0), &s, None);
+        let (h1, m1) = r.plan_cache_stats();
+        assert_eq!((h1, m1), (0, 2), "first tuple compiles both plans");
+        assert_eq!(r.cached_plan_count(), 2);
+
+        r.route(&tup(6, 1.0), &s, None);
+        let (h2, m2) = r.plan_cache_stats();
+        assert_eq!((h2, m2), (2, 2), "second tuple hits both plans");
+
+        // Any interest mutation clears the cache and moves the stamp.
+        r.add_local_subscriber(SubscriberId(8), interest(0, 10, &[]));
+        assert!(r.interest_generation() > g0);
+        assert_eq!(r.cached_plan_count(), 0);
+        r.route(&tup(5, 1.0), &s, None);
+        assert_eq!(r.cached_plan_count(), 3, "plans recompiled after churn");
+
+        r.remove_local_subscriber(SubscriberId(8));
+        assert_eq!(r.cached_plan_count(), 0);
+        let g1 = r.interest_generation();
+        r.clear_neighbor_interests();
+        assert!(r.interest_generation() > g1);
+    }
+
+    #[test]
+    fn identical_projections_share_one_projected_tuple() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &["id"]));
+        r.set_neighbor_interest(NodeId(2), interest(0, 10, &["id"]));
+        r.add_local_subscriber(SubscriberId(7), interest(0, 10, &["id"]));
+        let s = schema();
+        let d = r.route(&tup(5, 1.0), &s, None);
+        assert_eq!(d.len(), 3);
+        assert_eq!(
+            r.projections_built(),
+            1,
+            "one gather serves all three destinations"
+        );
+        assert!(d.windows(2).all(|w| w[0].tuple == w[1].tuple));
+    }
+
+    #[test]
+    fn route_batch_agrees_with_single_routing() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &["id"]));
+        r.set_neighbor_interest(NodeId(2), interest(5, 25, &[]));
+        r.add_local_subscriber(SubscriberId(7), interest(0, 30, &["id", "price"]));
+        let s = schema();
+        let batch: Vec<Tuple> = (0..40).map(|i| tup(i % 35, i as f64)).collect();
+
+        // Reference: per-tuple routing on the seed path, grouped by dest.
+        let mut reference = r.clone();
+        reference.set_plan_caching(false);
+        let mut grouped: std::collections::BTreeMap<Destination, (Vec<Tuple>, Schema)> =
+            std::collections::BTreeMap::new();
+        for t in &batch {
+            for d in reference.route(t, &s, Some(NodeId(2))) {
+                grouped
+                    .entry(d.dest)
+                    .or_insert_with(|| (Vec::new(), d.schema.clone()))
+                    .0
+                    .push(d.tuple);
+            }
+        }
+
+        let batched = r.route_batch(&batch, &s, Some(NodeId(2)));
+        assert_eq!(batched.len(), grouped.len());
+        for bf in &batched {
+            let (ref_tuples, ref_schema) = &grouped[&bf.dest];
+            assert_eq!(&bf.tuples, ref_tuples, "dest {:?}", bf.dest);
+            assert_eq!(&bf.schema, ref_schema);
+        }
+        assert_eq!(reference.tuples_routed(), r.tuples_routed());
+        assert_eq!(reference.tuples_dropped(), r.tuples_dropped());
+        assert!(r.route_batch(&[], &s, None).is_empty());
     }
 
     #[test]

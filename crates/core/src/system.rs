@@ -1,7 +1,7 @@
 //! The deployed COSMOS system: nodes, routing, query management, and the
 //! discrete-event driver.
 
-use cosmos_cbn::{Destination, Profile, RegistryMode, Router, SchemaRegistry};
+use cosmos_cbn::{BatchForward, Destination, Profile, RegistryMode, Router, SchemaRegistry};
 use cosmos_overlay::{generate, minimum_spanning_tree, Graph, TopologyKind, Tree};
 use cosmos_query::{retighten_profile, GroupManager, StatsCatalog, StreamStats};
 use cosmos_spe::{AnalyzedQuery, Executor};
@@ -74,6 +74,16 @@ struct RepSite {
     executor: Executor,
     /// Generation stamp of this executor (see [`Cosmos::executor_generation`]).
     generation: u64,
+}
+
+/// One hop of the dissemination BFS: a stream-homogeneous batch of
+/// datagrams arriving at `at` over the link from `from` (`None` when
+/// the batch entered the network at `at`).
+struct Hop {
+    from: Option<NodeId>,
+    at: NodeId,
+    tuples: Vec<Tuple>,
+    schema: Schema,
 }
 
 /// The analyzed query of one member inside a group.
@@ -772,44 +782,129 @@ impl Cosmos {
     /// Publish one source datagram at its stream's origin node and drive
     /// it (and any result datagrams it triggers) through the network to
     /// completion.
+    ///
+    /// Thin wrapper over [`Cosmos::publish_batch`]; the input tuple is
+    /// never cloned — the origin router borrows it and only the
+    /// (projected, `Arc`-backed) forwarded copies are materialized.
     pub fn publish(&mut self, tuple: &Tuple) -> Result<()> {
-        let reg = self.registry.peek(&tuple.stream).ok_or_else(|| {
-            CosmosError::System(format!("stream '{}' is not advertised", tuple.stream))
+        self.publish_batch(std::slice::from_ref(tuple))
+    }
+
+    /// Whether any representative executor consumes a stream that is
+    /// itself produced by a representative. Batching such a topology
+    /// would deliver a source batch and the result batch it triggers
+    /// back-to-back instead of interleaved by timestamp, so
+    /// [`Cosmos::publish_batch`] falls back to per-tuple routing.
+    fn has_cascading_reps(&self) -> bool {
+        self.reps.values().any(|site| {
+            site.executor
+                .query()
+                .streams
+                .iter()
+                .any(|b| self.reps.contains_key(&b.stream))
+        })
+    }
+
+    /// Publish a *stream-homogeneous* batch of source datagrams at their
+    /// stream's origin and drive the whole batch through the network
+    /// together: one match lookup per (router, batch), one projection
+    /// plan per (router, destination), amortized link accounting, and
+    /// whole batches fed to the SPE executors.
+    ///
+    /// Delivery is tuple-for-tuple identical to publishing the tuples
+    /// one at a time (cosmos-testkit's batch oracle pins this down).
+    pub fn publish_batch(&mut self, tuples: &[Tuple]) -> Result<()> {
+        let Some(first) = tuples.first() else {
+            return Ok(());
+        };
+        if tuples.iter().any(|t| t.stream != first.stream) {
+            return Err(CosmosError::System(
+                "publish_batch requires a single-stream batch".into(),
+            ));
+        }
+        let reg = self.registry.peek(&first.stream).ok_or_else(|| {
+            CosmosError::System(format!("stream '{}' is not advertised", first.stream))
         })?;
         let (origin, schema) = (reg.origin, reg.schema.clone());
-        self.tuples_published += 1;
-        let mut queue: VecDeque<(Option<NodeId>, NodeId, Tuple, Schema)> = VecDeque::new();
-        queue.push_back((None, origin, tuple.clone(), schema));
-        while let Some((from, at, t, s)) = queue.pop_front() {
-            let decisions = self.routers[at.index()].route(&t, &s, from);
-            for d in decisions {
-                match d.dest {
-                    Destination::Neighbor(n) => {
-                        self.account_link(at, n, d.tuple.size_bytes());
-                        queue.push_back((Some(at), n, d.tuple, d.schema));
-                    }
-                    Destination::Local(sub) => {
-                        if let Some(stream) = self.spe_subs.get(&sub) {
-                            let stream = stream.clone();
-                            let site = self.reps.get_mut(&stream).expect("rep site exists");
-                            debug_assert_eq!(site.processor, at);
-                            let outputs = site.executor.push_projected(&d.tuple, &d.schema);
+        self.tuples_published += tuples.len() as u64;
+        if tuples.len() > 1 && self.has_cascading_reps() {
+            for t in tuples {
+                self.drive(origin, t, &schema);
+            }
+            return Ok(());
+        }
+        let mut queue: VecDeque<Hop> = VecDeque::new();
+        let forwards = self.routers[origin.index()].route_batch(tuples, &schema, None);
+        self.process_forwards(origin, forwards, &mut queue);
+        while let Some(hop) = queue.pop_front() {
+            let forwards =
+                self.routers[hop.at.index()].route_batch(&hop.tuples, &hop.schema, hop.from);
+            self.process_forwards(hop.at, forwards, &mut queue);
+        }
+        Ok(())
+    }
+
+    /// Drive one already-validated tuple through the network (the
+    /// per-tuple fallback of [`Cosmos::publish_batch`]).
+    fn drive(&mut self, origin: NodeId, tuple: &Tuple, schema: &Schema) {
+        let mut queue: VecDeque<Hop> = VecDeque::new();
+        let forwards =
+            self.routers[origin.index()].route_batch(std::slice::from_ref(tuple), schema, None);
+        self.process_forwards(origin, forwards, &mut queue);
+        while let Some(hop) = queue.pop_front() {
+            let forwards =
+                self.routers[hop.at.index()].route_batch(&hop.tuples, &hop.schema, hop.from);
+            self.process_forwards(hop.at, forwards, &mut queue);
+        }
+    }
+
+    /// Handle the forwarding decisions of one (node, batch) routing
+    /// step: account and enqueue neighbor hops, feed local SPE inputs
+    /// (re-entering their outputs into the network), append user
+    /// deliveries.
+    fn process_forwards(
+        &mut self,
+        at: NodeId,
+        forwards: Vec<BatchForward>,
+        queue: &mut VecDeque<Hop>,
+    ) {
+        for f in forwards {
+            match f.dest {
+                Destination::Neighbor(n) => {
+                    let bytes: usize = f.tuples.iter().map(Tuple::size_bytes).sum();
+                    self.account_link(at, n, bytes);
+                    queue.push_back(Hop {
+                        from: Some(at),
+                        at: n,
+                        tuples: f.tuples,
+                        schema: f.schema,
+                    });
+                }
+                Destination::Local(sub) => {
+                    if let Some(stream) = self.spe_subs.get(&sub) {
+                        let stream = stream.clone();
+                        let site = self.reps.get_mut(&stream).expect("rep site exists");
+                        debug_assert_eq!(site.processor, at);
+                        let outputs = site.executor.push_projected_batch(&f.tuples, &f.schema);
+                        if !outputs.is_empty() {
+                            // Result datagrams enter the CBN here.
                             let rep_schema = site.executor.result_schema().clone();
-                            for out in outputs {
-                                // Result datagrams enter the CBN here.
-                                queue.push_back((None, at, out, rep_schema.clone()));
-                            }
-                        } else if let Some(&qid) = self.user_subs.get(&sub) {
-                            self.delivered
-                                .get_mut(&qid)
-                                .expect("delivery buffer")
-                                .push(d.tuple);
+                            queue.push_back(Hop {
+                                from: None,
+                                at,
+                                tuples: outputs,
+                                schema: rep_schema,
+                            });
                         }
+                    } else if let Some(&qid) = self.user_subs.get(&sub) {
+                        self.delivered
+                            .get_mut(&qid)
+                            .expect("delivery buffer")
+                            .extend(f.tuples);
                     }
                 }
             }
         }
-        Ok(())
     }
 
     /// Publish a whole timestamp-ordered input sequence.
@@ -818,6 +913,32 @@ impl Cosmos {
             self.publish(&t)?;
         }
         Ok(())
+    }
+
+    /// Publish a timestamp-ordered input sequence, batching maximal
+    /// consecutive same-stream runs through [`Cosmos::publish_batch`].
+    pub fn run_batched<I: IntoIterator<Item = Tuple>>(&mut self, inputs: I) -> Result<()> {
+        let mut pending: Vec<Tuple> = Vec::new();
+        for t in inputs {
+            if pending.last().is_some_and(|p| p.stream != t.stream) {
+                self.publish_batch(&pending)?;
+                pending.clear();
+            }
+            pending.push(t);
+        }
+        if !pending.is_empty() {
+            self.publish_batch(&pending)?;
+        }
+        Ok(())
+    }
+
+    /// Enable or disable projection-plan caching (and fan-out sharing)
+    /// in every router. On by default; the off position restores the
+    /// seed-era per-destination projection path for A/B benchmarking.
+    pub fn set_plan_caching(&mut self, enabled: bool) {
+        for r in &mut self.routers {
+            r.set_plan_caching(enabled);
+        }
     }
 
     /// Result tuples delivered to a query's user so far.
@@ -1021,6 +1142,86 @@ mod tests {
         assert!(sys.total_bytes() > 0);
         assert!(sys.weighted_cost() > 0.0);
         assert_eq!(sys.tuples_published(), 10);
+    }
+
+    #[test]
+    fn publish_batch_matches_per_tuple_publish() {
+        let inputs: Vec<Tuple> = (0..40)
+            .map(|i| s_tuple(i * 500, i % 7, (i * 3) as f64))
+            .collect();
+        let deliver = |batched: bool| -> (Vec<Tuple>, Vec<Tuple>, u64, u64) {
+            let mut sys = line_system(true);
+            let q1 = sys
+                .submit_query("SELECT k, x FROM S [Now] WHERE x > 30.0", NodeId(3))
+                .unwrap();
+            let q2 = sys
+                .submit_query("SELECT k FROM S [Range 5 Second] WHERE k = 3", NodeId(2))
+                .unwrap();
+            if batched {
+                sys.publish_batch(&inputs).unwrap();
+            } else {
+                sys.run(inputs.iter().cloned()).unwrap();
+            }
+            (
+                sys.results(q1).to_vec(),
+                sys.results(q2).to_vec(),
+                sys.tuples_published(),
+                sys.total_bytes(),
+            )
+        };
+        let single = deliver(false);
+        let batched = deliver(true);
+        assert_eq!(single.0, batched.0, "q1 deliveries differ");
+        assert_eq!(single.1, batched.1, "q2 deliveries differ");
+        assert_eq!(single.2, batched.2, "published counts differ");
+        assert_eq!(single.3, batched.3, "link bytes differ");
+    }
+
+    #[test]
+    fn run_batched_segments_mixed_streams() {
+        let mut sys = line_system(true);
+        sys.register_stream(
+            "T",
+            Schema::of(&[("k", AttrType::Int), ("timestamp", AttrType::Int)]),
+            StreamStats::with_rate(1.0).attr("k", AttrStats::categorical(10.0)),
+            NodeId(1),
+        )
+        .unwrap();
+        let q = sys
+            .submit_query("SELECT k, x FROM S [Now]", NodeId(3))
+            .unwrap();
+        let mut inputs = Vec::new();
+        for i in 0..12i64 {
+            inputs.push(s_tuple(i * 1000, i, i as f64));
+            if i % 3 == 0 {
+                inputs.push(Tuple::new(
+                    "T",
+                    Timestamp(i * 1000 + 1),
+                    vec![Value::Int(i), Value::Int(i * 1000 + 1)],
+                ));
+            }
+        }
+        sys.run_batched(inputs).unwrap();
+        assert_eq!(sys.results(q).len(), 12);
+        assert_eq!(sys.tuples_published(), 16);
+    }
+
+    #[test]
+    fn publish_batch_rejects_bad_batches() {
+        let mut sys = line_system(true);
+        // empty batch is a no-op
+        sys.publish_batch(&[]).unwrap();
+        assert_eq!(sys.tuples_published(), 0);
+        // mixed streams are refused
+        let mixed = vec![
+            s_tuple(0, 1, 1.0),
+            Tuple::new("T", Timestamp(1), vec![Value::Int(1)]),
+        ];
+        assert!(sys.publish_batch(&mixed).is_err());
+        // unadvertised stream is refused without counting anything
+        let unknown = vec![Tuple::new("Nope", Timestamp(0), vec![Value::Int(1)])];
+        assert!(sys.publish_batch(&unknown).is_err());
+        assert_eq!(sys.tuples_published(), 0);
     }
 
     #[test]

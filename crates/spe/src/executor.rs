@@ -119,25 +119,49 @@ impl Executor {
     /// `Null`; the source profile guarantees every attribute the query
     /// touches is present) and then processed normally.
     pub fn push_projected(&mut self, tuple: &Tuple, schema: &Schema) -> Vec<Tuple> {
-        let Some(bound) = self.query.streams.iter().find(|b| b.stream == tuple.stream) else {
+        self.push_projected_batch(std::slice::from_ref(tuple), schema)
+    }
+
+    /// [`Executor::push_projected`] for a *stream-homogeneous* batch
+    /// (every tuple on the same stream, laid out by `schema`): the
+    /// re-alignment column map is computed once for the whole batch.
+    /// Result tuples are returned in emission order.
+    pub fn push_projected_batch(&mut self, tuples: &[Tuple], schema: &Schema) -> Vec<Tuple> {
+        let Some(first) = tuples.first() else {
+            return Vec::new();
+        };
+        debug_assert!(
+            tuples.iter().all(|t| t.stream == first.stream),
+            "push_projected_batch requires a stream-homogeneous batch"
+        );
+        let Some(bound) = self.query.streams.iter().find(|b| b.stream == first.stream) else {
             return Vec::new();
         };
         if *schema == bound.schema {
-            return self.push(tuple);
+            let mut out = Vec::new();
+            for t in tuples {
+                out.extend(self.push(t));
+            }
+            return out;
         }
-        let full: Vec<Value> = bound
+        // Source column in the projected layout (or Null) per full-schema
+        // attribute, resolved once per batch instead of once per tuple.
+        let align: Vec<Option<usize>> = bound
             .schema
             .fields()
             .iter()
-            .map(|f| {
-                tuple
-                    .get_by_name(schema, &f.name)
-                    .cloned()
-                    .unwrap_or(Value::Null)
-            })
+            .map(|f| schema.index_of(&f.name))
             .collect();
-        let aligned = Tuple::new(tuple.stream.clone(), tuple.timestamp, full);
-        self.push(&aligned)
+        let mut out = Vec::new();
+        for t in tuples {
+            let full: Vec<Value> = align
+                .iter()
+                .map(|src| src.and_then(|i| t.get(i).cloned()).unwrap_or(Value::Null))
+                .collect();
+            let aligned = Tuple::new(t.stream.clone(), t.timestamp, full);
+            out.extend(self.push(&aligned));
+        }
+        out
     }
 
     /// Process one source arrival, returning the result tuples it

@@ -23,6 +23,11 @@
 //! injected after every event must leave every query's delivered
 //! results unchanged: routing adaptation never touches executor state.
 //!
+//! **Metamorphic (batch).** Re-running with batched publishing
+//! (`publish_batch` over each publish event's same-stream runs) must be
+//! observably identical to per-tuple publishing: exact delivery order,
+//! epochs, counts, and digest.
+//!
 //! **Determinism.** Running the same scenario twice must produce
 //! identical digests — the contract that makes `run --seed` replayable.
 
@@ -35,7 +40,8 @@ use cosmos_types::{QueryId, Timestamp, Tuple, Value};
 #[derive(Debug, Clone)]
 pub struct Failure {
     /// Which oracle fired (`differential (merged)`, `metamorphic-merge`,
-    /// `metamorphic-tree`, `determinism`, `run-error`).
+    /// `metamorphic-tree`, `metamorphic-batch`, `determinism`,
+    /// `run-error`).
     pub oracle: String,
     /// The offending query's scenario label, when attributable.
     pub label: Option<u32>,
@@ -79,6 +85,8 @@ pub struct CheckOptions {
     pub metamorphic_merge: bool,
     /// Tree-reorganization invariance.
     pub metamorphic_tree: bool,
+    /// Batched-publish invariance (per-tuple vs `publish_batch`).
+    pub metamorphic_batch: bool,
     /// Same-scenario digest equality.
     pub determinism: bool,
 }
@@ -89,6 +97,7 @@ impl Default for CheckOptions {
             differential: true,
             metamorphic_merge: true,
             metamorphic_tree: true,
+            metamorphic_batch: true,
             determinism: true,
         }
     }
@@ -149,10 +158,23 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             &RunOptions {
                 merging: true,
                 optimize_every_event: true,
+                ..RunOptions::default()
             },
         )
         .map_err(run_err)?;
         metamorphic_tree(&merged, &treed)?;
+    }
+
+    if opts.metamorphic_batch {
+        let batched = run_scenario(
+            scenario,
+            &RunOptions {
+                batched: true,
+                ..RunOptions::default()
+            },
+        )
+        .map_err(run_err)?;
+        metamorphic_batch(&merged, &batched)?;
     }
 
     Ok(Report {
@@ -368,6 +390,79 @@ fn metamorphic_tree(merged: &RunOutcome, treed: &RunOutcome) -> Result<(), Failu
                 ),
             });
         }
+    }
+    Ok(())
+}
+
+/// Batched-publish invariance: routing each publish event's same-stream
+/// runs through `publish_batch` must be *observably identical* to
+/// per-tuple publishing — tuple-for-tuple delivery (exact order, not
+/// just multisets), identical epochs and skip counts, identical digest.
+fn metamorphic_batch(merged: &RunOutcome, batched: &RunOutcome) -> Result<(), Failure> {
+    for q in &merged.queries {
+        let Some(b) = batched.queries.iter().find(|b| b.label == q.label) else {
+            return Err(Failure {
+                oracle: "metamorphic-batch".into(),
+                label: Some(q.label),
+                detail: "query vanished under batched publishing".into(),
+            });
+        };
+        if b.delivered != q.delivered {
+            let i = q
+                .delivered
+                .iter()
+                .zip(b.delivered.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| q.delivered.len().min(b.delivered.len()));
+            return Err(Failure {
+                oracle: "metamorphic-batch".into(),
+                label: Some(q.label),
+                detail: format!(
+                    "'{}': batched delivery differs from per-tuple: expected {} tuples, \
+                     got {}; first divergence at #{i}: expected {:?}, got {:?}",
+                    q.text,
+                    q.delivered.len(),
+                    b.delivered.len(),
+                    q.delivered.get(i),
+                    b.delivered.get(i)
+                ),
+            });
+        }
+        if b.epochs != q.epochs {
+            return Err(Failure {
+                oracle: "metamorphic-batch".into(),
+                label: Some(q.label),
+                detail: format!(
+                    "'{}': executor epochs changed under batched publishing",
+                    q.text
+                ),
+            });
+        }
+    }
+    if batched.skipped_publishes != merged.skipped_publishes
+        || batched.published.len() != merged.published.len()
+    {
+        return Err(Failure {
+            oracle: "metamorphic-batch".into(),
+            label: None,
+            detail: format!(
+                "accepted/skipped publish counts changed under batching: {}+{} vs {}+{}",
+                merged.published.len(),
+                merged.skipped_publishes,
+                batched.published.len(),
+                batched.skipped_publishes
+            ),
+        });
+    }
+    if batched.digest != merged.digest {
+        return Err(Failure {
+            oracle: "metamorphic-batch".into(),
+            label: None,
+            detail: format!(
+                "run digest changed under batched publishing: {:016x} vs {:016x}",
+                merged.digest, batched.digest
+            ),
+        });
     }
     Ok(())
 }

@@ -36,6 +36,10 @@ pub struct RunOptions {
     /// Inject a tree re-optimization after every event (results must be
     /// invariant — routing is semantically transparent).
     pub optimize_every_event: bool,
+    /// Publish via [`cosmos::Cosmos::publish_batch`], batching each
+    /// publish event's maximal consecutive same-stream runs (results
+    /// must be invariant — batching is semantically transparent).
+    pub batched: bool,
 }
 
 impl Default for RunOptions {
@@ -43,6 +47,7 @@ impl Default for RunOptions {
         RunOptions {
             merging: true,
             optimize_every_event: false,
+            batched: false,
         }
     }
 }
@@ -178,10 +183,28 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                 }
             }
             Event::Publish { tuples } => {
-                for t in tuples {
-                    match sys.publish(t) {
-                        Ok(()) => published.push(t.clone()),
-                        Err(_) => skipped_publishes += 1,
+                if opts.batched {
+                    // Scenario publish batches interleave streams; cut
+                    // them into the maximal same-stream runs that
+                    // `publish_batch` accepts. A run fails atomically —
+                    // exactly the tuples per-tuple publishing would skip
+                    // (advertisement cannot change inside one event).
+                    let mut rest: &[Tuple] = tuples;
+                    while let Some(first) = rest.first() {
+                        let len = rest.iter().take_while(|t| t.stream == first.stream).count();
+                        let (run, tail) = rest.split_at(len);
+                        rest = tail;
+                        match sys.publish_batch(run) {
+                            Ok(()) => published.extend(run.iter().cloned()),
+                            Err(_) => skipped_publishes += run.len(),
+                        }
+                    }
+                } else {
+                    for t in tuples {
+                        match sys.publish(t) {
+                            Ok(()) => published.push(t.clone()),
+                            Err(_) => skipped_publishes += 1,
+                        }
                     }
                 }
             }

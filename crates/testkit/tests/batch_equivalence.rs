@@ -1,0 +1,73 @@
+//! Metamorphic property: batched publishing is observably identical to
+//! per-tuple publishing (ISSUE 3 acceptance). `Cosmos::publish_batch`
+//! routes a stream-homogeneous batch through the dissemination tree
+//! together — one match lookup per (router, batch), cached projection
+//! plans, shared projected tuples, whole-batch SPE intake — and none of
+//! that may change a single delivered tuple, epoch stamp, or digest.
+
+use cosmos_testkit::{gen, run_scenario, RunOptions};
+
+/// Tuple-for-tuple equivalence across ≥64 seeded scenarios, in both
+/// merged and baseline modes.
+#[test]
+fn batched_publish_is_delivery_identical_across_seeds() {
+    for seed in 0..64u64 {
+        let scenario = gen::generate(seed);
+        for merging in [true, false] {
+            let single = run_scenario(
+                &scenario,
+                &RunOptions {
+                    merging,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("per-tuple run");
+            let batched = run_scenario(
+                &scenario,
+                &RunOptions {
+                    merging,
+                    batched: true,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("batched run");
+
+            assert_eq!(
+                single.published.len(),
+                batched.published.len(),
+                "seed {seed} merging={merging}: accepted publish counts differ"
+            );
+            assert_eq!(
+                single.skipped_publishes, batched.skipped_publishes,
+                "seed {seed} merging={merging}: skipped publish counts differ"
+            );
+            assert_eq!(
+                single.queries.len(),
+                batched.queries.len(),
+                "seed {seed} merging={merging}: accepted query counts differ"
+            );
+            for (q, b) in single.queries.iter().zip(&batched.queries) {
+                assert_eq!(q.label, b.label);
+                assert_eq!(
+                    q.delivered, b.delivered,
+                    "seed {seed} merging={merging}: query #{} delivery differs \
+                     (tuple-for-tuple, including order)",
+                    q.label
+                );
+                assert_eq!(
+                    q.epochs, b.epochs,
+                    "seed {seed} merging={merging}: query #{} epochs differ",
+                    q.label
+                );
+            }
+            assert_eq!(
+                single.routing_digests, batched.routing_digests,
+                "seed {seed} merging={merging}: routing state diverged"
+            );
+            assert_eq!(
+                single.digest, batched.digest,
+                "seed {seed} merging={merging}: run digests differ"
+            );
+        }
+    }
+}

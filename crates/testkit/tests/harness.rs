@@ -66,6 +66,7 @@ fn injected_merge_bug_is_caught_by_metamorphic_oracle() {
         differential: false,
         metamorphic_merge: true,
         metamorphic_tree: false,
+        metamorphic_batch: false,
         determinism: false,
     };
     for seed in [1u64, 6] {

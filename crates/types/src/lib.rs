@@ -25,7 +25,7 @@ mod value;
 
 pub use error::{CosmosError, Result};
 pub use ids::{GroupId, LinkId, NodeId, ProfileId, QueryId, SubscriberId};
-pub use schema::{AttrType, Field, Schema};
+pub use schema::{AttrType, Field, Schema, SchemaId};
 pub use time::{TimeDelta, Timestamp};
 pub use tuple::{StreamName, Tuple};
 pub use value::Value;

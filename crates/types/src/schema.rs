@@ -1,9 +1,10 @@
 //! Stream schemas.
 
-use crate::{CosmosError, Result, Value};
-use serde::{Deserialize, Serialize};
+use crate::{CosmosError, FxHashMap, Result, Value};
+use serde::{Content, DeError, Deserialize, Serialize};
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Runtime type of an attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -70,21 +71,72 @@ impl Field {
     }
 }
 
+/// Identity of an interned schema (see [`Schema::id`]).
+///
+/// Two schemas compare equal iff their ids are equal; ids are allocated
+/// process-locally in intern order, so they must never be persisted or
+/// compared across processes. Their purpose is to key per-schema caches
+/// (the routers' projection-plan caches) with an `O(1)` `Copy` handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SchemaId(u32);
+
+impl SchemaId {
+    /// The raw id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SchemaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema#{}", self.0)
+    }
+}
+
+/// Shared immutable body of a schema: the fields plus a cached
+/// `name → index` map (attribute lookups on the routing hot path must
+/// not re-scan the field list per tuple) and the lazily interned id.
+#[derive(Debug)]
+struct SchemaInner {
+    fields: Box<[Field]>,
+    index: FxHashMap<String, u32>,
+    id: OnceLock<SchemaId>,
+}
+
 /// An ordered list of attributes describing the tuples of one stream.
 ///
-/// Schemas are immutable and cheap to clone (`Arc` inside). Field order is
-/// the on-the-wire tuple order; lookups by name are linear, which is fine
-/// at schema widths seen in stream systems (≤ a few dozen attributes).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Schemas are immutable and cheap to clone (`Arc` inside). Field order
+/// is the on-the-wire tuple order; lookups by name hit a prebuilt index
+/// map. Every schema can be *interned* ([`Schema::id`]): structurally
+/// equal schemas map to the same process-wide [`SchemaId`], which the
+/// CBN layer uses to key its cached projection plans.
+#[derive(Debug, Clone)]
 pub struct Schema {
-    fields: Arc<[Field]>,
+    inner: Arc<SchemaInner>,
+}
+
+/// The process-wide schema interner (content-addressed).
+struct Interner {
+    ids: FxHashMap<Schema, SchemaId>,
+    schemas: Vec<Schema>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            ids: FxHashMap::default(),
+            schemas: Vec::new(),
+        })
+    })
 }
 
 impl Schema {
     /// Build a schema from fields. Fails on duplicate attribute names.
     pub fn new(fields: Vec<Field>) -> Result<Schema> {
+        let mut index = FxHashMap::default();
         for (i, f) in fields.iter().enumerate() {
-            if fields[..i].iter().any(|g| g.name == f.name) {
+            if index.insert(f.name.clone(), i as u32).is_some() {
                 return Err(CosmosError::Schema(format!(
                     "duplicate attribute name '{}'",
                     f.name
@@ -92,7 +144,11 @@ impl Schema {
             }
         }
         Ok(Schema {
-            fields: fields.into(),
+            inner: Arc::new(SchemaInner {
+                fields: fields.into(),
+                index,
+                id: OnceLock::new(),
+            }),
         })
     }
 
@@ -108,34 +164,67 @@ impl Schema {
         .expect("static schema must not contain duplicates")
     }
 
+    /// The interned id of this schema. The first call registers the
+    /// schema in the process-wide interner; structurally equal schemas
+    /// (even separately constructed or deserialized) return the same id.
+    /// The result is cached inside the schema, so repeated calls are a
+    /// single atomic load.
+    pub fn id(&self) -> SchemaId {
+        *self.inner.id.get_or_init(|| {
+            let mut int = interner().lock().expect("schema interner poisoned");
+            if let Some(&id) = int.ids.get(self) {
+                return id;
+            }
+            let id = SchemaId(u32::try_from(int.schemas.len()).expect("interner overflow"));
+            int.ids.insert(self.clone(), id);
+            int.schemas.push(self.clone());
+            id
+        })
+    }
+
+    /// Resolve an interned id back to its canonical schema.
+    pub fn by_id(id: SchemaId) -> Option<Schema> {
+        let int = interner().lock().expect("schema interner poisoned");
+        int.schemas.get(id.0 as usize).cloned()
+    }
+
+    /// Number of distinct schemas interned so far in this process.
+    pub fn interned_count() -> usize {
+        interner()
+            .lock()
+            .expect("schema interner poisoned")
+            .schemas
+            .len()
+    }
+
     /// The fields, in tuple order.
     pub fn fields(&self) -> &[Field] {
-        &self.fields
+        &self.inner.fields
     }
 
     /// Number of attributes.
     pub fn arity(&self) -> usize {
-        self.fields.len()
+        self.inner.fields.len()
     }
 
-    /// Index of the attribute with the given name.
+    /// Index of the attribute with the given name (`O(1)`).
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.fields.iter().position(|f| f.name == name)
+        self.inner.index.get(name).map(|&i| i as usize)
     }
 
     /// The field with the given name.
     pub fn field(&self, name: &str) -> Option<&Field> {
-        self.fields.iter().find(|f| f.name == name)
+        self.index_of(name).map(|i| &self.inner.fields[i])
     }
 
     /// Whether the schema contains the attribute.
     pub fn contains(&self, name: &str) -> bool {
-        self.index_of(name).is_some()
+        self.inner.index.contains_key(name)
     }
 
     /// All attribute names, in order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.fields.iter().map(|f| f.name.as_str())
+        self.inner.fields.iter().map(|f| f.name.as_str())
     }
 
     /// Schema containing only the named attributes, in the given order.
@@ -169,7 +258,7 @@ impl Schema {
     /// Average wire size, in bytes, of a tuple of this schema assuming
     /// scalar attributes (strings estimated at 12 bytes).
     pub fn estimated_tuple_bytes(&self) -> usize {
-        self.fields
+        self.fields()
             .iter()
             .map(|f| match f.ty {
                 AttrType::Bool => 1,
@@ -180,10 +269,48 @@ impl Schema {
     }
 }
 
+impl PartialEq for Schema {
+    fn eq(&self, other: &Schema) -> bool {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return true;
+        }
+        // Two already-interned schemas compare by id (an O(1) check).
+        if let (Some(a), Some(b)) = (self.inner.id.get(), other.inner.id.get()) {
+            return a == b;
+        }
+        self.inner.fields == other.inner.fields
+    }
+}
+
+impl Eq for Schema {}
+
+impl Hash for Schema {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.fields.hash(state);
+    }
+}
+
+impl Serialize for Schema {
+    fn to_content(&self) -> Content {
+        // Same wire shape as the former derived impl: {"fields": [...]}.
+        Content::Map(vec![(
+            Content::Str("fields".into()),
+            self.fields().to_content(),
+        )])
+    }
+}
+
+impl Deserialize for Schema {
+    fn from_content(c: &Content) -> std::result::Result<Schema, DeError> {
+        let fields = Vec::<Field>::from_content(serde::map_get(c, "fields")?)?;
+        Schema::new(fields).map_err(|e| DeError::custom(e.to_string()))
+    }
+}
+
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, fld) in self.fields.iter().enumerate() {
+        for (i, fld) in self.fields().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -272,5 +399,51 @@ mod tests {
     fn display() {
         let s = Schema::of(&[("a", AttrType::Int)]);
         assert_eq!(s.to_string(), "(a INT)");
+    }
+
+    #[test]
+    fn interning_is_structural() {
+        // Two independently built but equal schemas share one id; a
+        // clone trivially does; a different schema gets a different id.
+        let a = auction_schema();
+        let b = auction_schema();
+        let c = a.clone();
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.id(), c.id());
+        let other = Schema::of(&[("zzz_unique_attr", AttrType::Bool)]);
+        assert_ne!(a.id(), other.id());
+        // resolution returns an equal schema
+        assert_eq!(Schema::by_id(a.id()).unwrap(), a);
+        assert!(Schema::interned_count() >= 2);
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = auction_schema();
+        let b = auction_schema();
+        assert_eq!(a, b);
+        let h = |s: &Schema| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+        // interning one side must not break equality with the other
+        let _ = a.id();
+        assert_eq!(a, b);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn serde_roundtrip_reinterns() {
+        let a = auction_schema();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.id(), a.id());
+        // duplicate fields on the wire are rejected
+        let bad = r#"{"fields":[{"name":"a","ty":"Int"},{"name":"a","ty":"Int"}]}"#;
+        assert!(serde_json::from_str::<Schema>(bad).is_err());
     }
 }
