@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the COSMOS experiment harnesses.
 //!
 //! Each `cargo bench` target in this crate regenerates one table or

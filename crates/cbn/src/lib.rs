@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A stream-aware content-based network (CBN).
 //!
 //! Section 3 of the COSMOS paper enhances a classical content-based
@@ -45,4 +46,4 @@ pub use predicate::{AttrConstraint, Conjunction, DiffRange, Interval};
 pub use profile::{Profile, ProfileEntry, Projection};
 pub use registry::{RegisteredStream, RegistryMode, SchemaRegistry};
 pub use router::{BatchForward, Destination, ForwardDecision, ProjectionPlan, Router};
-pub use sat::conjunction_unsat;
+pub use sat::{conjunction_implies, conjunction_unsat, filters_imply, filters_intersect};

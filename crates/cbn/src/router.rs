@@ -201,6 +201,12 @@ impl Router {
         self.neighbor_interest.get(&neighbor)
     }
 
+    /// All neighbor interests, in neighbor order (introspection for
+    /// whole-network snapshots — see `cosmos-verify`).
+    pub fn neighbor_interests(&self) -> impl Iterator<Item = (NodeId, &Profile)> {
+        self.neighbor_interest.iter().map(|(n, p)| (*n, p))
+    }
+
     /// Install the profile of a locally attached subscriber.
     pub fn add_local_subscriber(&mut self, sub: SubscriberId, profile: Profile) {
         self.invalidate_plans();

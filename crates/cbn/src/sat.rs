@@ -22,27 +22,40 @@
 //! means no contradiction was found. Callers use it to prune filters
 //! and reject queries, so only the `true` direction must be trusted.
 
-use crate::predicate::Conjunction;
+use crate::predicate::{AttrConstraint, Conjunction, Interval};
 use std::collections::BTreeMap;
 
-/// Whether the conjunction provably admits no assignment.
-///
-/// Exact over the reals for the interval + difference-range fragment
-/// (ignoring `!=` exclusions and non-numeric bounds, both of which are
-/// skipped conservatively). Runs in `O(nodes × edges)`.
-pub fn conjunction_unsat(c: &Conjunction) -> bool {
-    if c.is_unsat() {
-        return true;
-    }
-    // Nodes: one per attribute that appears in a difference constraint.
-    // Attributes outside every difference constraint cannot interact, and
-    // their interval emptiness was already covered by `is_unsat` above.
+/// One additional difference bound `to − from ≤ w` (`None` = the virtual
+/// origin pinned at 0), conjoined onto a [`Conjunction`]'s constraint
+/// graph by [`unsat_with`]. The entailment entry points use these to
+/// encode the *negation* of a consequent atom.
+#[derive(Debug, Clone)]
+struct ExtraEdge<'a> {
+    from: Option<&'a str>,
+    to: Option<&'a str>,
+    w: f64,
+    strict: bool,
+}
+
+/// Whether `c`, conjoined with the extra difference bounds, provably
+/// admits no assignment. The core of every entry point in this module.
+fn unsat_with(c: &Conjunction, extra: &[ExtraEdge<'_>]) -> bool {
+    // Nodes: one per attribute that appears in a difference constraint
+    // (of `c` or of an extra edge). Attributes outside every difference
+    // constraint cannot interact with anything, and their interval
+    // emptiness is covered by the shallow `is_unsat` check upstream.
     let mut idx: BTreeMap<&str, usize> = BTreeMap::new();
     for (a, b, _) in c.diff_constraints() {
         let next = idx.len() + 1;
         idx.entry(a).or_insert(next);
         let next = idx.len() + 1;
         idx.entry(b).or_insert(next);
+    }
+    for e in extra {
+        for name in [e.from, e.to].into_iter().flatten() {
+            let next = idx.len() + 1;
+            idx.entry(name).or_insert(next);
+        }
     }
     if idx.is_empty() {
         return false;
@@ -76,6 +89,11 @@ pub fn conjunction_unsat(c: &Conjunction) -> bool {
                 edges.push((i, 0, -x, !incl));
             }
         }
+    }
+    for e in extra {
+        let from = e.from.map_or(0, |a| idx[a]);
+        let to = e.to.map_or(0, |a| idx[a]);
+        edges.push((from, to, e.w, e.strict));
     }
     if edges.is_empty() {
         return false;
@@ -116,6 +134,187 @@ pub fn conjunction_unsat(c: &Conjunction) -> bool {
         let cand = (dist[u].0 + w, dist[u].1 + strict as usize);
         less(cand, dist[v])
     })
+}
+
+/// Whether the conjunction provably admits no assignment.
+///
+/// Exact over the reals for the interval + difference-range fragment
+/// (ignoring `!=` exclusions and non-numeric bounds, both of which are
+/// skipped conservatively). Runs in `O(nodes × edges)`.
+pub fn conjunction_unsat(c: &Conjunction) -> bool {
+    if c.is_unsat() {
+        return true;
+    }
+    unsat_with(c, &[])
+}
+
+/// Whether every assignment satisfying `a` satisfies `b` (`a ⇒ b`).
+///
+/// Strictly stronger than the syntactic [`Conjunction::implies`]: each
+/// atom of `b` not already implied key-by-key is checked *semantically*
+/// by refuting `a ∧ ¬atom` with the difference-constraint kernel, which
+/// sees interactions across attributes (e.g. `x ≥ 5 ∧ x − y ≤ 2` implies
+/// `y ≥ 3`). **Sound, not complete**: `true` is always correct; `false`
+/// means the implication could not be proved (non-numeric atoms only get
+/// the syntactic check).
+pub fn conjunction_implies(a: &Conjunction, b: &Conjunction) -> bool {
+    if conjunction_unsat(a) {
+        return true; // vacuous: `a` admits nothing
+    }
+    if a.implies(b) {
+        return true; // syntactic fast path (exact per shared key)
+    }
+    // Per-atom: `a ⇒ p ∧ q` iff `a ⇒ p` and `a ⇒ q`.
+    for (attr, c2) in b.attr_constraints() {
+        let c1 = a.constraint_for(attr);
+        if c1.implies(c2) {
+            continue;
+        }
+        // Bounds: refute `a ∧ ¬bound`. The negation of a lower bound
+        // `x ≥ v` is `x < v` (an upper edge, strict flipped), and dually.
+        if let Some((v, incl)) = &c2.interval.lo {
+            let syntactic = c1.implies(&AttrConstraint::from_interval(Interval {
+                lo: Some((v.clone(), *incl)),
+                hi: None,
+            }));
+            let semantic = v.as_f64().is_some_and(|x| {
+                unsat_with(
+                    a,
+                    &[ExtraEdge {
+                        from: None,
+                        to: Some(attr),
+                        w: x,
+                        strict: *incl,
+                    }],
+                )
+            });
+            if !syntactic && !semantic {
+                return false;
+            }
+        }
+        if let Some((v, incl)) = &c2.interval.hi {
+            let syntactic = c1.implies(&AttrConstraint::from_interval(Interval {
+                lo: None,
+                hi: Some((v.clone(), *incl)),
+            }));
+            let semantic = v.as_f64().is_some_and(|x| {
+                unsat_with(
+                    a,
+                    &[ExtraEdge {
+                        from: Some(attr),
+                        to: None,
+                        w: -x,
+                        strict: *incl,
+                    }],
+                )
+            });
+            if !syntactic && !semantic {
+                return false;
+            }
+        }
+        // Exclusions: `a ⇒ x ≠ v` iff `a ∧ x = v` is empty.
+        for e in &c2.excluded {
+            let syntactic = c1.excluded.contains(e) || !c1.interval.contains(e);
+            let semantic = e.as_f64().is_some_and(|x| {
+                unsat_with(
+                    a,
+                    &[
+                        ExtraEdge {
+                            from: None,
+                            to: Some(attr),
+                            w: x,
+                            strict: false,
+                        },
+                        ExtraEdge {
+                            from: Some(attr),
+                            to: None,
+                            w: -x,
+                            strict: false,
+                        },
+                    ],
+                )
+            });
+            if !syntactic && !semantic {
+                return false;
+            }
+        }
+    }
+    for (x, y, r2) in b.diff_constraints() {
+        // `a`'s range for the same (canonically ordered) pair, if any.
+        let r1 = a
+            .diff_constraints()
+            .find(|(ax, ay, _)| *ax == x && *ay == y)
+            .map(|(_, _, r)| *r);
+        if r1.is_some_and(|r1| r1.implies(r2)) {
+            continue;
+        }
+        // Negation of `x − y ≥ lo` is `x − y < lo`; of `x − y ≤ hi` is
+        // `y − x < −hi`.
+        if r2.lo.is_finite()
+            && !unsat_with(
+                a,
+                &[ExtraEdge {
+                    from: Some(y),
+                    to: Some(x),
+                    w: r2.lo,
+                    strict: true,
+                }],
+            )
+        {
+            return false;
+        }
+        if r2.hi.is_finite()
+            && !unsat_with(
+                a,
+                &[ExtraEdge {
+                    from: Some(x),
+                    to: Some(y),
+                    w: -r2.hi,
+                    strict: true,
+                }],
+            )
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the disjunction `antecedent` implies the disjunction
+/// `consequent`, under the [`crate::ProfileEntry`] convention that an
+/// **empty filter list means accept-all**.
+///
+/// Conservative and sound: each satisfiable disjunct of the antecedent
+/// must imply *some single* disjunct of the consequent (case splits
+/// across consequent disjuncts are not attempted), so `true` is always
+/// correct.
+pub fn filters_imply(antecedent: &[Conjunction], consequent: &[Conjunction]) -> bool {
+    if consequent.is_empty() {
+        return true; // accept-all is implied by anything
+    }
+    if antecedent.is_empty() {
+        // Accept-all implies the consequent only if a disjunct of the
+        // consequent is itself accept-all.
+        return consequent.iter().any(|c| c.is_always());
+    }
+    antecedent
+        .iter()
+        .all(|a| conjunction_unsat(a) || consequent.iter().any(|c| conjunction_implies(a, c)))
+}
+
+/// Whether the two disjunctive filters (empty = accept-all) can admit a
+/// common tuple description. **`false` is the proven direction**: the
+/// filters are certainly disjoint; `true` merely means no disjointness
+/// proof was found.
+pub fn filters_intersect(a: &[Conjunction], b: &[Conjunction]) -> bool {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => true,
+        (true, false) => b.iter().any(|c| !conjunction_unsat(c)),
+        (false, true) => a.iter().any(|c| !conjunction_unsat(c)),
+        (false, false) => a
+            .iter()
+            .any(|x| b.iter().any(|y| !conjunction_unsat(&x.and(y)))),
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +413,124 @@ mod tests {
         assert!(!conjunction_unsat(&c));
     }
 
+    #[test]
+    fn contradictory_antecedent_implies_anything() {
+        // a ≥ 5 ∧ a < 5 is empty, so it vacuously implies b = 42.
+        let mut a = Conjunction::always();
+        a.lower("a", 5, true).upper("a", 5, false);
+        let mut b = Conjunction::always();
+        b.equals("b", 42);
+        assert!(conjunction_unsat(&a));
+        assert!(conjunction_implies(&a, &b));
+    }
+
+    #[test]
+    fn difference_chains_imply_their_transitive_closure() {
+        // a − b ≤ −1 ∧ b − c ≤ −1 ⇒ a − c ≤ −2 — invisible to the
+        // syntactic per-key check, provable by refutation.
+        let neg = |hi: f64| DiffRange::new(f64::NEG_INFINITY, hi);
+        let mut a = Conjunction::always();
+        a.diff("a", "b", neg(-1.0)).diff("b", "c", neg(-1.0));
+        let mut b = Conjunction::always();
+        b.diff("a", "c", neg(-2.0));
+        assert!(!a.implies(&b), "the syntactic check must not see this");
+        assert!(conjunction_implies(&a, &b));
+        // …and the closure is tight: a − c ≤ −3 does not follow.
+        let mut tighter = Conjunction::always();
+        tighter.diff("a", "c", neg(-3.0));
+        assert!(!conjunction_implies(&a, &tighter));
+    }
+
+    #[test]
+    fn interval_bound_follows_through_a_difference() {
+        // x ≥ 5 ∧ x − y ≤ 2 ⇒ y ≥ 3.
+        let mut a = Conjunction::always();
+        a.lower("x", 5, true)
+            .diff("x", "y", DiffRange::new(f64::NEG_INFINITY, 2.0));
+        let mut b = Conjunction::always();
+        b.lower("y", 3, true);
+        assert!(!a.implies(&b));
+        assert!(conjunction_implies(&a, &b));
+        let mut too_much = Conjunction::always();
+        too_much.lower("y", 4, true);
+        assert!(!conjunction_implies(&a, &too_much));
+    }
+
+    #[test]
+    fn exclusion_follows_through_a_difference() {
+        // x = y ∧ y ≥ 5 ⇒ x ≠ 4: x is unconstrained per-key, but
+        // pinning x = 4 forces y = 4 < 5.
+        let mut a = Conjunction::always();
+        a.diff("x", "y", DiffRange::new(0.0, 0.0))
+            .lower("y", 5, true);
+        let mut b = Conjunction::always();
+        b.excludes("x", 4);
+        assert!(!a.implies(&b));
+        assert!(conjunction_implies(&a, &b));
+        // x = 7 is a model (y = 7 ≥ 5), so x ≠ 7 must not be claimed.
+        let mut open = Conjunction::always();
+        open.excludes("x", 7);
+        assert!(!conjunction_implies(&a, &open));
+    }
+
+    #[test]
+    fn filter_implication_conventions_for_empty_disjunctions() {
+        let restrictive = {
+            let mut c = Conjunction::always();
+            c.lower("a", 5, true);
+            c
+        };
+        // Empty filter list = accept-all (profile convention): it is
+        // implied by anything, and implies only accept-all consequents.
+        assert!(filters_imply(std::slice::from_ref(&restrictive), &[]));
+        assert!(filters_imply(&[], &[]));
+        assert!(!filters_imply(&[], std::slice::from_ref(&restrictive)));
+        assert!(filters_imply(&[], &[Conjunction::always()]));
+        // Each antecedent disjunct needs *some* covering consequent.
+        let low = {
+            let mut c = Conjunction::always();
+            c.upper("a", 0, true);
+            c
+        };
+        assert!(filters_imply(
+            &[restrictive.clone(), low.clone()],
+            &[low.clone(), restrictive.clone()]
+        ));
+        assert!(!filters_imply(&[restrictive, low.clone()], &[low]));
+    }
+
+    #[test]
+    fn filter_intersection_is_refuted_only_when_provably_disjoint() {
+        let lo = {
+            let mut c = Conjunction::always();
+            c.upper("a", 0, false);
+            c
+        };
+        let hi = {
+            let mut c = Conjunction::always();
+            c.lower("a", 0, true);
+            c
+        };
+        assert!(!filters_intersect(
+            std::slice::from_ref(&lo),
+            std::slice::from_ref(&hi)
+        ));
+        assert!(filters_intersect(
+            &[lo.clone(), hi.clone()],
+            std::slice::from_ref(&hi)
+        ));
+        // Accept-all intersects anything satisfiable…
+        assert!(filters_intersect(&[], &[hi]));
+        assert!(filters_intersect(&[], &[]));
+        // …but not a filter whose every disjunct is empty.
+        let dead = {
+            let mut c = Conjunction::always();
+            c.lower("a", 5, true).upper("a", 5, false);
+            c
+        };
+        assert!(!filters_intersect(&[], &[dead]));
+    }
+
     mod prop_tests {
         use super::*;
         use proptest::prelude::*;
@@ -308,6 +625,85 @@ mod tests {
                 }
                 prop_assert!(satisfied_at(&c, p));
                 prop_assert!(!conjunction_unsat(&c), "unsat but {p:?} satisfies: {c}");
+            }
+
+            /// Implication soundness: when the kernel claims `a ⇒ b`,
+            /// no sampled integer point may satisfy `a` but not `b`.
+            #[test]
+            fn implication_claims_hold_at_every_sampled_point(
+                aa in proptest::collection::vec(arb_atom(), 0..6),
+                bb in proptest::collection::vec(arb_atom(), 0..4),
+            ) {
+                let a = build(&aa);
+                let b = build(&bb);
+                if conjunction_implies(&a, &b) {
+                    for x in -5i64..=5 {
+                        for y in -5i64..=5 {
+                            for z in -5i64..=5 {
+                                if satisfied_at(&a, [x, y, z]) {
+                                    prop_assert!(
+                                        satisfied_at(&b, [x, y, z]),
+                                        "claimed {a} ⇒ {b} but ({x},{y},{z}) refutes it"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            /// Disjointness soundness: when `filters_intersect` returns
+            /// false, no sampled point may satisfy a disjunct of each.
+            #[test]
+            fn refuted_intersections_share_no_sampled_point(
+                aa in proptest::collection::vec(arb_atom(), 1..5),
+                bb in proptest::collection::vec(arb_atom(), 1..5),
+            ) {
+                // Two-disjunct filters: each half of the atoms.
+                let fa = [build(&aa[..aa.len() / 2]), build(&aa[aa.len() / 2..])];
+                let fb = [build(&bb[..bb.len() / 2]), build(&bb[bb.len() / 2..])];
+                if !filters_intersect(&fa, &fb) {
+                    for x in -5i64..=5 {
+                        for y in -5i64..=5 {
+                            for z in -5i64..=5 {
+                                let p = [x, y, z];
+                                let in_a = fa.iter().any(|c| satisfied_at(c, p));
+                                let in_b = fb.iter().any(|c| satisfied_at(c, p));
+                                prop_assert!(
+                                    !(in_a && in_b),
+                                    "claimed disjoint but ({x},{y},{z}) is in both"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            /// Filter-implication soundness over disjunctions: a claimed
+            /// `F₁ ⇒ F₂` may leave no sampled point covered by `F₁` but
+            /// not by `F₂` (empty filter = accept-all).
+            #[test]
+            fn filter_implication_claims_hold_at_every_sampled_point(
+                aa in proptest::collection::vec(arb_atom(), 1..5),
+                bb in proptest::collection::vec(arb_atom(), 1..5),
+            ) {
+                let fa = [build(&aa[..aa.len() / 2]), build(&aa[aa.len() / 2..])];
+                let fb = [build(&bb[..bb.len() / 2]), build(&bb[bb.len() / 2..])];
+                if filters_imply(&fa, &fb) {
+                    for x in -5i64..=5 {
+                        for y in -5i64..=5 {
+                            for z in -5i64..=5 {
+                                let p = [x, y, z];
+                                if fa.iter().any(|c| satisfied_at(c, p)) {
+                                    prop_assert!(
+                                        fb.iter().any(|c| satisfied_at(c, p)),
+                                        "claimed implied but ({x},{y},{z}) escapes"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
     }

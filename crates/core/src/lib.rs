@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The COSMOS system layer (Figures 1 and 2 of the paper).
 //!
 //! This crate ties the substrates together into the architecture the
@@ -28,6 +29,8 @@
 
 pub mod experiment;
 pub mod fault;
+pub mod snapshot;
 pub mod system;
 
+pub use snapshot::NetworkSnapshot;
 pub use system::{Cosmos, CosmosConfig, NodeRole};

@@ -1,0 +1,153 @@
+//! A serializable, self-contained picture of a deployed [`crate::Cosmos`]:
+//! every dissemination tree, every router's reverse-path interests and
+//! local subscriptions, every advertisement, and every query group with
+//! its representative and re-tightened member profiles.
+//!
+//! The snapshot is the introspection boundary between the live system
+//! and `cosmos-verify`, which proves the V1–V5 network invariants over
+//! it *statically* — so everything here is plain data with public
+//! fields, serde round-trippable, and carries queries as CQL text
+//! (`AnalyzedQuery` has no serde form; the verifier re-analyzes the text
+//! against the snapshot's own advertised schemas).
+
+use cosmos_cbn::Profile;
+use cosmos_types::{CosmosError, NodeId, QueryId, Result, Schema, StreamName, SubscriberId};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot format version, bumped on breaking shape changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One dissemination tree, as raw `(parent, child)` edges. Deliberately
+/// *not* a [`cosmos_overlay::Tree`]: the verifier re-checks acyclicity,
+/// connectivity, and rootedness from the edge list instead of trusting
+/// the invariants `Tree::from_edges` enforced at construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeTopology {
+    /// Root node (for per-source trees: the advertising origin).
+    pub root: NodeId,
+    /// Number of overlay nodes the tree must span.
+    pub node_count: usize,
+    /// Directed `(parent, child)` edges.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+/// One advertised stream: sources and result streams alike.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advertisement {
+    pub stream: StreamName,
+    /// Node the stream enters the network at (tree root in multi-tree
+    /// mode; for result streams, the producing processor).
+    pub origin: NodeId,
+    pub schema: Schema,
+}
+
+/// What a local subscription is for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubscriberKind {
+    /// An SPE input feeding the representative executor of a result
+    /// stream at its processor.
+    SpeInput { result_stream: StreamName },
+    /// A user's result-retrieval subscription for a query.
+    User { query: QueryId },
+}
+
+/// One local subscriber registered at a router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalSubscriber {
+    pub id: SubscriberId,
+    pub kind: SubscriberKind,
+    /// The installed data-interest profile `⟨S, P, F⟩`.
+    pub profile: Profile,
+}
+
+/// One router's complete routing state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterState {
+    pub node: NodeId,
+    /// Reverse-path interests: `(downstream neighbor, merged profile)`.
+    pub neighbor_interests: Vec<(NodeId, Profile)>,
+    pub local_subscribers: Vec<LocalSubscriber>,
+}
+
+/// One member of a query group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberSnapshot {
+    pub query: QueryId,
+    /// The member query, unparsed back to CQL.
+    pub cql: String,
+    /// Node where the user subscribed.
+    pub user: NodeId,
+    /// The user's result subscription id (its installed profile is the
+    /// member's re-tightened split profile — find it in
+    /// [`RouterState::local_subscribers`] at `user`).
+    pub user_sub: SubscriberId,
+    /// The re-tightened split profile the query manager derived for this
+    /// member (what *should* be installed at `user`).
+    pub split_profile: Profile,
+}
+
+/// One query group: a representative executor serving its members'
+/// shared result stream. Baseline (non-merging) deployments appear as
+/// singleton groups whose representative *is* the member.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSnapshot {
+    /// Processor hosting the representative executor.
+    pub processor: NodeId,
+    pub result_stream: StreamName,
+    /// The representative query, unparsed back to CQL.
+    pub representative_cql: String,
+    pub members: Vec<MemberSnapshot>,
+}
+
+/// The whole-network snapshot `cosmos-verify` analyzes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSnapshot {
+    pub version: u32,
+    /// Whether query merging (Section 4) was enabled.
+    pub merging_enabled: bool,
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// The shared dissemination tree (MST).
+    pub shared_tree: TreeTopology,
+    /// Per-origin shortest-path trees (multi-tree mode); an origin
+    /// absent here disseminates along [`NetworkSnapshot::shared_tree`].
+    pub source_trees: Vec<TreeTopology>,
+    pub advertisements: Vec<Advertisement>,
+    /// Every router, indexed by node id.
+    pub routers: Vec<RouterState>,
+    pub groups: Vec<GroupSnapshot>,
+}
+
+impl NetworkSnapshot {
+    /// The dissemination tree a stream rooted at `origin` uses.
+    pub fn tree_for(&self, origin: NodeId) -> &TreeTopology {
+        self.source_trees
+            .iter()
+            .find(|t| t.root == origin)
+            .unwrap_or(&self.shared_tree)
+    }
+
+    /// The advertisement for a stream, if any.
+    pub fn advertisement(&self, stream: &StreamName) -> Option<&Advertisement> {
+        self.advertisements.iter().find(|a| &a.stream == stream)
+    }
+
+    /// Serialize to JSON (the `cosmos-verify` CLI input format).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| CosmosError::System(format!("snapshot serialize: {e}")))
+    }
+
+    /// Parse a snapshot back from JSON, rejecting unknown versions.
+    pub fn from_json(text: &str) -> Result<NetworkSnapshot> {
+        let snap: NetworkSnapshot = serde_json::from_str(text)
+            .map_err(|e| CosmosError::System(format!("snapshot parse: {e}")))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(CosmosError::System(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                snap.version
+            )));
+        }
+        Ok(snap)
+    }
+}

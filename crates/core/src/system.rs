@@ -86,6 +86,11 @@ struct Hop {
     schema: Schema,
 }
 
+/// Upper bound on retained warning headlines per accepted query, so a
+/// pathological submission cannot balloon [`Cosmos`]'s memory (entries
+/// are also dropped on [`Cosmos::unsubscribe`]).
+const MAX_LINT_WARNINGS_PER_QUERY: usize = 16;
+
 /// The analyzed query of one member inside a group.
 fn member_query(g: &cosmos_query::QueryGroup, qid: QueryId) -> Result<AnalyzedQuery> {
     g.members
@@ -435,6 +440,7 @@ impl Cosmos {
         }
         let warnings: Vec<String> = diags
             .iter()
+            .take(MAX_LINT_WARNINGS_PER_QUERY)
             .map(cosmos_lint::Diagnostic::headline)
             .collect();
         let parsed = spanned.query;
@@ -765,6 +771,7 @@ impl Cosmos {
         self.query_user.remove(&qid);
         self.query_processor.remove(&qid);
         self.query_executor_gen.remove(&qid);
+        self.lint_warnings.remove(&qid);
         self.rebuild_routes();
         Ok(())
     }
@@ -1063,6 +1070,148 @@ impl Cosmos {
             interests.hash(&mut h);
         }
         h.finish()
+    }
+
+    /// Capture the complete deployed network state as a serializable
+    /// [`crate::snapshot::NetworkSnapshot`] for static verification
+    /// (`cosmos-verify`): every dissemination tree, every router's
+    /// reverse-path interests and local subscriptions, every
+    /// advertisement, and every query group with its representative and
+    /// re-tightened member profiles. Queries travel as CQL text (the
+    /// analyzed form has no serde shape); baseline deployments appear as
+    /// singleton groups whose representative *is* the member.
+    pub fn snapshot(&self) -> Result<crate::snapshot::NetworkSnapshot> {
+        use crate::snapshot::*;
+        let topo = |tree: &Tree| TreeTopology {
+            root: tree.root(),
+            node_count: tree.node_count(),
+            edges: tree.edges().collect(),
+        };
+        let mut source_trees: Vec<TreeTopology> = self.source_trees.values().map(topo).collect();
+        source_trees.sort_by_key(|t| t.root);
+
+        let mut advertisements: Vec<Advertisement> = self
+            .registry
+            .iter()
+            .map(|r| Advertisement {
+                stream: r.name.clone(),
+                origin: r.origin,
+                schema: r.schema.clone(),
+            })
+            .collect();
+        advertisements.sort_by(|a, b| a.stream.cmp(&b.stream));
+
+        let routers = self
+            .routers
+            .iter()
+            .map(|r| {
+                let mut local_subscribers: Vec<LocalSubscriber> = r
+                    .local_subscribers()
+                    .map(|(id, profile)| {
+                        let kind = if let Some(stream) = self.spe_subs.get(&id) {
+                            SubscriberKind::SpeInput {
+                                result_stream: stream.clone(),
+                            }
+                        } else if let Some(qid) = self.user_subs.get(&id) {
+                            SubscriberKind::User { query: *qid }
+                        } else {
+                            // Unreachable in a consistent system; keep
+                            // the snapshot total so the verifier can
+                            // flag it rather than snapshotting failing.
+                            SubscriberKind::User {
+                                query: QueryId(u64::MAX),
+                            }
+                        };
+                        LocalSubscriber {
+                            id,
+                            kind,
+                            profile: profile.clone(),
+                        }
+                    })
+                    .collect::<Vec<_>>();
+                local_subscribers.sort_by_key(|s| s.id);
+                RouterState {
+                    node: r.node(),
+                    neighbor_interests: r
+                        .neighbor_interests()
+                        .map(|(n, p)| (n, p.clone()))
+                        .collect(),
+                    local_subscribers,
+                }
+            })
+            .collect();
+
+        let unparse =
+            |q: &AnalyzedQuery| -> Result<String> { Ok(cosmos_query::to_query(q)?.to_string()) };
+        let mut groups: Vec<GroupSnapshot> = Vec::new();
+        if self.cfg.merging_enabled {
+            let mut procs: Vec<NodeId> = self.managers.keys().copied().collect();
+            procs.sort_unstable();
+            for p in procs {
+                let manager = &self.managers[&p];
+                for g in manager.groups() {
+                    let mut members = Vec::new();
+                    for (qid, member) in &g.members {
+                        let (_, split) = manager
+                            .placement(*qid)
+                            .ok_or_else(|| CosmosError::System(format!("{qid} unplaced")))?;
+                        members.push(MemberSnapshot {
+                            query: *qid,
+                            cql: unparse(member)?,
+                            user: self.query_user[qid],
+                            user_sub: self.user_sub_of_query[qid],
+                            split_profile: split.clone(),
+                        });
+                    }
+                    groups.push(GroupSnapshot {
+                        processor: p,
+                        result_stream: g.result_stream.clone(),
+                        representative_cql: unparse(&g.representative)?,
+                        members,
+                    });
+                }
+            }
+        } else {
+            let mut qids: Vec<QueryId> = self.baseline_streams.keys().copied().collect();
+            qids.sort_unstable();
+            for qid in qids {
+                let stream = &self.baseline_streams[&qid];
+                let site = self
+                    .reps
+                    .get(stream)
+                    .ok_or_else(|| CosmosError::System(format!("no rep for {stream}")))?;
+                let rep = site.executor.query();
+                let sub = self.user_sub_of_query[&qid];
+                let split = self.routers[self.query_user[&qid].index()]
+                    .local_interest(sub)
+                    .cloned()
+                    .unwrap_or_default();
+                groups.push(GroupSnapshot {
+                    processor: site.processor,
+                    result_stream: stream.clone(),
+                    representative_cql: unparse(rep)?,
+                    members: vec![MemberSnapshot {
+                        query: qid,
+                        cql: unparse(rep)?,
+                        user: self.query_user[&qid],
+                        user_sub: sub,
+                        split_profile: split,
+                    }],
+                });
+            }
+        }
+        groups.sort_by(|a, b| a.result_stream.cmp(&b.result_stream));
+
+        Ok(NetworkSnapshot {
+            version: SNAPSHOT_VERSION,
+            merging_enabled: self.cfg.merging_enabled,
+            nodes: self.routers.len(),
+            shared_tree: topo(&self.tree),
+            source_trees,
+            advertisements,
+            routers,
+            groups,
+        })
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A CQL subset: the continuous-query language used by COSMOS.
 //!
 //! The paper specifies user queries "in high level SQL-like language

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cosmos-lint`: static analysis of continuous queries and CBN profiles.
 //!
 //! A registered continuous query runs forever; a malformed one fails

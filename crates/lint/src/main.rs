@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cosmos-lint` CLI: lint `.cql` files of `;`-separated statements.
 //!
 //! ```text

@@ -108,6 +108,14 @@ impl Tree {
         self.children[u.index()].len() + usize::from(self.parent[u.index()].is_some())
     }
 
+    /// The full parent table, indexed by node (`None` for the root).
+    /// Introspection for whole-network snapshots — see `cosmos-verify`,
+    /// which re-validates well-formedness from this raw table rather
+    /// than trusting the invariants [`Tree::from_edges`] enforced.
+    pub fn parent_table(&self) -> &[Option<NodeId>] {
+        &self.parent
+    }
+
     /// Iterate over `(parent, child)` edges.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.parent

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The COSMOS query layer (Section 4 of the paper).
 //!
 //! This crate implements the paper's primary algorithmic contribution:

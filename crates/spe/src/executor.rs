@@ -343,20 +343,47 @@ struct AggregateState {
 }
 
 /// One incremental accumulator supporting insert and remove.
+///
+/// The running SUM/AVG uses Kahan–Neumaier compensated summation:
+/// window evictions subtract, so a plain f64 accumulator drifts from a
+/// from-scratch recomputation by growing rounding residue (the testkit
+/// sweep caught this as seeds whose AVG disagreed in the last ulps).
+/// Carrying the compensation term keeps every readout within an ulp or
+/// two of the exact sum of the window's current contents.
 #[derive(Debug, Clone, Default)]
 struct Accumulator {
     count: i64,
     sum: f64,
+    /// Kahan–Neumaier compensation: accumulated low-order bits lost by
+    /// `sum` updates; the exposed sum is `sum + comp`.
+    comp: f64,
     /// Multiset of values for MIN/MAX under sliding windows.
     values: BTreeMap<Value, usize>,
 }
 
 impl Accumulator {
+    /// Compensated `sum += x` (Neumaier's variant, correct whichever of
+    /// the addends is larger).
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated running sum.
+    fn total(&self) -> f64 {
+        self.sum + self.comp
+    }
+
     fn insert(&mut self, v: Option<&Value>) {
         self.count += 1;
         if let Some(v) = v {
             if let Some(x) = v.as_f64() {
-                self.sum += x;
+                self.add(x);
             }
             *self.values.entry(v.clone()).or_insert(0) += 1;
         }
@@ -366,7 +393,7 @@ impl Accumulator {
         self.count -= 1;
         if let Some(v) = v {
             if let Some(x) = v.as_f64() {
-                self.sum -= x;
+                self.add(-x);
             }
             if let Some(c) = self.values.get_mut(v) {
                 *c -= 1;
@@ -382,16 +409,16 @@ impl Accumulator {
             AggFunc::Count => Value::Int(self.count),
             AggFunc::Sum => {
                 if sum_is_int {
-                    Value::Int(self.sum.round() as i64)
+                    Value::Int(self.total().round() as i64)
                 } else {
-                    Value::Float(self.sum)
+                    Value::Float(self.total())
                 }
             }
             AggFunc::Avg => {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(self.sum / self.count as f64)
+                    Value::Float(self.total() / self.count as f64)
                 }
             }
             AggFunc::Min => self.values.keys().next().cloned().unwrap_or(Value::Null),

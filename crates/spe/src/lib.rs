@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A continuous-query stream processing engine (SPE).
 //!
 //! COSMOS treats the SPE as a pluggable component: "Existing single site

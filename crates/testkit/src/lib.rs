@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic scenario harness for whole-system COSMOS testing.
 //!
 //! A [`Scenario`] is a seeded, fully serializable description of one
@@ -16,6 +17,13 @@
 //!   disabled (Theorems 1–2: merge/split is semantically invisible), and
 //!   invariant under tree re-optimization injected after every event
 //!   (routing is semantically transparent).
+//!
+//! A third, *static* family runs inside the runner itself: after every
+//! routing-relevant event, [`cosmos::Cosmos::snapshot`] is handed to
+//! [`cosmos_verify::verify_snapshot`], which symbolically proves the
+//! V1–V5 network invariants (no black holes, no over-delivery, tree
+//! well-formedness, merge containment, split-filter exactness) — catching
+//! routing-state bugs before any tuple exercises them.
 //!
 //! Failures are written as replayable JSON scenario files, minimized by
 //! a greedy event-level shrinker ([`shrink::shrink`]; the vendored

@@ -1,22 +1,30 @@
+#![forbid(unsafe_code)]
 //! `cosmos-sim` CLI: run, replay, and sweep deterministic scenarios.
 //!
 //! ```text
 //! cosmos-sim run --seed S [--no-shrink] [--out FILE]
 //! cosmos-sim replay FILE
 //! cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]
+//! cosmos-sim snapshot --seed S [--baseline] [--out FILE]
 //! ```
 //!
-//! `run` expands one seed and checks every oracle; on failure the
-//! scenario is minimized and written as a replayable JSON file. `replay`
-//! re-checks a scenario file (shrunk files stay failing until the bug is
-//! fixed, then flip to PASS). `sweep` runs a contiguous seed range, as
-//! CI does. The hidden `--inject-bug` flag disables selection
-//! re-tightening in the merge layer — a deliberately broken build used
-//! to prove the oracles catch real merge bugs.
+//! `run` expands one seed and checks every oracle — including the static
+//! verifier (`cosmos-verify`), which proves the V1–V5 routing invariants
+//! over a network snapshot after every routing-relevant event; on
+//! failure the scenario is minimized and written as a replayable JSON
+//! file, and for static-verify failures the violating snapshot is
+//! written next to it. `replay` re-checks a scenario file (shrunk files
+//! stay failing until the bug is fixed, then flip to PASS). `sweep` runs
+//! a contiguous seed range, as CI does. `snapshot` dumps the network
+//! snapshot a seed's scenario ends in, for `cosmos-verify <file>`. The
+//! hidden `--inject-bug` flag disables selection re-tightening in the
+//! merge layer — a deliberately broken build used to prove the oracles
+//! catch real merge bugs (the static verifier flags it as V0501 with no
+//! tuple published).
 //!
 //! Exit status: 0 all scenarios pass, 1 any oracle failure, 2 usage/IO.
 
-use cosmos_testkit::{check_scenario, gen, shrink, Scenario};
+use cosmos_testkit::{check_scenario, gen, run_scenario, shrink, RunOptions, Scenario};
 use std::process::ExitCode;
 
 fn usage(msg: &str) -> ExitCode {
@@ -24,7 +32,8 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!(
         "usage: cosmos-sim run --seed S [--no-shrink] [--out FILE]\n\
          \u{20}      cosmos-sim replay FILE\n\
-         \u{20}      cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]"
+         \u{20}      cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]\n\
+         \u{20}      cosmos-sim snapshot --seed S [--baseline] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -34,6 +43,7 @@ struct Opts {
     seeds: u64,
     start: u64,
     no_shrink: bool,
+    baseline: bool,
     out: Option<String>,
     out_dir: String,
     files: Vec<String>,
@@ -49,6 +59,7 @@ fn main() -> ExitCode {
         seeds: 64,
         start: 0,
         no_shrink: false,
+        baseline: false,
         out: None,
         out_dir: "cosmos-sim-failures".into(),
         files: Vec::new(),
@@ -72,6 +83,7 @@ fn main() -> ExitCode {
                 None => return usage("--start needs an integer"),
             },
             "--no-shrink" => o.no_shrink = true,
+            "--baseline" => o.baseline = true,
             "--out" => match args.next() {
                 Some(v) => o.out = Some(v),
                 None => return usage("--out needs a path"),
@@ -124,7 +136,49 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "snapshot" => {
+            if !seed_given {
+                return usage("snapshot needs --seed");
+            }
+            dump_snapshot(&o)
+        }
         other => usage(&format!("unknown command '{other}'")),
+    }
+}
+
+/// Run one seed's scenario to the end and dump the resulting network
+/// snapshot as `cosmos-verify` input.
+fn dump_snapshot(o: &Opts) -> ExitCode {
+    let scenario = gen::generate(o.seed);
+    let opts = RunOptions {
+        merging: !o.baseline,
+        static_verify: false,
+        ..RunOptions::default()
+    };
+    let outcome = match run_scenario(&scenario, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cosmos-sim: seed {}: {e}", o.seed);
+            return ExitCode::from(2);
+        }
+    };
+    let Some(json) = outcome.final_snapshot else {
+        eprintln!("cosmos-sim: seed {}: run produced no snapshot", o.seed);
+        return ExitCode::from(2);
+    };
+    let path = o
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("seed-{}.snapshot.json", o.seed));
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            println!("wrote {path} (verify with: cosmos-verify {path})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cosmos-sim: could not write {path}: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -162,7 +216,36 @@ fn run_one(seed: u64, o: &Opts) -> bool {
                 Ok(()) => eprintln!("  wrote {path} (replay with: cosmos-sim replay {path})"),
                 Err(e) => eprintln!("  could not write {path}: {e}"),
             }
+            if f.oracle.starts_with("static-verify") {
+                write_violating_snapshot(&minimized, &path);
+            }
             false
+        }
+    }
+}
+
+/// For a static-verify failure, re-run the (deterministic) scenario and
+/// dump the first snapshot the verifier rejected next to the scenario
+/// file — the artifact CI uploads.
+fn write_violating_snapshot(scenario: &Scenario, scenario_path: &str) {
+    for merging in [true, false] {
+        let outcome = match run_scenario(
+            scenario,
+            &RunOptions {
+                merging,
+                ..RunOptions::default()
+            },
+        ) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        if let Some(json) = outcome.first_violation_snapshot {
+            let path = format!("{scenario_path}.violating-snapshot.json");
+            match std::fs::write(&path, json) {
+                Ok(()) => eprintln!("  wrote {path} (inspect with: cosmos-verify {path})"),
+                Err(e) => eprintln!("  could not write {path}: {e}"),
+            }
+            return;
         }
     }
 }

@@ -89,6 +89,9 @@ pub struct CheckOptions {
     pub metamorphic_batch: bool,
     /// Same-scenario digest equality.
     pub determinism: bool,
+    /// Static verification (`cosmos-verify`) of the routing state after
+    /// every routing-relevant event, in both merged and baseline modes.
+    pub static_verify: bool,
 }
 
 impl Default for CheckOptions {
@@ -99,6 +102,7 @@ impl Default for CheckOptions {
             metamorphic_tree: true,
             metamorphic_batch: true,
             determinism: true,
+            static_verify: true,
         }
     }
 }
@@ -115,10 +119,27 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         label: None,
         detail: e.to_string(),
     };
-    let merged = run_scenario(scenario, &RunOptions::default()).map_err(run_err)?;
+    let merged = run_scenario(
+        scenario,
+        &RunOptions {
+            static_verify: opts.static_verify,
+            ..RunOptions::default()
+        },
+    )
+    .map_err(run_err)?;
+    static_verify_failure(&merged, "merged")?;
 
     if opts.determinism {
-        let again = run_scenario(scenario, &RunOptions::default()).map_err(run_err)?;
+        // The verifier only reads state, so skipping it here cannot
+        // change the digest being compared.
+        let again = run_scenario(
+            scenario,
+            &RunOptions {
+                static_verify: false,
+                ..RunOptions::default()
+            },
+        )
+        .map_err(run_err)?;
         if again.digest != merged.digest || again.routing_digests != merged.routing_digests {
             return Err(Failure {
                 oracle: "determinism".into(),
@@ -139,10 +160,12 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         scenario,
         &RunOptions {
             merging: false,
+            static_verify: opts.static_verify,
             ..RunOptions::default()
         },
     )
     .map_err(run_err)?;
+    static_verify_failure(&baseline, "baseline")?;
     if opts.differential {
         differential(&baseline, "baseline")?;
     }
@@ -158,6 +181,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             &RunOptions {
                 merging: true,
                 optimize_every_event: true,
+                static_verify: false,
                 ..RunOptions::default()
             },
         )
@@ -170,6 +194,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             scenario,
             &RunOptions {
                 batched: true,
+                static_verify: false,
                 ..RunOptions::default()
             },
         )
@@ -187,16 +212,37 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
     })
 }
 
+/// Surface a run's static-verifier violations as an oracle failure. The
+/// headline of the first violation (with its event index) is the detail;
+/// the violating snapshot rides along in [`RunOutcome`] for artifact
+/// dumping.
+fn static_verify_failure(run: &RunOutcome, mode: &str) -> Result<(), Failure> {
+    let Some((ev_idx, headline)) = run.static_violations.first() else {
+        return Ok(());
+    };
+    Err(Failure {
+        oracle: format!("static-verify ({mode})"),
+        label: None,
+        detail: format!(
+            "after event #{ev_idx}: {headline}{}",
+            match run.static_violations.len() {
+                1 => String::new(),
+                n => format!(" (+{} more violations)", n - 1),
+            }
+        ),
+    })
+}
+
 /// Quantize floats before comparison. The deployed executor maintains
 /// running SUM/AVG accumulators (evictions subtract), while the
-/// reference evaluator recomputes each aggregate from scratch; f64
-/// addition is not associative, so the two legitimately drift by a few
-/// ulps once windows start evicting. Sensor magnitudes are ~1e2, so
-/// quantizing to 1e-6 absolute erases that noise without masking any
-/// real divergence (which shows up as whole tuples, not last digits).
+/// reference evaluator recomputes each aggregate from scratch; with
+/// Kahan-compensated accumulation the two stay within an ulp or two, so
+/// quantizing to 1e-9 absolute (sensor magnitudes are ~1e2) erases that
+/// noise without masking any real divergence (which shows up as whole
+/// tuples, not last digits).
 fn canon(v: Value) -> Value {
     match v {
-        Value::Float(x) => Value::Float((x * 1e6).round() / 1e6),
+        Value::Float(x) => Value::Float((x * 1e9).round() / 1e9),
         other => other,
     }
 }

@@ -40,6 +40,14 @@ pub struct RunOptions {
     /// publish event's maximal consecutive same-stream runs (results
     /// must be invariant — batching is semantically transparent).
     pub batched: bool,
+    /// Run the static verifier ([`cosmos_verify::verify_snapshot`]) on a
+    /// fresh [`cosmos::NetworkSnapshot`] after every routing-relevant
+    /// event (everything but plain publishes — those leave routing state
+    /// untouched, unless `optimize_every_event` re-optimizes after them
+    /// too). Violations are collected in
+    /// [`RunOutcome::static_violations`]; they prove a broken invariant
+    /// *before* any tuple exercises it.
+    pub static_verify: bool,
 }
 
 impl Default for RunOptions {
@@ -48,6 +56,7 @@ impl Default for RunOptions {
             merging: true,
             optimize_every_event: false,
             batched: false,
+            static_verify: true,
         }
     }
 }
@@ -100,6 +109,15 @@ pub struct RunOutcome {
     pub skipped_events: usize,
     /// [`Cosmos::routing_digest`] after every event.
     pub routing_digests: Vec<u64>,
+    /// Static verifier violations, as `(event index, headline)` — empty
+    /// on a healthy run (or when [`RunOptions::static_verify`] is off).
+    /// Deliberately excluded from `digest`: the digest compares what the
+    /// system *did*, the verifier what it *would do*.
+    pub static_violations: Vec<(usize, String)>,
+    /// JSON of the first snapshot the verifier rejected.
+    pub first_violation_snapshot: Option<String>,
+    /// JSON of the network snapshot after the last event.
+    pub final_snapshot: Option<String>,
     /// Digest over delivered results, epochs, and routing state — equal
     /// across runs iff the runs were observably identical.
     pub digest: u64,
@@ -139,8 +157,10 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
     // first observation is the creation point.
     let mut gen_created_at: HashMap<u64, usize> = HashMap::new();
     let mut routing_digests: Vec<u64> = Vec::new();
+    let mut static_violations: Vec<(usize, String)> = Vec::new();
+    let mut first_violation_snapshot: Option<String> = None;
 
-    for ev in &scenario.events {
+    for (ev_idx, ev) in scenario.events.iter().enumerate() {
         match ev {
             Event::Register { stream, origin } => {
                 let key = StreamName::from(stream.as_str());
@@ -261,6 +281,25 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
             }
         }
         routing_digests.push(sys.routing_digest());
+        // Static oracle: prove V1–V5 over the routing state this event
+        // left behind. Plain publishes don't move routing state, so
+        // re-verifying after them would only re-prove the same snapshot.
+        let routing_changed = !matches!(ev, Event::Publish { .. }) || opts.optimize_every_event;
+        if opts.static_verify && routing_changed {
+            let snap = sys.snapshot()?;
+            let diags = cosmos_verify::verify_snapshot(&snap);
+            if cosmos_verify::has_violations(&diags) {
+                if first_violation_snapshot.is_none() {
+                    first_violation_snapshot = Some(snap.to_json()?);
+                }
+                static_violations.extend(
+                    diags
+                        .iter()
+                        .filter(|d| d.severity == cosmos_verify::VerifySeverity::Error)
+                        .map(|d| (ev_idx, d.headline())),
+                );
+            }
+        }
     }
 
     for q in queries.iter_mut() {
@@ -293,6 +332,8 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
     (published.len(), skipped_publishes, skipped_events).hash(&mut h);
     let digest = h.finish();
 
+    let final_snapshot = Some(sys.snapshot()?.to_json()?);
+
     Ok(RunOutcome {
         queries,
         rejected,
@@ -300,6 +341,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         skipped_publishes,
         skipped_events,
         routing_digests,
+        static_violations,
+        first_violation_snapshot,
+        final_snapshot,
         digest,
     })
 }

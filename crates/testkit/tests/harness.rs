@@ -9,8 +9,8 @@
 
 use cosmos_query::merge::faultinject;
 use cosmos_testkit::{
-    check_scenario, check_scenario_opts, gen, run_scenario, shrink, CheckOptions, RunOptions,
-    Scenario,
+    check_scenario, check_scenario_opts, gen, run_scenario, shrink, CheckOptions, Event,
+    RunOptions, Scenario,
 };
 use std::sync::{Mutex, PoisonError};
 
@@ -68,6 +68,7 @@ fn injected_merge_bug_is_caught_by_metamorphic_oracle() {
         metamorphic_tree: false,
         metamorphic_batch: false,
         determinism: false,
+        static_verify: false,
     };
     for seed in [1u64, 6] {
         let scenario = gen::generate(seed);
@@ -76,6 +77,42 @@ fn injected_merge_bug_is_caught_by_metamorphic_oracle() {
         assert_eq!(
             failure.oracle, "metamorphic-merge",
             "seed {seed}: wrong oracle fired: {failure}"
+        );
+    }
+}
+
+/// Acceptance check from the issue: the *static* verifier catches the
+/// same injected merge bug symbolically — as a V0501 split-filter
+/// violation — with every publish event stripped from the scenario, so
+/// not a single tuple flows. The dynamic oracles above need deliveries
+/// to diverge; `cosmos-verify` proves the over-delivery from the routing
+/// state alone.
+#[test]
+fn injected_merge_bug_is_caught_statically_before_any_publish() {
+    let _g = lock();
+    let _bug = InjectedBug::arm();
+    let opts = CheckOptions {
+        differential: false,
+        metamorphic_merge: false,
+        metamorphic_tree: false,
+        metamorphic_batch: false,
+        determinism: false,
+        static_verify: true,
+    };
+    for seed in [1u64, 6] {
+        let mut scenario = gen::generate(seed);
+        scenario
+            .events
+            .retain(|e| !matches!(e, Event::Publish { .. }));
+        let failure = check_scenario_opts(&scenario, &opts)
+            .expect_err("the static verifier must reject the unre-tightened split filter");
+        assert!(
+            failure.oracle.starts_with("static-verify"),
+            "seed {seed}: wrong oracle fired: {failure}"
+        );
+        assert!(
+            failure.detail.contains("V0501"),
+            "seed {seed}: expected a V0501 split-filter violation: {failure}"
         );
     }
 }
@@ -89,26 +126,6 @@ fn bug_seeds_pass_on_healthy_build() {
     for seed in [1u64, 6] {
         check_scenario(&gen::generate(seed)).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
     }
-}
-
-/// Regression pins for seeds the sweep originally flagged. Seeds 430 and
-/// 486 exposed incremental-aggregate float drift: the deployed executor
-/// maintains running SUM/AVG accumulators (evictions subtract), the
-/// reference evaluator recomputes from scratch, and f64 non-associativity
-/// leaves last-ulp differences (44.48 vs 44.480000000000004) once windows
-/// start evicting. The oracle comparison now quantizes floats; these
-/// seeds keep it honest.
-#[test]
-fn pinned_seed_430_float_drift_on_avg() {
-    let _g = lock();
-    check_scenario(&gen::generate(430)).unwrap_or_else(|f| panic!("seed 430: {f}"));
-}
-
-/// See [`pinned_seed_430_float_drift_on_avg`].
-#[test]
-fn pinned_seed_486_float_drift_on_avg() {
-    let _g = lock();
-    check_scenario(&gen::generate(486)).unwrap_or_else(|f| panic!("seed 486: {f}"));
 }
 
 /// The shrinker returns a strictly smaller scenario that still fails,

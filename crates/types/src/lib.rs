@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Core data model shared by every COSMOS crate.
 //!
 //! COSMOS (ICDE 2008) models stream data as *datagrams*: tuples of

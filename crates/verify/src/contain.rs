@@ -1,0 +1,200 @@
+//! Independent re-derivation of continuous-query containment
+//! (Theorems 1 and 2) for the V4 invariant.
+//!
+//! This deliberately does **not** call `cosmos_query::containment` —
+//! the point is to re-prove from the ASTs what the query manager relied
+//! on when it merged, and flag disagreements. The structure follows the
+//! paper directly: Theorem 1 reduces SPJ containment to `∞`-window
+//! containment plus component-wise window containment `T¹ᵢ ≤ T²ᵢ`;
+//! Theorem 2 covers aggregates with *equal* windows, identical
+//! grouping, and member selectivity acting on whole groups. One
+//! deliberate strengthening: per-stream selection implication uses the
+//! semantic [`cosmos_cbn::conjunction_implies`] (difference-constraint
+//! refutation) instead of the library's syntactic per-key check, so
+//! this derivation proves a superset of what the library proves — any
+//! containment the library claims that this module cannot re-derive is
+//! a genuine disagreement.
+
+use cosmos_cbn::conjunction_implies;
+use cosmos_spe::analyze::{AnalyzedQuery, OutputColumn, QAttr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stream correspondence `member.streams[i] ↔ rep.streams[map[i]]`:
+/// a name-preserving bijection, positional among self-join duplicates
+/// (the same convention the merge layer uses).
+pub fn correspondence(member: &AnalyzedQuery, rep: &AnalyzedQuery) -> Option<Vec<usize>> {
+    if member.streams.len() != rep.streams.len() {
+        return None;
+    }
+    let mut taken = vec![false; rep.streams.len()];
+    member
+        .streams
+        .iter()
+        .map(|b| {
+            let j = rep
+                .streams
+                .iter()
+                .enumerate()
+                .position(|(j, r)| !taken[j] && r.stream == b.stream)?;
+            taken[j] = true;
+            Some(j)
+        })
+        .collect()
+}
+
+/// Rename a member-qualified attribute into the representative's
+/// binding namespace.
+fn rename(qa: &QAttr, member: &AnalyzedQuery, rep: &AnalyzedQuery, map: &[usize]) -> Option<QAttr> {
+    let i = member.stream_index(&qa.binding)?;
+    Some(QAttr::new(&rep.streams[map[i]].binding, &qa.name))
+}
+
+/// Tiny union-find over qualified attribute names, for the transitive
+/// closure of join equalities.
+#[derive(Default)]
+struct Classes {
+    parent: BTreeMap<String, String>,
+}
+
+impl Classes {
+    fn root(&mut self, a: &str) -> String {
+        let p = match self.parent.get(a) {
+            Some(p) if p != a => p.clone(),
+            _ => return a.to_string(),
+        };
+        let r = self.root(&p);
+        self.parent.insert(a.to_string(), r.clone());
+        r
+    }
+
+    fn join(&mut self, a: &str, b: &str) {
+        let (ra, rb) = (self.root(a), self.root(b));
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn same(&mut self, a: &str, b: &str) -> bool {
+        self.root(a) == self.root(b)
+    }
+}
+
+/// Output column names of a query, renamed into `rep`'s bindings when a
+/// map is given (aggregates print as `FUNC(arg)`).
+fn outputs(
+    q: &AnalyzedQuery,
+    renamed: Option<(&AnalyzedQuery, &[usize])>,
+) -> Option<BTreeSet<String>> {
+    let name_of = |qa: &QAttr| -> Option<String> {
+        match renamed {
+            Some((rep, map)) => rename(qa, q, rep, map).map(|r| r.qualified()),
+            None => Some(qa.qualified()),
+        }
+    };
+    q.output
+        .iter()
+        .map(|c| match c {
+            OutputColumn::Attr(qa) => name_of(qa),
+            OutputColumn::Agg { func, arg } => {
+                let inner = match arg {
+                    Some(qa) => name_of(qa)?,
+                    None => "*".to_string(),
+                };
+                Some(format!("{func}({inner})"))
+            }
+        })
+        .collect()
+}
+
+/// The `∞`-window (relational) containment core shared by both
+/// theorems: every joined combination the member admits, the
+/// representative admits, and the member's output is derivable from the
+/// representative's.
+fn infinity_contained(member: &AnalyzedQuery, rep: &AnalyzedQuery, map: &[usize]) -> bool {
+    // Every representative join must follow transitively from the
+    // member's joins (renamed into the representative's bindings).
+    let mut classes = Classes::default();
+    for j in &member.joins {
+        let (Some(l), Some(r)) = (
+            rename(&j.left, member, rep, map),
+            rename(&j.right, member, rep, map),
+        ) else {
+            return false;
+        };
+        classes.join(&l.qualified(), &r.qualified());
+    }
+    if !rep
+        .joins
+        .iter()
+        .all(|j| classes.same(&j.left.qualified(), &j.right.qualified()))
+    {
+        return false;
+    }
+    // Per-stream: member selection ⇒ representative selection,
+    // semantically.
+    if !map
+        .iter()
+        .enumerate()
+        .all(|(i, &k)| conjunction_implies(&member.selections[i], &rep.selections[k]))
+    {
+        return false;
+    }
+    // Member output ⊆ representative output.
+    match (outputs(member, Some((rep, map))), outputs(rep, None)) {
+        (Some(m), Some(r)) if m.is_subset(&r) => {}
+        _ => return false,
+    }
+    member.distinct == rep.distinct
+}
+
+/// `member ⊑ rep`, dispatching on query shape. Returns the stream
+/// correspondence on success so callers can reuse it.
+pub fn contained(member: &AnalyzedQuery, rep: &AnalyzedQuery) -> Option<Vec<usize>> {
+    if member.is_aggregate() != rep.is_aggregate() {
+        return None;
+    }
+    let map = correspondence(member, rep)?;
+    if member.is_aggregate() {
+        // Theorem 2: equal windows and identical grouping.
+        for (i, &k) in map.iter().enumerate() {
+            if member.streams[i].window != rep.streams[k].window {
+                return None;
+            }
+        }
+        let gm: BTreeSet<String> = member
+            .group_by
+            .iter()
+            .map(|g| rename(g, member, rep, &map).map(|q| q.qualified()))
+            .collect::<Option<_>>()?;
+        let gr: BTreeSet<String> = rep.group_by.iter().map(|g| g.qualified()).collect();
+        if gm != gr || member.group_by.len() != rep.group_by.len() {
+            return None;
+        }
+        // Member-only selectivity must act on whole groups: each
+        // selection attribute is a grouping attribute, or constrained
+        // identically in the representative.
+        for (i, sel) in member.selections.iter().enumerate() {
+            for attr in sel.referenced_attrs() {
+                let qa = QAttr::new(&member.streams[i].binding, &attr);
+                let renamed = rename(&qa, member, rep, &map)?;
+                let grouped = rep
+                    .group_by
+                    .iter()
+                    .any(|g| g.qualified() == renamed.qualified());
+                let identical =
+                    rep.selections[map[i]].constraint_for(&attr) == sel.constraint_for(&attr);
+                if !grouped && !identical {
+                    return None;
+                }
+            }
+        }
+    } else {
+        // Theorem 1: component-wise window containment.
+        for (i, &k) in map.iter().enumerate() {
+            if member.streams[i].window > rep.streams[k].window {
+                return None;
+            }
+        }
+    }
+    infinity_contained(member, rep, &map).then_some(map)
+}

@@ -1,0 +1,88 @@
+#![forbid(unsafe_code)]
+//! `cosmos-verify` — statically verify a dumped network snapshot.
+//!
+//! ```text
+//! cosmos-verify <snapshot.json> [--quiet]
+//! cosmos-verify -            # read the snapshot from stdin
+//! ```
+//!
+//! Prints every finding as a one-line diagnostic and exits non-zero iff
+//! any `error`-level violation (V1–V5) was found. Produce snapshots with
+//! `cosmos-sim snapshot --seed N` or [`cosmos::Cosmos::snapshot`] +
+//! [`cosmos::NetworkSnapshot::to_json`].
+
+use cosmos::NetworkSnapshot;
+use cosmos_lint::Severity;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    let paths: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.as_str() != "-q")
+        .collect();
+    let [path] = paths.as_slice() else {
+        eprintln!("usage: cosmos-verify <snapshot.json | -> [--quiet]");
+        return ExitCode::from(2);
+    };
+
+    let text = if path.as_str() == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("cosmos-verify: reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cosmos-verify: reading {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let snap = match NetworkSnapshot::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cosmos-verify: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = cosmos_verify::verify_snapshot(&snap);
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if !quiet {
+        for d in &diags {
+            println!("{}", d.headline());
+        }
+    }
+    if errors > 0 {
+        eprintln!(
+            "cosmos-verify: {errors} violation{} in {} finding{}",
+            if errors == 1 { "" } else { "s" },
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+        );
+        ExitCode::FAILURE
+    } else {
+        if !quiet {
+            println!(
+                "cosmos-verify: ok — {} node{}, {} group{}, {} advisory finding{}",
+                snap.nodes,
+                if snap.nodes == 1 { "" } else { "s" },
+                snap.groups.len(),
+                if snap.groups.len() == 1 { "" } else { "s" },
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" },
+            );
+        }
+        ExitCode::SUCCESS
+    }
+}

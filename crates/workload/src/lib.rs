@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workload generators for the COSMOS experiments.
 //!
 //! The paper's preliminary study (Section 5) uses:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # cosmos-stream
 //!
 //! A from-scratch Rust reproduction of **"Rethinking the Design of
