@@ -27,10 +27,13 @@
 //! thousands of queries), and [`fault`] the data-layer fault-tolerance
 //! extension (tree repair + subscription re-propagation).
 
+pub mod autotune;
 pub mod experiment;
 pub mod fault;
 pub mod snapshot;
 pub mod system;
 
+pub use autotune::{AutotuneOptions, AutotuneReport};
+pub use cosmos_metrics::{MetricsConfig, MetricsSnapshot, RouterTotals, METRICS_VERSION};
 pub use snapshot::NetworkSnapshot;
 pub use system::{Cosmos, CosmosConfig, NodeRole};

@@ -1,7 +1,9 @@
 //! The deployed COSMOS system: nodes, routing, query management, and the
 //! discrete-event driver.
 
+use crate::autotune::{AutotuneOptions, AutotuneReport};
 use cosmos_cbn::{BatchForward, Destination, Profile, RegistryMode, Router, SchemaRegistry};
+use cosmos_metrics::{relative_drift, MetricsConfig, MetricsHub, MetricsSnapshot, RouterTotals};
 use cosmos_overlay::{generate, minimum_spanning_tree, Graph, TopologyKind, Tree};
 use cosmos_query::{retighten_profile, GroupManager, StatsCatalog, StreamStats};
 use cosmos_spe::{AnalyzedQuery, Executor};
@@ -142,6 +144,9 @@ pub struct Cosmos {
     executor_gen: u64,
     /// Per-query generation of the executor currently serving it.
     query_executor_gen: FxHashMap<QueryId, u64>,
+    /// Runtime observability: sliding-window rates, sampled stream
+    /// statistics, delivery latencies (see [`Cosmos::metrics`]).
+    metrics: MetricsHub,
 }
 
 impl Cosmos {
@@ -203,6 +208,7 @@ impl Cosmos {
             baseline_counter: 0,
             executor_gen: 0,
             query_executor_gen: FxHashMap::default(),
+            metrics: MetricsHub::new(MetricsConfig::default()),
             graph,
         })
     }
@@ -217,9 +223,28 @@ impl Cosmos {
         &self.tree
     }
 
-    /// Mutable dissemination tree access (fault module).
-    pub(crate) fn tree_mut(&mut self) -> &mut Tree {
-        &mut self.tree
+    /// Mutable overlay-graph access (fault module).
+    pub(crate) fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    /// Per-source trees by origin (fault module).
+    pub(crate) fn source_trees(&self) -> &FxHashMap<NodeId, Tree> {
+        &self.source_trees
+    }
+
+    /// Split borrow: the overlay graph plus the mutable shared tree
+    /// (fault module repairs need both at once).
+    pub(crate) fn graph_and_tree_mut(&mut self) -> (&Graph, &mut Tree) {
+        (&self.graph, &mut self.tree)
+    }
+
+    /// Split borrow: the overlay graph plus one mutable per-source tree.
+    pub(crate) fn graph_and_source_tree_mut(
+        &mut self,
+        origin: NodeId,
+    ) -> (&Graph, Option<&mut Tree>) {
+        (&self.graph, self.source_trees.get_mut(&origin))
     }
 
     /// The deployment configuration.
@@ -236,6 +261,22 @@ impl Cosmos {
         &mut self,
         cfg: cosmos_overlay::OptimizerConfig,
     ) -> cosmos_overlay::OptimizeReport {
+        let demand: Vec<f64> = self
+            .routers
+            .iter()
+            .map(|r| r.local_subscribers().count() as f64)
+            .collect();
+        self.optimize_tree_with_demand(cfg, &demand)
+    }
+
+    /// [`Cosmos::optimize_tree`] with an explicit per-node demand vector
+    /// instead of subscription counts — [`Cosmos::autotune`] passes the
+    /// *measured* per-node consumed byte rates here.
+    pub fn optimize_tree_with_demand(
+        &mut self,
+        cfg: cosmos_overlay::OptimizerConfig,
+        demand: &[f64],
+    ) -> cosmos_overlay::OptimizeReport {
         if self.cfg.per_source_trees {
             let cost = cosmos_overlay::TreeOptimizer::new(cfg).cost(
                 &self.graph,
@@ -248,13 +289,8 @@ impl Cosmos {
                 moves: 0,
             };
         }
-        let demand: Vec<f64> = self
-            .routers
-            .iter()
-            .map(|r| r.local_subscribers().count() as f64)
-            .collect();
         let report =
-            cosmos_overlay::TreeOptimizer::new(cfg).optimize(&self.graph, &mut self.tree, &demand);
+            cosmos_overlay::TreeOptimizer::new(cfg).optimize(&self.graph, &mut self.tree, demand);
         if report.moves > 0 {
             self.rebuild_routes();
         }
@@ -779,10 +815,12 @@ impl Cosmos {
     fn account_link(&mut self, a: NodeId, b: NodeId, bytes: usize) {
         let key = (a.min(b), a.max(b));
         *self.link_bytes.entry(key).or_insert(0) += bytes as u64;
-        let delay = self
-            .graph
-            .edge_weight(a, b)
-            .unwrap_or_else(|| self.graph.distance(a, b).max(f64::EPSILON));
+        // Price the hop exactly like TreeOptimizer::cost does, so the
+        // measured weighted cost is comparable to the estimated one.
+        let delay = self.graph.link_delay(a, b).unwrap_or_else(|| {
+            debug_assert!(false, "traffic accounted on downed link {a}-{b}");
+            self.graph.distance(a, b).max(f64::EPSILON)
+        });
         self.weighted_cost += bytes as f64 * delay;
     }
 
@@ -834,6 +872,7 @@ impl Cosmos {
         })?;
         let (origin, schema) = (reg.origin, reg.schema.clone());
         self.tuples_published += tuples.len() as u64;
+        self.metrics.on_publish(&first.stream, &schema, tuples);
         if tuples.len() > 1 && self.has_cascading_reps() {
             for t in tuples {
                 self.drive(origin, t, &schema);
@@ -880,6 +919,7 @@ impl Cosmos {
                 Destination::Neighbor(n) => {
                     let bytes: usize = f.tuples.iter().map(Tuple::size_bytes).sum();
                     self.account_link(at, n, bytes);
+                    self.metrics.on_link(at, n, f.tuples.len(), bytes);
                     queue.push_back(Hop {
                         from: Some(at),
                         at: n,
@@ -893,9 +933,12 @@ impl Cosmos {
                         let site = self.reps.get_mut(&stream).expect("rep site exists");
                         debug_assert_eq!(site.processor, at);
                         let outputs = site.executor.push_projected_batch(&f.tuples, &f.schema);
+                        let rep_schema = site.executor.result_schema().clone();
+                        self.metrics.on_spe_intake(at, &f.tuples);
                         if !outputs.is_empty() {
-                            // Result datagrams enter the CBN here.
-                            let rep_schema = site.executor.result_schema().clone();
+                            // Result datagrams enter the CBN here; observe
+                            // them like any other published stream.
+                            self.metrics.on_publish(&stream, &rep_schema, &outputs);
                             queue.push_back(Hop {
                                 from: None,
                                 at,
@@ -904,6 +947,7 @@ impl Cosmos {
                             });
                         }
                     } else if let Some(&qid) = self.user_subs.get(&sub) {
+                        self.metrics.on_delivery(qid, at, &f.tuples);
                         self.delivered
                             .get_mut(&qid)
                             .expect("delivery buffer")
@@ -994,6 +1038,138 @@ impl Cosmos {
     /// Number of source datagrams published.
     pub fn tuples_published(&self) -> u64 {
         self.tuples_published
+    }
+
+    /// The live metrics hub (read access for diagnostics and tests).
+    pub fn metrics_hub(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// Whether runtime metrics are being recorded.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+
+    /// Turn metrics recording on or off (history is kept). The off
+    /// position exists for the bench overhead gate: every observation
+    /// hook becomes an early return.
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        self.metrics.set_enabled(enabled);
+    }
+
+    /// Replace the metrics configuration. Resets all recorded history
+    /// (windows of a different span are not comparable).
+    pub fn set_metrics_config(&mut self, cfg: MetricsConfig) {
+        self.metrics = MetricsHub::new(cfg);
+    }
+
+    /// A deterministic snapshot of every runtime metric: per-link and
+    /// per-node traffic, per-stream observed rates and sampled attribute
+    /// statistics, per-query delivery rates and virtual-time latencies,
+    /// plus the aggregated CBN router counters. Versioned and
+    /// serializable like `NetworkSnapshot`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut router = RouterTotals::default();
+        for r in &self.routers {
+            let (hits, misses) = r.plan_cache_stats();
+            router.plan_hits += hits;
+            router.plan_misses += misses;
+            router.projections_built += r.projections_built();
+            router.tuples_routed += r.tuples_routed();
+            router.tuples_dropped += r.tuples_dropped();
+            router.cached_plans += r.cached_plan_count() as u64;
+        }
+        self.metrics.snapshot(router)
+    }
+
+    /// Maximum relative drift between what registration-time estimates
+    /// claim and what the metrics layer has measured, split into the
+    /// stream-rate component and the per-group representative-cost
+    /// component. Streams the metrics layer never observed contribute
+    /// nothing.
+    pub fn measured_drift(&self) -> (f64, f64) {
+        let measured = self.metrics.measured();
+        let mut stream_drift = 0.0f64;
+        for s in self.catalog.streams() {
+            let (Some(m), Some(e)) = (measured.stream_rate(s), self.catalog.stats(s)) else {
+                continue;
+            };
+            stream_drift = stream_drift.max(relative_drift(m, e.rate));
+        }
+        let measured_catalog = measured.catalog(&self.catalog);
+        let mut group_drift = 0.0f64;
+        for mgr in self.managers.values() {
+            for g in mgr.groups() {
+                let est = cosmos_query::estimate::cost_bps(&g.representative, &self.catalog);
+                let meas = cosmos_query::estimate::cost_bps(&g.representative, &measured_catalog);
+                group_drift = group_drift.max(relative_drift(meas, est));
+            }
+        }
+        (stream_drift, group_drift)
+    }
+
+    /// Replace the registered statistics of every *observed* stream with
+    /// its measured statistics (rate always; attribute ranges and
+    /// distinct counts where the samplers saw values). Returns how many
+    /// streams were updated. Unobserved streams keep their estimates.
+    pub fn adopt_measured_stats(&mut self) -> usize {
+        let streams: Vec<StreamName> = self.catalog.streams().cloned().collect();
+        let mut adopted = 0usize;
+        for s in streams {
+            let Some(stats) = self
+                .metrics
+                .measured()
+                .stream_stats(&s, self.catalog.stats(&s))
+            else {
+                continue;
+            };
+            let schema = self.catalog.schema(&s).cloned().expect("stream registered");
+            self.catalog.register(s, schema, stats);
+            adopted += 1;
+        }
+        adopted
+    }
+
+    /// Measured per-node demand: the windowed byte rate each node
+    /// consumes locally (user deliveries plus SPE intake).
+    fn measured_demand(&self) -> Vec<f64> {
+        (0..self.graph.node_count())
+            .map(|i| self.metrics.consumed_byte_rate(NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Close the self-tuning loop: compare measured statistics against
+    /// the registration-time estimates the system planned with, and if
+    /// the relative drift exceeds `opts.drift_threshold`, adopt the
+    /// measured statistics into the catalog and re-run the existing
+    /// optimizers — query re-grouping ([`Cosmos::reoptimize_groups`])
+    /// and dissemination-tree reorganization with *measured* per-node
+    /// demand ([`Cosmos::optimize_tree_with_demand`]).
+    ///
+    /// Below the threshold this is read-only and returns a report with
+    /// `triggered: false`.
+    pub fn autotune(&mut self, opts: &AutotuneOptions) -> Result<AutotuneReport> {
+        let (stream_drift, group_drift) = self.measured_drift();
+        let drift = stream_drift.max(group_drift);
+        let mut report = AutotuneReport {
+            stream_drift,
+            group_drift,
+            drift,
+            threshold: opts.drift_threshold,
+            triggered: false,
+            adopted_streams: 0,
+            groups_improved: 0,
+            tree: None,
+        };
+        if !drift.is_finite() || drift <= opts.drift_threshold {
+            return Ok(report);
+        }
+        report.triggered = true;
+        report.adopted_streams = self.adopt_measured_stats();
+        report.groups_improved = self.reoptimize_groups()?;
+        let demand = self.measured_demand();
+        report.tree = Some(self.optimize_tree_with_demand(opts.optimizer, &demand));
+        Ok(report)
     }
 
     /// Grouping state of one processor (if it hosts any queries).

@@ -1,0 +1,154 @@
+//! The self-tuning loop, end to end: a deployment planned from wrong
+//! registration-time estimates measures reality, detects the drift, and
+//! re-optimizes itself — strictly reducing subsequent delivery cost
+//! versus an identical deployment that never autotunes.
+
+use cosmos::{AutotuneOptions, Cosmos, CosmosConfig};
+use cosmos_overlay::Graph;
+use cosmos_query::{AttrStats, StreamStats};
+use cosmos_types::{AttrType, NodeId, QueryId, Schema, Timestamp, Tuple, Value};
+
+/// A curved 3-node overlay: 0 at (0,0), 1 at (0.3,0.4), 2 at (0.6,0).
+/// Physical edges 0-1 and 1-2 (0.5 each), so the MST chains 0→1→2 and
+/// the root-to-2 path costs 1.0 — while the *logical* pair 0-2 costs
+/// only its 0.6 distance. Promoting node 2 under the root is exactly
+/// the move measured demand should buy.
+fn curved_system(registered_rate: f64) -> (Cosmos, QueryId) {
+    let mut g = Graph::new(3);
+    g.set_position(NodeId(0), 0.0, 0.0);
+    g.set_position(NodeId(1), 0.3, 0.4);
+    g.set_position(NodeId(2), 0.6, 0.0);
+    g.add_edge_by_distance(NodeId(0), NodeId(1)).unwrap();
+    g.add_edge_by_distance(NodeId(1), NodeId(2)).unwrap();
+    let mut sys = Cosmos::with_graph(
+        CosmosConfig {
+            nodes: 3,
+            processor_fraction: 0.34,
+            ..CosmosConfig::default()
+        },
+        g,
+    )
+    .unwrap();
+    sys.register_stream(
+        "S",
+        Schema::of(&[("k", AttrType::Int), ("timestamp", AttrType::Int)]),
+        StreamStats::with_rate(registered_rate).attr("k", AttrStats::categorical(10.0)),
+        NodeId(0),
+    )
+    .unwrap();
+    let q = sys
+        .submit_query("SELECT k FROM S [Now]", NodeId(2))
+        .unwrap();
+    assert_eq!(sys.tree().parent(NodeId(2)), Some(NodeId(1)), "MST chain");
+    (sys, q)
+}
+
+/// Publish tuple `i` at virtual time `i × 200 ms` — an actual rate of
+/// 5 tuples/second.
+fn publish_phase(sys: &mut Cosmos, range: std::ops::Range<i64>) {
+    sys.run(range.map(|i| {
+        Tuple::new(
+            "S",
+            Timestamp(i * 200),
+            vec![Value::Int(i % 7), Value::Int(i * 200)],
+        )
+    }))
+    .unwrap();
+}
+
+#[test]
+fn autotune_detects_drift_and_strictly_reduces_cost() {
+    // Registered at 0.1 tuples/s; reality runs at 5 tuples/s.
+    let (mut tuned, q_tuned) = curved_system(0.1);
+    let (mut control, q_control) = curved_system(0.1);
+
+    publish_phase(&mut tuned, 0..150);
+    publish_phase(&mut control, 0..150);
+    assert_eq!(tuned.weighted_cost(), control.weighted_cost());
+    assert_eq!(tuned.results(q_tuned).len(), 150);
+
+    let report = tuned.autotune(&AutotuneOptions::default()).unwrap();
+    assert!(report.triggered, "49x rate drift must trigger: {report:?}");
+    assert!(report.stream_drift > 10.0, "{report:?}");
+    assert!(report.adopted_streams >= 1, "{report:?}");
+    let tree = report.tree.expect("tree pass ran");
+    assert!(tree.moves >= 1, "measured demand should move node 2");
+    assert_eq!(
+        tuned.tree().parent(NodeId(2)),
+        Some(NodeId(0)),
+        "node 2 promoted under the root over the cheaper logical pair"
+    );
+    // The adopted catalog now carries the measured rate.
+    let rate = tuned.catalog().stats(&"S".into()).unwrap().rate;
+    assert!((rate - 5.0).abs() < 0.5, "adopted rate {rate}");
+
+    // Phase 2: same traffic into both deployments.
+    let before_tuned = tuned.weighted_cost();
+    let before_control = control.weighted_cost();
+    publish_phase(&mut tuned, 150..300);
+    publish_phase(&mut control, 150..300);
+    let delta_tuned = tuned.weighted_cost() - before_tuned;
+    let delta_control = control.weighted_cost() - before_control;
+    assert_eq!(
+        tuned.results(q_tuned).len(),
+        control.results(q_control).len(),
+        "autotune must not change delivery"
+    );
+    assert!(
+        delta_tuned < delta_control,
+        "autotuned phase-2 cost {delta_tuned} must beat control {delta_control}"
+    );
+    // The promotion replaced the 0.5+0.5 path with the 0.6 logical hop.
+    let ratio = delta_tuned / delta_control;
+    assert!((ratio - 0.6).abs() < 0.05, "cost ratio {ratio}");
+}
+
+#[test]
+fn autotune_is_a_no_op_without_drift() {
+    // Registered rate matches reality: nothing should move.
+    let (mut sys, q) = curved_system(5.0);
+    publish_phase(&mut sys, 0..150);
+    let cost = sys.weighted_cost();
+    let report = sys.autotune(&AutotuneOptions::default()).unwrap();
+    assert!(!report.triggered, "{report:?}");
+    assert!(report.tree.is_none());
+    assert_eq!(sys.tree().parent(NodeId(2)), Some(NodeId(1)), "unchanged");
+    assert_eq!(sys.weighted_cost(), cost);
+    assert_eq!(sys.results(q).len(), 150);
+}
+
+#[test]
+fn metrics_snapshot_agrees_with_driver_accounting() {
+    let (mut sys, q) = curved_system(0.1);
+    publish_phase(&mut sys, 0..50);
+    let snap = sys.metrics();
+    assert_eq!(snap.link_bytes_total(), sys.total_bytes());
+    assert_eq!(snap.delivered_tuples(q), sys.results(q).len() as u64);
+    // The source stream was observed with sampled attribute stats.
+    let s = snap
+        .streams
+        .iter()
+        .find(|m| m.stream == "S")
+        .expect("observed");
+    assert_eq!(s.tuples, 50);
+    assert!(s.tuple_rate > 3.0, "rate {}", s.tuple_rate);
+    assert!(s.attrs.iter().any(|a| a.name == "k"));
+    // Snapshots are versioned JSON documents that round-trip.
+    let json = snap.to_json().unwrap();
+    let back = cosmos::MetricsSnapshot::from_json(&json).unwrap();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn disabled_metrics_record_nothing_and_block_autotune() {
+    let (mut sys, q) = curved_system(0.1);
+    sys.set_metrics_enabled(false);
+    publish_phase(&mut sys, 0..50);
+    assert_eq!(sys.results(q).len(), 50, "delivery unaffected");
+    let snap = sys.metrics();
+    assert_eq!(snap.link_bytes_total(), 0);
+    assert!(snap.streams.is_empty());
+    // Without observations there is no drift to act on.
+    let report = sys.autotune(&AutotuneOptions::default()).unwrap();
+    assert!(!report.triggered);
+}

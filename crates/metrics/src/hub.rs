@@ -1,0 +1,553 @@
+//! The metrics hub: every observation point in the running system
+//! funnels into one [`MetricsHub`] owned by the system driver.
+//!
+//! The hub is clocked by *virtual time* — the max tuple timestamp seen
+//! so far — never the wall clock, so two runs of the same scenario
+//! produce byte-identical metrics. Observation is O(1) per call (plus
+//! O(arity) for the sampled tuples that feed attribute observers), and
+//! every hook early-returns when metrics are disabled, which is what the
+//! bench overhead gate measures.
+
+use crate::observe::AttrObserver;
+use crate::snapshot::{
+    AttrMetrics, LinkMetrics, MetricsSnapshot, NodeMetrics, QueryMetrics, RouterTotals,
+    StreamMetrics, METRICS_VERSION,
+};
+use crate::window::RateWindow;
+use cosmos_query::{StatsCatalog, StreamStats};
+use cosmos_types::{NodeId, QueryId, Schema, StreamName, TimeDelta, Timestamp, Tuple};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+
+/// Knobs for the metrics layer.
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// Record observations at all. Off turns every hook into a cheap
+    /// early return (the ≤5% overhead budget is measured against this).
+    pub enabled: bool,
+    /// Sliding-window span, in virtual time.
+    pub window: TimeDelta,
+    /// Sample every Nth published tuple into the per-attribute
+    /// observers. 1 samples everything; higher trades accuracy for
+    /// less hot-path work.
+    pub sample_every: u64,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            enabled: true,
+            window: TimeDelta::from_secs(60),
+            sample_every: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StreamObservation {
+    window: RateWindow,
+    /// Modular clock driving every-Nth-tuple sampling.
+    sample_clock: u64,
+    /// Schema the observers are positionally aligned with. Interned
+    /// schemas compare in O(1), so re-checking per batch is free.
+    schema: Option<Schema>,
+    /// One observer per schema field, in field order — indexed sampling,
+    /// no per-sample name lookups.
+    observers: Vec<AttrObserver>,
+}
+
+impl StreamObservation {
+    /// The (field name, observer) pairs that saw at least one sample.
+    fn observed_attrs(&self) -> impl Iterator<Item = (&str, &AttrObserver)> {
+        self.schema
+            .iter()
+            .flat_map(|s| s.fields().iter().zip(&self.observers))
+            .map(|(f, o)| (f.name.as_str(), o))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct QueryObservation {
+    window: RateWindow,
+    latency_sum_ms: i64,
+    latency_max_ms: i64,
+}
+
+/// Sliding-window metrics for links, nodes, streams and queries.
+#[derive(Debug, Clone)]
+pub struct MetricsHub {
+    cfg: MetricsConfig,
+    now_ms: i64,
+    links: FxHashMap<(NodeId, NodeId), RateWindow>,
+    node_tx: FxHashMap<NodeId, RateWindow>,
+    node_rx: FxHashMap<NodeId, RateWindow>,
+    /// Bytes consumed *at* a node: user deliveries plus SPE intake.
+    /// This is the measured analogue of the optimizer's per-node demand.
+    consumed: FxHashMap<NodeId, RateWindow>,
+    streams: FxHashMap<StreamName, StreamObservation>,
+    queries: FxHashMap<QueryId, QueryObservation>,
+}
+
+impl MetricsHub {
+    /// A hub with the given configuration.
+    pub fn new(cfg: MetricsConfig) -> MetricsHub {
+        MetricsHub {
+            cfg,
+            now_ms: 0,
+            links: FxHashMap::default(),
+            node_tx: FxHashMap::default(),
+            node_rx: FxHashMap::default(),
+            consumed: FxHashMap::default(),
+            streams: FxHashMap::default(),
+            queries: FxHashMap::default(),
+        }
+    }
+
+    /// Whether observations are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Turn recording on or off. Already-recorded history is kept.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.cfg.enabled = enabled;
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> i64 {
+        self.now_ms
+    }
+
+    /// Advance virtual time to at least `ts` (time never goes backward).
+    pub fn advance(&mut self, ts: Timestamp) {
+        self.now_ms = self.now_ms.max(ts.millis());
+    }
+
+    fn fresh_window(&self) -> RateWindow {
+        RateWindow::new(self.cfg.window)
+    }
+
+    /// A batch of `stream` tuples entered the system (source publish or
+    /// an in-network operator emitting its result stream). Advances
+    /// virtual time, records the stream's rate window, and samples every
+    /// Nth tuple into the attribute observers.
+    pub fn on_publish(&mut self, stream: &StreamName, schema: &Schema, tuples: &[Tuple]) {
+        if !self.cfg.enabled || tuples.is_empty() {
+            return;
+        }
+        let mut at = self.now_ms;
+        let mut bytes = 0u64;
+        for t in tuples {
+            at = at.max(t.timestamp.millis());
+            bytes += t.size_bytes() as u64;
+        }
+        self.now_ms = at;
+        let window = self.fresh_window();
+        let obs = self
+            .streams
+            .entry(stream.clone())
+            .or_insert_with(|| StreamObservation {
+                window,
+                sample_clock: 0,
+                schema: None,
+                observers: Vec::new(),
+            });
+        obs.window.record(at, tuples.len() as u64, bytes);
+        // Jump straight to the sampled indices: with `clock` tuples seen
+        // before this batch, the next sample is the tuple that brings the
+        // cumulative count to a multiple of `every`.
+        let every = self.cfg.sample_every.max(1);
+        let mut idx = (every - obs.sample_clock % every) as usize;
+        obs.sample_clock += tuples.len() as u64;
+        if idx > tuples.len() {
+            return;
+        }
+        if obs.schema.as_ref() != Some(schema) {
+            // First sample (or a schema change, which streams don't do):
+            // align one observer per field.
+            obs.schema = Some(schema.clone());
+            obs.observers = vec![AttrObserver::default(); schema.fields().len()];
+        }
+        while idx <= tuples.len() {
+            let t = &tuples[idx - 1];
+            for (o, value) in obs.observers.iter_mut().zip(t.values()) {
+                o.observe(value);
+            }
+            idx += every as usize;
+        }
+    }
+
+    /// `tuples` tuples totalling `bytes` bytes crossed the overlay link
+    /// `from`→`to`.
+    pub fn on_link(&mut self, from: NodeId, to: NodeId, tuples: usize, bytes: usize) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let key = (from.min(to), from.max(to));
+        let (now, w) = (self.now_ms, self.fresh_window());
+        self.links
+            .entry(key)
+            .or_insert(w)
+            .record(now, tuples as u64, bytes as u64);
+        let w = self.fresh_window();
+        self.node_tx
+            .entry(from)
+            .or_insert(w)
+            .record(now, tuples as u64, bytes as u64);
+        let w = self.fresh_window();
+        self.node_rx
+            .entry(to)
+            .or_insert(w)
+            .record(now, tuples as u64, bytes as u64);
+    }
+
+    fn on_consume(&mut self, node: NodeId, tuples: u64, bytes: u64) {
+        let (now, w) = (self.now_ms, self.fresh_window());
+        self.consumed
+            .entry(node)
+            .or_insert(w)
+            .record(now, tuples, bytes);
+    }
+
+    /// A batch of result tuples reached the user of `qid` at `node`.
+    /// Delivery latency is `now − tuple timestamp` in virtual time.
+    pub fn on_delivery(&mut self, qid: QueryId, node: NodeId, tuples: &[Tuple]) {
+        if !self.cfg.enabled || tuples.is_empty() {
+            return;
+        }
+        let now = self.now_ms;
+        let mut bytes = 0u64;
+        let mut lat_sum = 0i64;
+        let mut lat_max = 0i64;
+        for t in tuples {
+            bytes += t.size_bytes() as u64;
+            let lat = (now - t.timestamp.millis()).max(0);
+            lat_sum += lat;
+            lat_max = lat_max.max(lat);
+        }
+        self.on_consume(node, tuples.len() as u64, bytes);
+        let w = self.fresh_window();
+        let obs = self.queries.entry(qid).or_insert_with(|| QueryObservation {
+            window: w,
+            latency_sum_ms: 0,
+            latency_max_ms: 0,
+        });
+        obs.window.record(now, tuples.len() as u64, bytes);
+        obs.latency_sum_ms += lat_sum;
+        obs.latency_max_ms = obs.latency_max_ms.max(lat_max);
+    }
+
+    /// A batch of tuples was handed to a stream-processing executor at
+    /// `node` (in-network operator intake). Counts toward the node's
+    /// consumed demand but not toward any query's deliveries.
+    pub fn on_spe_intake(&mut self, node: NodeId, tuples: &[Tuple]) {
+        if !self.cfg.enabled || tuples.is_empty() {
+            return;
+        }
+        let bytes: u64 = tuples.iter().map(|t| t.size_bytes() as u64).sum();
+        self.on_consume(node, tuples.len() as u64, bytes);
+    }
+
+    /// Windowed byte rate consumed at `node` (deliveries + SPE intake):
+    /// the measured per-node demand for tree optimization.
+    pub fn consumed_byte_rate(&self, node: NodeId) -> f64 {
+        self.consumed
+            .get(&node)
+            .map(|w| w.byte_rate(self.now_ms))
+            .unwrap_or(0.0)
+    }
+
+    /// Lifetime number of tuples delivered to `qid`.
+    pub fn delivered_count(&self, qid: QueryId) -> u64 {
+        self.queries
+            .get(&qid)
+            .map(|q| q.window.total_tuples())
+            .unwrap_or(0)
+    }
+
+    /// Lifetime sum of bytes over all links — must equal the driver's
+    /// own `total_bytes()` accounting (the conservation oracle).
+    pub fn link_bytes_total(&self) -> u64 {
+        self.links.values().map(RateWindow::total_bytes).sum()
+    }
+
+    /// View the hub through the measured-stats adapter.
+    pub fn measured(&self) -> MeasuredStats<'_> {
+        MeasuredStats { hub: self }
+    }
+
+    /// Assemble a deterministic, serializable snapshot. Router totals
+    /// are aggregated by the caller (the driver owns the routers).
+    pub fn snapshot(&self, router: RouterTotals) -> MetricsSnapshot {
+        let now = self.now_ms;
+        let mut links: Vec<LinkMetrics> = self
+            .links
+            .iter()
+            .map(|(&(a, b), w)| LinkMetrics {
+                a,
+                b,
+                tuples: w.total_tuples(),
+                bytes: w.total_bytes(),
+                tuple_rate: w.tuple_rate(now),
+                byte_rate: w.byte_rate(now),
+            })
+            .collect();
+        links.sort_by_key(|l| (l.a, l.b));
+
+        let mut node_ids: BTreeSet<NodeId> = BTreeSet::new();
+        node_ids.extend(self.node_tx.keys());
+        node_ids.extend(self.node_rx.keys());
+        node_ids.extend(self.consumed.keys());
+        let zero = RateWindow::new(self.cfg.window);
+        let nodes: Vec<NodeMetrics> = node_ids
+            .into_iter()
+            .map(|n| {
+                let tx = self.node_tx.get(&n).unwrap_or(&zero);
+                let rx = self.node_rx.get(&n).unwrap_or(&zero);
+                let co = self.consumed.get(&n).unwrap_or(&zero);
+                NodeMetrics {
+                    node: n,
+                    tx_tuples: tx.total_tuples(),
+                    tx_bytes: tx.total_bytes(),
+                    tx_byte_rate: tx.byte_rate(now),
+                    rx_tuples: rx.total_tuples(),
+                    rx_bytes: rx.total_bytes(),
+                    rx_byte_rate: rx.byte_rate(now),
+                    consumed_tuples: co.total_tuples(),
+                    consumed_bytes: co.total_bytes(),
+                    consumed_byte_rate: co.byte_rate(now),
+                }
+            })
+            .collect();
+
+        let mut streams: Vec<StreamMetrics> = self
+            .streams
+            .iter()
+            .map(|(name, obs)| {
+                let mut attrs: Vec<AttrMetrics> = obs
+                    .observed_attrs()
+                    .filter_map(|(attr, o)| {
+                        o.attr_stats().map(|s| AttrMetrics {
+                            name: attr.to_string(),
+                            samples: o.samples(),
+                            min: s.min,
+                            max: s.max,
+                            distinct: s.distinct,
+                        })
+                    })
+                    .collect();
+                attrs.sort_by(|x, y| x.name.cmp(&y.name));
+                StreamMetrics {
+                    stream: name.as_str().to_string(),
+                    tuples: obs.window.total_tuples(),
+                    bytes: obs.window.total_bytes(),
+                    tuple_rate: obs.window.tuple_rate(now),
+                    byte_rate: obs.window.byte_rate(now),
+                    attrs,
+                }
+            })
+            .collect();
+        streams.sort_by(|x, y| x.stream.cmp(&y.stream));
+
+        let mut queries: Vec<QueryMetrics> = self
+            .queries
+            .iter()
+            .map(|(&qid, obs)| {
+                let n = obs.window.total_tuples();
+                QueryMetrics {
+                    query: qid,
+                    delivered_tuples: n,
+                    delivered_bytes: obs.window.total_bytes(),
+                    delivery_rate: obs.window.tuple_rate(now),
+                    latency_avg_ms: if n == 0 {
+                        0.0
+                    } else {
+                        obs.latency_sum_ms as f64 / n as f64
+                    },
+                    latency_max_ms: obs.latency_max_ms,
+                }
+            })
+            .collect();
+        queries.sort_by_key(|q| q.query);
+
+        MetricsSnapshot {
+            version: METRICS_VERSION,
+            now_ms: now,
+            links,
+            nodes,
+            streams,
+            queries,
+            router,
+        }
+    }
+}
+
+/// Adapter turning window aggregates back into the optimizer's
+/// [`StreamStats`]/[`StatsCatalog`] vocabulary — the "measured" side of
+/// the registration-time-estimate vs runtime-observation comparison.
+pub struct MeasuredStats<'a> {
+    hub: &'a MetricsHub,
+}
+
+impl MeasuredStats<'_> {
+    /// Observed arrival rate of `stream`, if any tuples were seen.
+    pub fn stream_rate(&self, stream: &StreamName) -> Option<f64> {
+        let obs = self.hub.streams.get(stream)?;
+        if obs.window.total_tuples() == 0 {
+            return None;
+        }
+        Some(obs.window.tuple_rate(self.hub.now_ms))
+    }
+
+    /// Observed [`StreamStats`] for `stream`, overlaid on `base`: the
+    /// measured rate always wins; attribute stats are replaced where the
+    /// samplers saw values and inherited from `base` otherwise.
+    /// `None` until the stream has been observed at all.
+    pub fn stream_stats(
+        &self,
+        stream: &StreamName,
+        base: Option<&StreamStats>,
+    ) -> Option<StreamStats> {
+        let rate = self.stream_rate(stream)?;
+        let obs = self.hub.streams.get(stream)?;
+        let mut out = base.cloned().unwrap_or_default();
+        out.rate = rate;
+        for (name, o) in obs.observed_attrs() {
+            if let Some(s) = o.attr_stats() {
+                out.attrs.insert(name.to_string(), s);
+            }
+        }
+        Some(out)
+    }
+
+    /// A full catalog: `base` with every observed stream's stats
+    /// replaced by measurements. Streams never observed keep their
+    /// registered estimates.
+    pub fn catalog(&self, base: &StatsCatalog) -> StatsCatalog {
+        let mut out = StatsCatalog::new();
+        for s in base.streams() {
+            let Some(schema) = base.schema(s) else {
+                continue;
+            };
+            let stats = self
+                .stream_stats(s, base.stats(s))
+                .or_else(|| base.stats(s).cloned())
+                .unwrap_or_default();
+            out.register(s.clone(), schema.clone(), stats);
+        }
+        out
+    }
+}
+
+/// Relative drift between a measured and an estimated quantity.
+pub fn relative_drift(measured: f64, estimated: f64) -> f64 {
+    (measured - estimated).abs() / estimated.abs().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_types::{AttrType, Field, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", AttrType::Int),
+            Field::new("temp", AttrType::Float),
+        ])
+        .expect("valid schema")
+    }
+
+    fn tuple(ms: i64, id: i64, temp: f64) -> Tuple {
+        Tuple::new("s", Timestamp(ms), vec![Value::Int(id), Value::Float(temp)])
+    }
+
+    #[test]
+    fn publish_observation_feeds_measured_stats() {
+        let mut hub = MetricsHub::new(MetricsConfig {
+            sample_every: 1,
+            ..MetricsConfig::default()
+        });
+        let s = StreamName::new("s");
+        let sch = schema();
+        // 4 tuples/sec for 10 seconds.
+        for i in 0..40i64 {
+            hub.on_publish(&s, &sch, &[tuple(i * 250, i % 5, i as f64)]);
+        }
+        let measured = hub.measured();
+        let rate = measured.stream_rate(&s).expect("observed");
+        assert!((rate - 4.0).abs() < 0.5, "rate {rate}");
+        let stats = measured.stream_stats(&s, None).expect("observed");
+        let id = &stats.attrs["id"];
+        assert_eq!(id.distinct as i64, 5);
+        let temp = &stats.attrs["temp"];
+        assert_eq!(temp.min, 0.0);
+        assert_eq!(temp.max, 39.0);
+    }
+
+    #[test]
+    fn measured_catalog_overlays_base_and_keeps_unobserved() {
+        let mut hub = MetricsHub::new(MetricsConfig::default());
+        let mut base = StatsCatalog::new();
+        base.register("s", schema(), StreamStats::with_rate(0.1));
+        base.register("quiet", schema(), StreamStats::with_rate(7.0));
+        let s = StreamName::new("s");
+        let sch = schema();
+        for i in 0..40i64 {
+            hub.on_publish(&s, &sch, &[tuple(i * 250, i, 0.0)]);
+        }
+        let cat = hub.measured().catalog(&base);
+        assert!(cat.stats(&s).unwrap().rate > 3.0, "measured rate adopted");
+        let quiet = StreamName::new("quiet");
+        assert_eq!(cat.stats(&quiet).unwrap().rate, 7.0, "estimate kept");
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let mut hub = MetricsHub::new(MetricsConfig {
+            enabled: false,
+            ..MetricsConfig::default()
+        });
+        let s = StreamName::new("s");
+        hub.on_publish(&s, &schema(), &[tuple(0, 1, 1.0)]);
+        hub.on_link(NodeId(0), NodeId(1), 1, 100);
+        hub.on_delivery(QueryId(0), NodeId(1), &[tuple(0, 1, 1.0)]);
+        assert!(hub.measured().stream_rate(&s).is_none());
+        assert_eq!(hub.link_bytes_total(), 0);
+        assert_eq!(hub.delivered_count(QueryId(0)), 0);
+    }
+
+    #[test]
+    fn delivery_latency_and_conservation_counters() {
+        let mut hub = MetricsHub::new(MetricsConfig::default());
+        hub.advance(Timestamp(1_000));
+        let batch = [tuple(400, 1, 1.0), tuple(900, 2, 2.0)];
+        hub.on_link(NodeId(0), NodeId(1), 2, 56);
+        hub.on_delivery(QueryId(7), NodeId(1), &batch);
+        assert_eq!(hub.delivered_count(QueryId(7)), 2);
+        assert_eq!(hub.link_bytes_total(), 56);
+        let snap = hub.snapshot(RouterTotals::default());
+        let q = &snap.queries[0];
+        assert_eq!(q.query, QueryId(7));
+        assert_eq!(q.latency_max_ms, 600);
+        assert!((q.latency_avg_ms - 350.0).abs() < 1e-9);
+        assert!(hub.consumed_byte_rate(NodeId(1)) > 0.0);
+        assert_eq!(hub.consumed_byte_rate(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_roundtrips() {
+        let mut hub = MetricsHub::new(MetricsConfig::default());
+        let sch = schema();
+        hub.on_publish(&StreamName::new("zeta"), &sch, &[tuple(0, 1, 1.0)]);
+        hub.on_publish(&StreamName::new("alpha"), &sch, &[tuple(10, 2, 2.0)]);
+        hub.on_link(NodeId(3), NodeId(1), 1, 10);
+        hub.on_link(NodeId(0), NodeId(2), 1, 10);
+        let snap = hub.snapshot(RouterTotals::default());
+        assert_eq!(snap.streams[0].stream, "alpha");
+        assert_eq!(snap.links[0].a, NodeId(0));
+        let json = snap.to_json().expect("serialize");
+        let back = MetricsSnapshot::from_json(&json).expect("parse");
+        assert_eq!(back.streams.len(), 2);
+        assert_eq!(back.links.len(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! cosmos-metrics: runtime observability for COSMOS.
+//!
+//! COSMOS plans with *registration-time estimates*: stream rates and
+//! attribute statistics declared when a stream is advertised. This crate
+//! supplies the other half of the self-tuning loop the paper sketches —
+//! *measurements* taken from the live dissemination network:
+//!
+//! * per-link and per-node tuple/byte rates ([`MetricsHub::on_link`]),
+//! * per-stream observed rates plus sampled per-attribute ranges and
+//!   KMV distinct counts ([`MetricsHub::on_publish`]),
+//! * per-query delivered-tuple rates and virtual-time delivery latency
+//!   ([`MetricsHub::on_delivery`]),
+//! * per-node consumed demand ([`MetricsHub::on_spe_intake`]).
+//!
+//! Everything is windowed over *virtual time* (tuple timestamps), so a
+//! replayed scenario reproduces its metrics byte-for-byte — the testkit
+//! conservation oracle depends on that. The [`MeasuredStats`] adapter
+//! converts window aggregates back into the optimizer's
+//! `StreamStats`/`StatsCatalog` vocabulary, which is what lets
+//! `Cosmos::autotune` feed measurements into the existing re-grouping
+//! and tree-optimization entry points when [`relative_drift`] between
+//! estimate and observation exceeds a threshold.
+
+mod hub;
+mod observe;
+mod snapshot;
+mod window;
+
+pub use hub::{relative_drift, MeasuredStats, MetricsConfig, MetricsHub};
+pub use observe::{AttrObserver, KMV_K};
+pub use snapshot::{
+    AttrMetrics, LinkMetrics, MetricsSnapshot, NodeMetrics, QueryMetrics, RouterTotals,
+    StreamMetrics, METRICS_VERSION,
+};
+pub use window::{RateWindow, WINDOW_BUCKETS};

@@ -1,0 +1,174 @@
+//! Bucketed sliding-window rate estimation over virtual time.
+//!
+//! A [`RateWindow`] covers the trailing `window` of virtual time with a
+//! fixed number of coarse buckets, so recording a sample is O(1) and the
+//! whole window costs a few dozen bytes regardless of traffic volume.
+//! Lifetime totals are kept exactly alongside the windowed counts: the
+//! conservation oracle in cosmos-testkit checks the totals, while rate
+//! queries use the window.
+//!
+//! All bucketing is keyed by tuple timestamps (virtual time), never the
+//! wall clock, so metrics are deterministic and replayable.
+
+use cosmos_types::TimeDelta;
+use std::collections::VecDeque;
+
+/// Number of buckets a window is divided into.
+pub const WINDOW_BUCKETS: i64 = 8;
+
+/// Sliding tuple/byte counters over the trailing window of virtual time.
+#[derive(Debug, Clone)]
+pub struct RateWindow {
+    bucket_ms: i64,
+    /// Live buckets in ascending bucket-index order (at most
+    /// [`WINDOW_BUCKETS`] entries).
+    buckets: VecDeque<Bucket>,
+    total_tuples: u64,
+    total_bytes: u64,
+    /// Virtual time of the first recorded sample, for ramp-up rates
+    /// before a full window has elapsed.
+    first_ms: Option<i64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    index: i64,
+    tuples: u64,
+    bytes: u64,
+}
+
+impl RateWindow {
+    /// A window spanning `window` of virtual time.
+    pub fn new(window: TimeDelta) -> RateWindow {
+        let span_ms = window.millis().max(WINDOW_BUCKETS);
+        RateWindow {
+            bucket_ms: (span_ms / WINDOW_BUCKETS).max(1),
+            buckets: VecDeque::new(),
+            total_tuples: 0,
+            total_bytes: 0,
+            first_ms: None,
+        }
+    }
+
+    /// Record `tuples` tuples totalling `bytes` bytes at virtual time
+    /// `at_ms`. Out-of-order samples older than the newest bucket are
+    /// folded into the newest bucket so memory stays bounded.
+    pub fn record(&mut self, at_ms: i64, tuples: u64, bytes: u64) {
+        self.total_tuples += tuples;
+        self.total_bytes += bytes;
+        if self.first_ms.is_none() || at_ms < self.first_ms.unwrap_or(i64::MAX) {
+            self.first_ms = Some(at_ms);
+        }
+        let mut index = at_ms.div_euclid(self.bucket_ms);
+        if let Some(back) = self.buckets.back_mut() {
+            if index <= back.index {
+                back.tuples += tuples;
+                back.bytes += bytes;
+                return;
+            }
+            index = index.max(back.index + 1);
+        }
+        self.buckets.push_back(Bucket {
+            index,
+            tuples,
+            bytes,
+        });
+        while self.buckets.len() as i64 > WINDOW_BUCKETS {
+            self.buckets.pop_front();
+        }
+    }
+
+    /// Exact lifetime tuple count.
+    pub fn total_tuples(&self) -> u64 {
+        self.total_tuples
+    }
+
+    /// Exact lifetime byte count.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn windowed(&self, now_ms: i64) -> (u64, u64) {
+        let oldest_live = now_ms.div_euclid(self.bucket_ms) - (WINDOW_BUCKETS - 1);
+        let mut tuples = 0;
+        let mut bytes = 0;
+        for b in &self.buckets {
+            if b.index >= oldest_live && b.index <= now_ms.div_euclid(self.bucket_ms) {
+                tuples += b.tuples;
+                bytes += b.bytes;
+            }
+        }
+        (tuples, bytes)
+    }
+
+    /// Effective window span at `now_ms`, in seconds: the configured
+    /// window, shortened during ramp-up to the time actually observed.
+    fn span_secs(&self, now_ms: i64) -> f64 {
+        let window_ms = self.bucket_ms * WINDOW_BUCKETS;
+        let observed_ms = match self.first_ms {
+            Some(f) => (now_ms - f + 1).max(1),
+            None => 1,
+        };
+        window_ms.min(observed_ms) as f64 / 1000.0
+    }
+
+    /// Windowed arrival rate in tuples per second as of `now_ms`.
+    pub fn tuple_rate(&self, now_ms: i64) -> f64 {
+        self.windowed(now_ms).0 as f64 / self.span_secs(now_ms)
+    }
+
+    /// Windowed throughput in bytes per second as of `now_ms`.
+    pub fn byte_rate(&self, now_ms: i64) -> f64 {
+        self.windowed(now_ms).1 as f64 / self.span_secs(now_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_exact_and_window_slides() {
+        let mut w = RateWindow::new(TimeDelta::from_secs(8));
+        for t in 0..16 {
+            w.record(t * 1000, 2, 20);
+        }
+        assert_eq!(w.total_tuples(), 32);
+        assert_eq!(w.total_bytes(), 320);
+        // At t=15s only the last 8 seconds (16 tuples) are live.
+        let rate = w.tuple_rate(15_999);
+        assert!((rate - 2.0).abs() < 0.2, "rate {rate}");
+        // Far in the future the window is empty.
+        assert_eq!(w.tuple_rate(1_000_000) as i64, 0);
+        assert_eq!(w.total_tuples(), 32, "totals never decay");
+    }
+
+    #[test]
+    fn ramp_up_uses_observed_span() {
+        let mut w = RateWindow::new(TimeDelta::from_secs(60));
+        // 10 tuples over 2 seconds: a 60s denominator would report 0.17
+        // tuples/s; the ramp-up span reports ~5/s.
+        for t in 0..10 {
+            w.record(t * 200, 1, 10);
+        }
+        let rate = w.tuple_rate(1_999);
+        assert!((rate - 5.0).abs() < 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn out_of_order_samples_fold_into_newest_bucket() {
+        let mut w = RateWindow::new(TimeDelta::from_secs(8));
+        w.record(7_000, 1, 10);
+        w.record(1_000, 1, 10);
+        assert_eq!(w.total_tuples(), 2);
+        let (tuples, _) = w.windowed(7_000);
+        assert_eq!(tuples, 2);
+    }
+
+    #[test]
+    fn zero_width_windows_are_clamped() {
+        let mut w = RateWindow::new(TimeDelta::ZERO);
+        w.record(0, 1, 10);
+        assert!(w.tuple_rate(0).is_finite());
+    }
+}

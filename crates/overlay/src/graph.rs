@@ -1,17 +1,29 @@
 //! Weighted undirected overlay graphs with planar node positions.
 
 use cosmos_types::{CosmosError, NodeId, Result};
+use std::collections::BTreeMap;
 
 /// An undirected overlay graph.
 ///
 /// Nodes are dense ids `0..n`. Each node has a position in the unit
 /// square; link weights default to the Euclidean distance between the
 /// endpoints, which is the BRITE convention for link delay.
+///
+/// Links carry up/down state: [`Graph::fail_link`] removes a link from
+/// the adjacency lists (so neighbor iteration, shortest paths, and
+/// spanning trees all exclude it automatically) while remembering its
+/// weight, and [`Graph::heal_link`] restores it. Downed pairs are also
+/// excluded from [`Graph::link_delay`], the single pricing function the
+/// tree optimizer and the runtime byte accounting share.
 #[derive(Debug, Clone)]
 pub struct Graph {
     adj: Vec<Vec<(NodeId, f64)>>,
     pos: Vec<(f64, f64)>,
     edges: usize,
+    /// Failed links by canonical `(min, max)` endpoint pair. The value
+    /// is the weight the edge had when it failed (`None` when the pair
+    /// had no underlying graph edge — a repair-created logical link).
+    downed: BTreeMap<(NodeId, NodeId), Option<f64>>,
 }
 
 impl Graph {
@@ -21,7 +33,12 @@ impl Graph {
             adj: vec![Vec::new(); n],
             pos: vec![(0.0, 0.0); n],
             edges: 0,
+            downed: BTreeMap::new(),
         }
+    }
+
+    fn canon(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        (u.min(v), u.max(v))
     }
 
     /// Number of nodes.
@@ -122,6 +139,85 @@ impl Graph {
         hist
     }
 
+    /// Mark the link `u - v` as failed.
+    ///
+    /// A live graph edge is removed from the adjacency lists — so
+    /// neighbor iteration, Dijkstra, Prim, and degree counts all exclude
+    /// it with no further bookkeeping — and its weight is remembered for
+    /// [`Graph::heal_link`]. A pair with no underlying edge (a
+    /// repair-created logical link) is recorded as down too, so
+    /// [`Graph::link_delay`] stops pricing it. Failing an already-downed
+    /// link is an error.
+    pub fn fail_link(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        if u == v {
+            return Err(CosmosError::Overlay(format!(
+                "cannot fail self loop at {u}"
+            )));
+        }
+        if u.index() >= self.adj.len() || v.index() >= self.adj.len() {
+            return Err(CosmosError::Overlay(format!(
+                "link {u}-{v} references unknown node (n={})",
+                self.adj.len()
+            )));
+        }
+        let key = Self::canon(u, v);
+        if self.downed.contains_key(&key) {
+            return Err(CosmosError::Overlay(format!(
+                "link {u}-{v} is already down"
+            )));
+        }
+        let weight = self.edge_weight(u, v);
+        if weight.is_some() {
+            self.adj[u.index()].retain(|(n, _)| *n != v);
+            self.adj[v.index()].retain(|(n, _)| *n != u);
+            self.edges -= 1;
+        }
+        self.downed.insert(key, weight);
+        Ok(())
+    }
+
+    /// Restore a link previously failed with [`Graph::fail_link`],
+    /// re-adding the edge with its original weight (a no-op for downed
+    /// pairs that never had a graph edge). Healing a link that is not
+    /// down is an error.
+    pub fn heal_link(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        match self.downed.remove(&Self::canon(u, v)) {
+            None => Err(CosmosError::Overlay(format!("link {u}-{v} is not down"))),
+            Some(None) => Ok(()),
+            Some(Some(w)) => self.add_edge(u, v, w),
+        }
+    }
+
+    /// Whether the link `u - v` is currently marked down.
+    pub fn is_link_down(&self, u: NodeId, v: NodeId) -> bool {
+        self.downed.contains_key(&Self::canon(u, v))
+    }
+
+    /// Currently downed links as canonical `(min, max)` pairs, in
+    /// deterministic order.
+    pub fn downed_links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.downed.keys().copied()
+    }
+
+    /// The delay of the logical link `u - v` — the one number both cost
+    /// estimation ([`TreeOptimizer::cost`](crate::TreeOptimizer)) and
+    /// runtime byte accounting must read so measured and estimated
+    /// weighted cost agree:
+    ///
+    /// - `Some(weight)` for a live graph edge;
+    /// - `None` for a downed pair (the link is unusable at any price);
+    /// - `Some(distance.max(ε))` otherwise — the potential delay of a
+    ///   repair-created logical link with no physical edge.
+    pub fn link_delay(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        if let Some(w) = self.edge_weight(u, v) {
+            return Some(w);
+        }
+        if self.is_link_down(u, v) {
+            return None;
+        }
+        Some(self.distance(u, v).max(f64::EPSILON))
+    }
+
     /// Whether every node is reachable from node 0.
     pub fn is_connected(&self) -> bool {
         if self.adj.is_empty() {
@@ -181,6 +277,66 @@ mod tests {
         assert!(g.is_connected());
         assert!(Graph::new(0).is_connected());
         assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn fail_and_heal_link_round_trip() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.5).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.5).unwrap();
+        g.fail_link(NodeId(1), NodeId(0)).unwrap();
+        assert!(g.is_link_down(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), None);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(1)), 1);
+        assert!(!g.is_connected());
+        assert_eq!(
+            g.downed_links().collect::<Vec<_>>(),
+            vec![(NodeId(0), NodeId(1))]
+        );
+        // double-fail and healing an up link are errors
+        assert!(g.fail_link(NodeId(0), NodeId(1)).is_err());
+        assert!(g.heal_link(NodeId(1), NodeId(2)).is_err());
+        g.heal_link(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(1.5));
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.is_link_down(NodeId(0), NodeId(1)));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn fail_link_on_logical_pair_prices_as_unusable() {
+        let mut g = Graph::new(3);
+        g.set_position(NodeId(0), 0.0, 0.0);
+        g.set_position(NodeId(2), 0.6, 0.8);
+        // no 0-2 edge: link_delay falls back to the distance
+        assert!((g.link_delay(NodeId(0), NodeId(2)).unwrap() - 1.0).abs() < 1e-12);
+        g.fail_link(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(g.link_delay(NodeId(0), NodeId(2)), None);
+        assert_eq!(g.edge_count(), 0);
+        g.heal_link(NodeId(0), NodeId(2)).unwrap();
+        // healing a logical pair restores the distance fallback, no edge
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert!((g.link_delay(NodeId(0), NodeId(2)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_delay_prefers_edge_weight_over_distance() {
+        let mut g = Graph::new(2);
+        g.set_position(NodeId(0), 0.0, 0.0);
+        g.set_position(NodeId(1), 0.3, 0.4);
+        g.add_edge(NodeId(0), NodeId(1), 5.0).unwrap();
+        // the explicit weight wins even though the distance is 0.5
+        assert_eq!(g.link_delay(NodeId(0), NodeId(1)), Some(5.0));
+        assert_eq!(g.link_delay(NodeId(1), NodeId(0)), Some(5.0));
+    }
+
+    #[test]
+    fn fail_link_rejects_bad_pairs() {
+        let mut g = Graph::new(2);
+        assert!(g.fail_link(NodeId(0), NodeId(0)).is_err());
+        assert!(g.fail_link(NodeId(0), NodeId(7)).is_err());
     }
 
     #[test]

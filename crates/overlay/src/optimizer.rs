@@ -18,9 +18,12 @@
 //! parent to its grandparent (promotion), to a sibling (demotion), or to
 //! any node on its root path — the same move repertoire as the
 //! coherency-preserving tree transformations of ref \[18\]. A move is
-//! applied only when it strictly lowers the global cost; links take
-//! their delay from node positions, so any overlay pair may become a
-//! tree edge (overlay links are logical).
+//! applied only when it strictly lowers the global cost; links are
+//! priced by [`Graph::link_delay`] — a live edge by its weight, any
+//! other overlay pair by the endpoint distance (overlay links are
+//! logical, so any pair may become a tree edge), and a **downed** pair
+//! at infinite cost, so hill-climbing never adopts a failed link and
+//! actively moves away from one.
 
 use crate::graph::Graph;
 use crate::tree::Tree;
@@ -87,7 +90,8 @@ impl TreeOptimizer {
     /// Total cost of a tree under per-node consumer demand.
     ///
     /// `demand[u]` is the rate at which node `u` consumes data from the
-    /// root (0 for pure forwarders).
+    /// root (0 for pure forwarders). A tree using a downed link costs
+    /// `f64::INFINITY` — it cannot carry traffic at any price.
     pub fn cost(&self, g: &Graph, tree: &Tree, demand: &[f64]) -> f64 {
         let n = tree.node_count();
         // Root-path delay per node, computed by preorder accumulation.
@@ -95,7 +99,10 @@ impl TreeOptimizer {
         let mut stack = vec![tree.root()];
         while let Some(u) = stack.pop() {
             for &c in tree.children(u) {
-                delay[c.index()] = delay[u.index()] + g.distance(u, c).max(f64::EPSILON);
+                let Some(d) = g.link_delay(u, c) else {
+                    return f64::INFINITY;
+                };
+                delay[c.index()] = delay[u.index()] + d;
                 stack.push(c);
             }
         }
@@ -302,6 +309,43 @@ mod tests {
             "optimizer must never worsen the tree"
         );
         assert!(report.improvement() > 0.05, "expected a real improvement");
+    }
+
+    #[test]
+    fn routes_away_from_a_downed_link_and_never_readopts_it() {
+        // Chain 0-1-2-3; failing 1-2 makes the chain tree infinitely
+        // expensive, so optimization must reattach node 2's subtree over
+        // a logical link — and must never move anything back onto 1-2.
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            g.set_position(NodeId(i), 0.25 * i as f64, 0.0);
+            if i > 0 {
+                g.add_edge_by_distance(NodeId(i - 1), NodeId(i)).unwrap();
+            }
+        }
+        let mut tree = Tree::from_edges(
+            4,
+            NodeId(0),
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+            ],
+        )
+        .unwrap();
+        let demand = vec![0.0, 1.0, 1.0, 1.0];
+        let opt = TreeOptimizer::default();
+        g.fail_link(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(opt.cost(&g, &tree, &demand), f64::INFINITY);
+        let report = opt.optimize(&g, &mut tree, &demand);
+        assert!(report.moves > 0);
+        assert!(report.cost_after.is_finite());
+        for (p, c) in tree.edges() {
+            assert!(
+                !g.is_link_down(p, c),
+                "downed link {p}-{c} used as tree edge"
+            );
+        }
     }
 
     #[test]

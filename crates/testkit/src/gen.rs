@@ -22,7 +22,7 @@ pub fn generate(seed: u64) -> Scenario {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC05_305);
 
     // Deployment shape. A fifth of the scenarios exercise per-source
-    // trees (where link-failure events are skipped by design).
+    // trees (link failures repair every affected per-source tree).
     let per_source_trees = rng.gen_bool(0.2);
     let (topology, nodes) = match rng.gen_range(0..6u32) {
         0 | 1 => (
@@ -201,16 +201,14 @@ pub fn generate(seed: u64) -> Scenario {
         let at = rng.gen_range(head..=events.len());
         events.insert(at, Event::OptimizeTree);
     }
-    if !per_source_trees {
-        for _ in 0..rng.gen_range(0..=2usize) {
-            let at = rng.gen_range(head..=events.len());
-            events.insert(
-                at,
-                Event::FailLink {
-                    nth: rng.gen_range(0..64u32),
-                },
-            );
-        }
+    for _ in 0..rng.gen_range(0..=2usize) {
+        let at = rng.gen_range(head..=events.len());
+        events.insert(
+            at,
+            Event::FailLink {
+                nth: rng.gen_range(0..64u32),
+            },
+        );
     }
 
     Scenario {

@@ -6,6 +6,7 @@
 //! cosmos-sim replay FILE
 //! cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]
 //! cosmos-sim snapshot --seed S [--baseline] [--out FILE]
+//! cosmos-sim metrics --seed S [--baseline] [--out FILE]
 //! ```
 //!
 //! `run` expands one seed and checks every oracle — including the static
@@ -16,7 +17,10 @@
 //! written next to it. `replay` re-checks a scenario file (shrunk files
 //! stay failing until the bug is fixed, then flip to PASS). `sweep` runs
 //! a contiguous seed range, as CI does. `snapshot` dumps the network
-//! snapshot a seed's scenario ends in, for `cosmos-verify <file>`. The
+//! snapshot a seed's scenario ends in, for `cosmos-verify <file>`.
+//! `metrics` dumps the versioned metrics snapshot the same run ends in —
+//! per-link/node traffic, observed stream statistics, per-query delivery
+//! rates and latencies, and the aggregated router counters. The
 //! hidden `--inject-bug` flag disables selection re-tightening in the
 //! merge layer — a deliberately broken build used to prove the oracles
 //! catch real merge bugs (the static verifier flags it as V0501 with no
@@ -33,7 +37,8 @@ fn usage(msg: &str) -> ExitCode {
         "usage: cosmos-sim run --seed S [--no-shrink] [--out FILE]\n\
          \u{20}      cosmos-sim replay FILE\n\
          \u{20}      cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]\n\
-         \u{20}      cosmos-sim snapshot --seed S [--baseline] [--out FILE]"
+         \u{20}      cosmos-sim snapshot --seed S [--baseline] [--out FILE]\n\
+         \u{20}      cosmos-sim metrics --seed S [--baseline] [--out FILE]"
     );
     ExitCode::from(2)
 }
@@ -142,6 +147,12 @@ fn main() -> ExitCode {
             }
             dump_snapshot(&o)
         }
+        "metrics" => {
+            if !seed_given {
+                return usage("metrics needs --seed");
+            }
+            dump_metrics(&o)
+        }
         other => usage(&format!("unknown command '{other}'")),
     }
 }
@@ -173,6 +184,50 @@ fn dump_snapshot(o: &Opts) -> ExitCode {
     match std::fs::write(&path, json) {
         Ok(()) => {
             println!("wrote {path} (verify with: cosmos-verify {path})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cosmos-sim: could not write {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Run one seed's scenario to the end and dump the metrics snapshot it
+/// produced. Any metrics-conservation violation the run recorded makes
+/// the command fail.
+fn dump_metrics(o: &Opts) -> ExitCode {
+    let scenario = gen::generate(o.seed);
+    let opts = RunOptions {
+        merging: !o.baseline,
+        static_verify: false,
+        ..RunOptions::default()
+    };
+    let outcome = match run_scenario(&scenario, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cosmos-sim: seed {}: {e}", o.seed);
+            return ExitCode::from(2);
+        }
+    };
+    if let Some((ev_idx, detail)) = outcome.metrics_violations.first() {
+        eprintln!(
+            "cosmos-sim: seed {}: metrics conservation broken after event #{ev_idx}: {detail}",
+            o.seed
+        );
+        return ExitCode::FAILURE;
+    }
+    let Some(json) = outcome.metrics_json else {
+        eprintln!("cosmos-sim: seed {}: run produced no metrics", o.seed);
+        return ExitCode::from(2);
+    };
+    let path = o
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("seed-{}.metrics.json", o.seed));
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            println!("wrote {path}");
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -92,6 +92,11 @@ pub struct CheckOptions {
     /// Static verification (`cosmos-verify`) of the routing state after
     /// every routing-relevant event, in both merged and baseline modes.
     pub static_verify: bool,
+    /// Metrics conservation: the metrics layer's lifetime counters must
+    /// agree with the driver's accounting after every event, and the
+    /// final metrics snapshot must be byte-identical across the
+    /// determinism replay.
+    pub metrics_conservation: bool,
 }
 
 impl Default for CheckOptions {
@@ -103,6 +108,7 @@ impl Default for CheckOptions {
             metamorphic_batch: true,
             determinism: true,
             static_verify: true,
+            metrics_conservation: true,
         }
     }
 }
@@ -128,6 +134,9 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
     )
     .map_err(run_err)?;
     static_verify_failure(&merged, "merged")?;
+    if opts.metrics_conservation {
+        metrics_conservation_failure(&merged, "merged")?;
+    }
 
     if opts.determinism {
         // The verifier only reads state, so skipping it here cannot
@@ -150,6 +159,13 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
                 ),
             });
         }
+        if opts.metrics_conservation && again.metrics_json != merged.metrics_json {
+            return Err(Failure {
+                oracle: "determinism".into(),
+                label: None,
+                detail: "two runs of the same scenario produced different metrics snapshots".into(),
+            });
+        }
     }
 
     if opts.differential {
@@ -166,6 +182,9 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
     )
     .map_err(run_err)?;
     static_verify_failure(&baseline, "baseline")?;
+    if opts.metrics_conservation {
+        metrics_conservation_failure(&baseline, "baseline")?;
+    }
     if opts.differential {
         differential(&baseline, "baseline")?;
     }
@@ -186,6 +205,9 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             },
         )
         .map_err(run_err)?;
+        if opts.metrics_conservation {
+            metrics_conservation_failure(&treed, "treed")?;
+        }
         metamorphic_tree(&merged, &treed)?;
     }
 
@@ -199,6 +221,9 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             },
         )
         .map_err(run_err)?;
+        if opts.metrics_conservation {
+            metrics_conservation_failure(&batched, "batched")?;
+        }
         metamorphic_batch(&merged, &batched)?;
     }
 
@@ -209,6 +234,24 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         epochs: merged.queries.iter().map(|q| q.epochs.len()).sum(),
         merge_compared,
         digest: merged.digest,
+    })
+}
+
+/// Surface a run's metrics-conservation violations as an oracle failure.
+fn metrics_conservation_failure(run: &RunOutcome, mode: &str) -> Result<(), Failure> {
+    let Some((ev_idx, detail)) = run.metrics_violations.first() else {
+        return Ok(());
+    };
+    Err(Failure {
+        oracle: format!("metrics-conservation ({mode})"),
+        label: None,
+        detail: format!(
+            "after event #{ev_idx}: {detail}{}",
+            match run.metrics_violations.len() {
+                1 => String::new(),
+                n => format!(" (+{} more violations)", n - 1),
+            }
+        ),
     })
 }
 

@@ -118,6 +118,16 @@ pub struct RunOutcome {
     pub first_violation_snapshot: Option<String>,
     /// JSON of the network snapshot after the last event.
     pub final_snapshot: Option<String>,
+    /// Metrics-conservation violations, as `(event index, detail)` —
+    /// the metrics layer's lifetime counters must agree exactly with
+    /// the driver's own accounting after every event. Excluded from
+    /// `digest` (like `static_violations`).
+    pub metrics_violations: Vec<(usize, String)>,
+    /// JSON of the final [`cosmos::MetricsSnapshot`]. Compared for
+    /// byte equality across the determinism replay (same mode only:
+    /// router plan-cache counters legitimately differ between
+    /// per-tuple and batched publishing).
+    pub metrics_json: Option<String>,
     /// Digest over delivered results, epochs, and routing state — equal
     /// across runs iff the runs were observably identical.
     pub digest: u64,
@@ -159,6 +169,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
     let mut routing_digests: Vec<u64> = Vec::new();
     let mut static_violations: Vec<(usize, String)> = Vec::new();
     let mut first_violation_snapshot: Option<String> = None;
+    let mut metrics_violations: Vec<(usize, String)> = Vec::new();
 
     for (ev_idx, ev) in scenario.events.iter().enumerate() {
         match ev {
@@ -248,7 +259,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
             }
             Event::FailLink { nth } => {
                 let edges: Vec<(NodeId, NodeId)> = sys.tree().edges().collect();
-                if edges.is_empty() || sc.per_source_trees {
+                if edges.is_empty() {
                     skipped_events += 1;
                 } else {
                     let (a, b) = edges[*nth as usize % edges.len()];
@@ -281,6 +292,35 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
             }
         }
         routing_digests.push(sys.routing_digest());
+        // Metrics conservation: the metrics layer's lifetime counters
+        // must agree with the driver's accounting at every event
+        // boundary — Σ per-link metric bytes against `total_bytes()`,
+        // and per-query delivered counts against the delivery buffers
+        // (withdrawn queries keep their buffers, so they stay covered).
+        let hub = sys.metrics_hub();
+        if hub.link_bytes_total() != sys.total_bytes() {
+            metrics_violations.push((
+                ev_idx,
+                format!(
+                    "link byte conservation broken: metrics {} vs accounted {}",
+                    hub.link_bytes_total(),
+                    sys.total_bytes()
+                ),
+            ));
+        }
+        for q in &queries {
+            let want = sys.results(q.qid).len() as u64;
+            let got = hub.delivered_count(q.qid);
+            if got != want {
+                metrics_violations.push((
+                    ev_idx,
+                    format!(
+                        "delivery conservation broken for query #{}: metrics {got} vs delivered {want}",
+                        q.label
+                    ),
+                ));
+            }
+        }
         // Static oracle: prove V1–V5 over the routing state this event
         // left behind. Plain publishes don't move routing state, so
         // re-verifying after them would only re-prove the same snapshot.
@@ -333,6 +373,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
     let digest = h.finish();
 
     let final_snapshot = Some(sys.snapshot()?.to_json()?);
+    let metrics_json = Some(sys.metrics().to_json()?);
 
     Ok(RunOutcome {
         queries,
@@ -344,6 +385,8 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         static_violations,
         first_violation_snapshot,
         final_snapshot,
+        metrics_violations,
+        metrics_json,
         digest,
     })
 }

@@ -88,7 +88,8 @@ pub enum Event {
     /// Run the adaptive dissemination-tree reorganizer.
     OptimizeTree,
     /// Fail the `nth mod edge-count` link of the current shared tree
-    /// (skipped in per-source-tree mode).
+    /// (in per-source-tree mode every per-source tree using the link
+    /// is repaired too).
     FailLink { nth: u32 },
 }
 

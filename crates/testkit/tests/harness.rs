@@ -69,6 +69,7 @@ fn injected_merge_bug_is_caught_by_metamorphic_oracle() {
         metamorphic_batch: false,
         determinism: false,
         static_verify: false,
+        metrics_conservation: false,
     };
     for seed in [1u64, 6] {
         let scenario = gen::generate(seed);
@@ -98,6 +99,7 @@ fn injected_merge_bug_is_caught_statically_before_any_publish() {
         metamorphic_batch: false,
         determinism: false,
         static_verify: true,
+        metrics_conservation: false,
     };
     for seed in [1u64, 6] {
         let mut scenario = gen::generate(seed);
