@@ -1,0 +1,102 @@
+//! Cost of the resource-bound layer on the control path.
+//!
+//! `cosmos_bound::check_query` runs inside every `submit_query`, so its
+//! latency is pure admission overhead; `query_bounds` is re-evaluated by
+//! the testkit oracle after every event against an ever-growing publish
+//! trace. This bench measures both: admission analysis over a query
+//! corpus (rate envelope, closed form) and bound extraction against
+//! trace envelopes of increasing length, where the two-pointer window
+//! occupancy scan dominates.
+
+use cosmos_bound::{check_query, query_bounds, Envelope};
+use cosmos_cql::parse_query;
+use cosmos_query::StatsCatalog;
+use cosmos_spe::AnalyzedQuery;
+use cosmos_workload::sensor_catalog;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A corpus spanning the operator shapes the analyzer special-cases:
+/// stateless selection, windowed join, grouped aggregate, DISTINCT, and
+/// an unbounded join that trips the B0101 rejection path.
+const CORPUS: &[&str] = &[
+    "SELECT node_id, ambient_temp FROM sensors_00 [Now] WHERE ambient_temp > 30.0",
+    "SELECT A.node_id, B.humidity FROM sensors_00 [Range 30 Second] A, \
+     sensors_01 [Range 10 Second] B WHERE A.node_id = B.node_id",
+    "SELECT node_id, COUNT(*) FROM sensors_02 [Range 5 Minute] GROUP BY node_id",
+    "SELECT DISTINCT node_id FROM sensors_03 [Range 1 Minute]",
+    "SELECT A.node_id FROM sensors_00 [Unbounded] A, sensors_01 [Now] B \
+     WHERE A.node_id = B.node_id",
+];
+
+fn analyzed_corpus(catalog: &StatsCatalog) -> Vec<AnalyzedQuery> {
+    CORPUS
+        .iter()
+        .map(|text| {
+            AnalyzedQuery::analyze(&parse_query(text).unwrap(), catalog.schema_fn()).unwrap()
+        })
+        .collect()
+}
+
+/// A trace envelope with `n` jittered arrivals per stream used by the
+/// corpus (mean 2 tuples/sec), mimicking what the testkit oracle
+/// accumulates from the publish log.
+fn trace_envelope(n: usize) -> Envelope {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut env = Envelope::new();
+    for i in 0..4 {
+        let stream = cosmos_workload::sensor::stream_name(i).into();
+        let mut ts = 0i64;
+        for _ in 0..n {
+            ts += rng.gen_range(100i64..900);
+            env.record(&stream, ts, rng.gen_range(40..80));
+        }
+    }
+    env
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let catalog = sensor_catalog();
+    let corpus = analyzed_corpus(&catalog);
+    c.bench_function("bound/check_query corpus", |b| {
+        b.iter(|| {
+            let mut diags = 0usize;
+            for q in &corpus {
+                diags += check_query(black_box(q)).len();
+            }
+            black_box(diags)
+        })
+    });
+}
+
+fn bench_query_bounds(c: &mut Criterion) {
+    let catalog = sensor_catalog();
+    let corpus = analyzed_corpus(&catalog);
+
+    let rate_env = Envelope::from_catalog(&catalog, Some(60.0));
+    c.bench_function("bound/query_bounds rate-envelope corpus", |b| {
+        b.iter(|| {
+            for q in &corpus {
+                black_box(query_bounds(black_box(q), &rate_env));
+            }
+        })
+    });
+
+    let mut group = c.benchmark_group("bound/query_bounds trace-envelope");
+    for n in [256usize, 1024, 4096] {
+        let env = trace_envelope(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                for q in &corpus {
+                    black_box(query_bounds(black_box(q), &env));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission, bench_query_bounds);
+criterion_main!(benches);

@@ -1,0 +1,347 @@
+//! Arrival envelopes and the extended-real bound arithmetic.
+//!
+//! An [`Envelope`] abstracts what a stream can deliver: how many tuples
+//! in total (`N`), how many can coexist inside a closed sliding window
+//! of a given width (`W`), and how wide a single tuple can be (`B`).
+//! Every quantitative bound in [`crate::query_bounds`] is a closed-form
+//! expression over these three per-stream quantities, so the same
+//! formulas serve two instantiations:
+//!
+//! * **Rate envelopes** ([`Envelope::from_catalog`]) — from registered
+//!   catalog statistics, for capacity planning and the CLI report.
+//! * **Trace envelopes** ([`Envelope::record`]) — from the tuples
+//!   actually published, which the testkit's soundness oracle uses so
+//!   that measured metrics check the *formulas*, independent of
+//!   catalog accuracy.
+
+use cosmos_query::estimate::{StatsCatalog, TUPLE_HEADER_BYTES};
+use cosmos_types::{StreamName, TimeDelta};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A worst-case quantity: a finite number or provably unbounded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// At most this many (rows, bytes, …).
+    Finite(f64),
+    /// No finite bound is derivable.
+    Unbounded,
+}
+
+impl Bound {
+    /// The zero bound.
+    pub const ZERO: Bound = Bound::Finite(0.0);
+
+    /// The finite value, if any.
+    pub fn as_finite(self) -> Option<f64> {
+        match self {
+            Bound::Finite(x) => Some(x),
+            Bound::Unbounded => None,
+        }
+    }
+
+    /// Whether no finite bound exists.
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, Bound::Unbounded)
+    }
+
+    /// Whether a measured value stays within the bound. An unbounded
+    /// bound dominates everything.
+    pub fn dominates(self, measured: f64) -> bool {
+        match self {
+            Bound::Finite(x) => measured <= x,
+            Bound::Unbounded => true,
+        }
+    }
+}
+
+/// Saturating addition: `∞ + x = ∞`.
+impl std::ops::Add for Bound {
+    type Output = Bound;
+
+    fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a + b),
+            _ => Bound::Unbounded,
+        }
+    }
+}
+
+/// Saturating multiplication with the measure-theoretic zero rule
+/// `0 × ∞ = 0`: an empty window contributes nothing even when the other
+/// factor is unbounded.
+impl std::ops::Mul for Bound {
+    type Output = Bound;
+
+    fn mul(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a * b),
+            (Bound::Finite(x), Bound::Unbounded) | (Bound::Unbounded, Bound::Finite(x))
+                if x == 0.0 =>
+            {
+                Bound::ZERO
+            }
+            _ => Bound::Unbounded,
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(x) => write!(f, "{x}"),
+            Bound::Unbounded => f.write_str("∞"),
+        }
+    }
+}
+
+/// What one stream can deliver, in one of two precisions.
+#[derive(Debug, Clone)]
+pub enum StreamEnvelope {
+    /// Catalog abstraction: a mean arrival rate, an optional finite
+    /// horizon, and an estimated per-tuple width.
+    Rate {
+        /// Mean arrivals per second.
+        tuples_per_sec: f64,
+        /// Total lifetime in seconds, when the deployment is finite.
+        horizon_secs: Option<f64>,
+        /// Estimated wire bytes per tuple (header included).
+        tuple_bytes: f64,
+    },
+    /// Observed trace: per-tuple arrival timestamps (in publish order)
+    /// and the widest tuple seen.
+    Trace {
+        /// Arrival timestamps in milliseconds, publish order.
+        timestamps: Vec<i64>,
+        /// Largest observed [`cosmos_types::Tuple::size_bytes`].
+        max_tuple_bytes: u64,
+        /// Whether the timestamps are nondecreasing (the executor's
+        /// arrival contract); a violation degrades `W` to `N`.
+        nondecreasing: bool,
+    },
+}
+
+impl StreamEnvelope {
+    /// `N`: total rows the stream can ever deliver.
+    fn total_rows(&self) -> Bound {
+        match self {
+            StreamEnvelope::Rate {
+                tuples_per_sec,
+                horizon_secs,
+                ..
+            } => match horizon_secs {
+                Some(h) => Bound::Finite((tuples_per_sec * h).ceil() + 1.0),
+                None => Bound::Unbounded,
+            },
+            StreamEnvelope::Trace { timestamps, .. } => Bound::Finite(timestamps.len() as f64),
+        }
+    }
+
+    /// `W(w)`: the most rows that can coexist in a closed window
+    /// `[τ − w, τ]` anchored at any arrival τ.
+    fn window_rows(&self, w: TimeDelta) -> Bound {
+        if w.is_infinite() {
+            return self.total_rows();
+        }
+        match self {
+            StreamEnvelope::Rate { tuples_per_sec, .. } => {
+                // Mean-rate occupancy plus the anchoring arrival itself.
+                Bound::Finite((tuples_per_sec * w.as_secs_f64()).ceil() + 1.0)
+            }
+            StreamEnvelope::Trace {
+                timestamps,
+                nondecreasing,
+                ..
+            } => {
+                if !nondecreasing {
+                    // Out-of-order arrivals break the two-pointer scan;
+                    // the total is always a sound fallback.
+                    return Bound::Finite(timestamps.len() as f64);
+                }
+                // max over k of #{j ≤ k : ts_j ≥ ts_k − w} — exactly
+                // the executor's eviction rule (strictly-older tuples
+                // are popped, the closed boundary is retained).
+                let w_ms = w.millis();
+                let (mut lo, mut best) = (0usize, 0usize);
+                for (k, &ts) in timestamps.iter().enumerate() {
+                    while timestamps[lo] < ts - w_ms {
+                        lo += 1;
+                    }
+                    best = best.max(k - lo + 1);
+                }
+                Bound::Finite(best as f64)
+            }
+        }
+    }
+
+    /// `B`: the widest tuple the stream can deliver, wire bytes.
+    fn tuple_bytes(&self) -> Bound {
+        match self {
+            StreamEnvelope::Rate { tuple_bytes, .. } => Bound::Finite(*tuple_bytes),
+            StreamEnvelope::Trace {
+                max_tuple_bytes, ..
+            } => Bound::Finite(*max_tuple_bytes as f64),
+        }
+    }
+}
+
+/// Per-stream arrival envelopes. Streams absent from the envelope have
+/// no derivable bound: every query over them reports [`Bound::Unbounded`]
+/// rather than a wrong number.
+#[derive(Debug, Clone, Default)]
+pub struct Envelope {
+    streams: BTreeMap<StreamName, StreamEnvelope>,
+}
+
+impl Envelope {
+    /// An empty envelope (everything unbounded).
+    pub fn new() -> Envelope {
+        Envelope::default()
+    }
+
+    /// A rate envelope over every stream of a statistics catalog, using
+    /// the registered mean rates and estimated schema widths. With
+    /// `horizon_secs: None`, total-row bounds are unbounded and only
+    /// window-state bounds are finite — the steady-state view.
+    pub fn from_catalog(catalog: &StatsCatalog, horizon_secs: Option<f64>) -> Envelope {
+        let mut env = Envelope::new();
+        for stream in catalog.streams() {
+            let rate = catalog.stats(stream).map(|s| s.rate).unwrap_or(0.0);
+            let bytes = catalog
+                .schema(stream)
+                .map_or(0.0, |s| s.estimated_tuple_bytes() as f64)
+                + TUPLE_HEADER_BYTES;
+            env.set(
+                stream.clone(),
+                StreamEnvelope::Rate {
+                    tuples_per_sec: rate,
+                    horizon_secs,
+                    tuple_bytes: bytes,
+                },
+            );
+        }
+        env
+    }
+
+    /// Install or replace one stream's envelope.
+    pub fn set(&mut self, stream: StreamName, envelope: StreamEnvelope) {
+        self.streams.insert(stream, envelope);
+    }
+
+    /// Append one observed arrival to a stream's trace envelope
+    /// (creating it on first use). `size_bytes` is the published
+    /// tuple's wire size.
+    pub fn record(&mut self, stream: &StreamName, ts_millis: i64, size_bytes: usize) {
+        let e = self
+            .streams
+            .entry(stream.clone())
+            .or_insert(StreamEnvelope::Trace {
+                timestamps: Vec::new(),
+                max_tuple_bytes: 0,
+                nondecreasing: true,
+            });
+        match e {
+            StreamEnvelope::Trace {
+                timestamps,
+                max_tuple_bytes,
+                nondecreasing,
+            } => {
+                if timestamps.last().is_some_and(|&last| ts_millis < last) {
+                    *nondecreasing = false;
+                }
+                timestamps.push(ts_millis);
+                *max_tuple_bytes = (*max_tuple_bytes).max(size_bytes as u64);
+            }
+            StreamEnvelope::Rate { .. } => {
+                // Mixing a trace into a rate envelope is a caller bug;
+                // keep the rate abstraction (it is not oracle-checked).
+            }
+        }
+    }
+
+    /// `N(s)`: total rows stream `s` can ever deliver.
+    pub fn total_rows(&self, stream: &StreamName) -> Bound {
+        self.streams
+            .get(stream)
+            .map_or(Bound::Unbounded, StreamEnvelope::total_rows)
+    }
+
+    /// `W(s, w)`: most rows of `s` coexisting in a closed window of
+    /// width `w`.
+    pub fn window_rows(&self, stream: &StreamName, w: TimeDelta) -> Bound {
+        self.streams
+            .get(stream)
+            .map_or(Bound::Unbounded, |e| e.window_rows(w))
+    }
+
+    /// `B(s)`: widest tuple of `s`, wire bytes.
+    pub fn tuple_bytes(&self, stream: &StreamName) -> Bound {
+        self.streams
+            .get(stream)
+            .map_or(Bound::Unbounded, StreamEnvelope::tuple_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_arithmetic_saturates_with_zero_rule() {
+        let two = Bound::Finite(2.0);
+        assert_eq!(two + Bound::Finite(3.0), Bound::Finite(5.0));
+        assert_eq!(two + Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(two * Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(Bound::ZERO * Bound::Unbounded, Bound::ZERO);
+        assert_eq!(Bound::Unbounded * Bound::ZERO, Bound::ZERO);
+        assert!(Bound::Unbounded.dominates(1e18));
+        assert!(two.dominates(2.0));
+        assert!(!two.dominates(2.5));
+    }
+
+    #[test]
+    fn trace_window_occupancy_is_exact_on_monotone_arrivals() {
+        let mut env = Envelope::new();
+        let s = StreamName::from("S");
+        for (ts, bytes) in [(0, 20), (100, 30), (150, 25), (1000, 20)] {
+            env.record(&s, ts, bytes);
+        }
+        assert_eq!(env.total_rows(&s), Bound::Finite(4.0));
+        assert_eq!(env.tuple_bytes(&s), Bound::Finite(30.0));
+        // w = 100 ms: {0,100} and {100,150} both fit; {0,100,150} not.
+        assert_eq!(
+            env.window_rows(&s, TimeDelta::from_millis(100)),
+            Bound::Finite(2.0)
+        );
+        // Closed boundary: ts 0 is retained at τ = 100 with w = 100.
+        assert_eq!(
+            env.window_rows(&s, TimeDelta::from_millis(150)),
+            Bound::Finite(3.0)
+        );
+        // Now-window: no two arrivals share a timestamp.
+        assert_eq!(env.window_rows(&s, TimeDelta::ZERO), Bound::Finite(1.0));
+        assert_eq!(env.window_rows(&s, TimeDelta::INFINITE), Bound::Finite(4.0));
+    }
+
+    #[test]
+    fn out_of_order_trace_degrades_to_total() {
+        let mut env = Envelope::new();
+        let s = StreamName::from("S");
+        for ts in [0, 500, 100] {
+            env.record(&s, ts, 20);
+        }
+        assert_eq!(
+            env.window_rows(&s, TimeDelta::from_millis(1)),
+            Bound::Finite(3.0)
+        );
+    }
+
+    #[test]
+    fn unknown_stream_is_unbounded() {
+        let env = Envelope::new();
+        let s = StreamName::from("nope");
+        assert!(env.total_rows(&s).is_unbounded());
+        assert!(env.window_rows(&s, TimeDelta::ZERO).is_unbounded());
+        assert!(env.tuple_bytes(&s).is_unbounded());
+    }
+}

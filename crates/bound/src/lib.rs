@@ -1,0 +1,64 @@
+#![forbid(unsafe_code)]
+//! `cosmos-bound` — abstract-interpretation resource-bound analysis.
+//!
+//! The CBN plans deployments from *registered* catalog estimates, but an
+//! estimate is not a guarantee: nothing in the lint pass (PR 1) or the
+//! whole-network verifier (PR 4) proves that a deployed query cannot
+//! grow its executor state or a node's consumed byte load without bound.
+//! This crate derives **closed-form worst-case bounds** for both, over
+//! an explicit *arrival envelope* abstraction, and detects queries whose
+//! state is provably unbounded — before any tuple is published:
+//!
+//! * [`absint`] — the abstraction domain: per-attribute intervals
+//!   extracted from the difference-constraint graph
+//!   ([`cosmos_cbn::conjunction_range`]), hulled across filter
+//!   disjuncts, intersected along dissemination paths, and projected —
+//!   the value-level half of the interpreter, used by `cosmos-verify`'s
+//!   V6xx family to prove hop-by-hop abstraction consistency.
+//! * [`Envelope`] — the quantitative half: per-stream bounds on total
+//!   rows, closed-window occupancy, and tuple width, instantiable from
+//!   catalog statistics (capacity planning) or from an observed trace
+//!   (the testkit's bound-soundness oracle).
+//! * [`query_bounds`] — the bound derivation itself: retained rows and
+//!   bytes per executor component (join buffers, aggregate window,
+//!   group table, DISTINCT dedup set), output rows/bytes per query, and
+//!   per-processor consumed-byte load.
+//! * [`check_query`] — the structural unboundedness check behind the
+//!   `Cosmos::submit_query` admission gate: error-level `B0xxx`
+//!   diagnostics reject a query whose state grows without bound no
+//!   matter what the arrival envelope says (see [`codes`]).
+//!
+//! Every bound is **sound by construction** against the executor's
+//! actual retention policy (closed `[τ − w, τ]` windows, group pruning
+//! on emptiness, one output row per aggregate arrival), and the testkit
+//! re-checks that claim on every sweep seed by instantiating the
+//! formulas with the *observed* trace envelope and comparing against
+//! measured `cosmos-metrics` counters.
+
+mod analysis;
+mod envelope;
+
+pub mod absint;
+
+pub use analysis::{check_query, query_bounds, QueryBounds};
+pub use envelope::{Bound, Envelope, StreamEnvelope};
+
+/// Stable diagnostic codes for the bound analysis.
+///
+/// `B01xx` are structural unboundedness findings (envelope-independent);
+/// `B02xx` are informational capacity reports. A code's meaning never
+/// changes once published; retired codes are not reused.
+pub mod codes {
+    /// A multi-stream query joins over an `[Unbounded]` window: its
+    /// join buffer retains every arrival of that stream forever.
+    pub const UNBOUNDED_JOIN_STATE: &str = "B0101";
+    /// An aggregate runs over an `[Unbounded]` window: its window
+    /// buffer (and group table) retains every qualifying arrival.
+    pub const UNBOUNDED_AGG_WINDOW: &str = "B0102";
+    /// A DISTINCT query's dedup set grows with every distinct output
+    /// row — bounded only by total input, never evicted.
+    pub const DISTINCT_STATE: &str = "B0103";
+    /// Informational capacity report: the derived worst-case state and
+    /// load bounds for an admitted query (CLI only).
+    pub const STATE_BOUND: &str = "B0201";
+}

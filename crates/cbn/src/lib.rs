@@ -46,4 +46,6 @@ pub use predicate::{AttrConstraint, Conjunction, DiffRange, Interval};
 pub use profile::{Profile, ProfileEntry, Projection};
 pub use registry::{RegisteredStream, RegistryMode, SchemaRegistry};
 pub use router::{BatchForward, Destination, ForwardDecision, ProjectionPlan, Router};
-pub use sat::{conjunction_implies, conjunction_unsat, filters_imply, filters_intersect};
+pub use sat::{
+    conjunction_implies, conjunction_range, conjunction_unsat, filters_imply, filters_intersect,
+};

@@ -23,6 +23,7 @@
 //! and reject queries, so only the `true` direction must be trusted.
 
 use crate::predicate::{AttrConstraint, Conjunction, Interval};
+use cosmos_types::Value;
 use std::collections::BTreeMap;
 
 /// One additional difference bound `to − from ≤ w` (`None` = the virtual
@@ -37,103 +38,154 @@ struct ExtraEdge<'a> {
     strict: bool,
 }
 
+/// The difference-constraint graph of a conjunction: one node per
+/// attribute appearing in a difference constraint (plus the virtual
+/// origin, node 0, pinned at value 0), one edge per derivable bound
+/// `to − from ≤ w`. Shared by the infeasibility check ([`unsat_with`])
+/// and the per-attribute interval extraction ([`conjunction_range`]).
+struct ConstraintGraph<'a> {
+    idx: BTreeMap<&'a str, usize>,
+    /// `(from, to, weight, strict)`: constraint `to − from ≤ weight`,
+    /// strict when the bound excludes equality.
+    edges: Vec<(usize, usize, f64, bool)>,
+    /// Tolerance scaled to the weights in play so float rounding cannot
+    /// manufacture a spurious negative cycle or an over-tight bound.
+    eps: f64,
+}
+
+impl<'a> ConstraintGraph<'a> {
+    fn build(c: &'a Conjunction, extra: &[ExtraEdge<'a>]) -> ConstraintGraph<'a> {
+        // Nodes: one per attribute that appears in a difference
+        // constraint (of `c` or of an extra edge). Attributes outside
+        // every difference constraint cannot interact with anything;
+        // their interval emptiness is covered by the shallow `is_unsat`
+        // check upstream, and their ranges are read off directly.
+        let mut idx: BTreeMap<&str, usize> = BTreeMap::new();
+        for (a, b, _) in c.diff_constraints() {
+            let next = idx.len() + 1;
+            idx.entry(a).or_insert(next);
+            let next = idx.len() + 1;
+            idx.entry(b).or_insert(next);
+        }
+        for e in extra {
+            for name in [e.from, e.to].into_iter().flatten() {
+                let next = idx.len() + 1;
+                idx.entry(name).or_insert(next);
+            }
+        }
+
+        let mut edges: Vec<(usize, usize, f64, bool)> = Vec::new();
+        for (a, b, r) in c.diff_constraints() {
+            let (ia, ib) = (idx[a], idx[b]);
+            // lo ≤ a − b ≤ hi: `a − b ≤ hi` and `b − a ≤ −lo`.
+            if r.hi.is_finite() {
+                edges.push((ib, ia, r.hi, false));
+            }
+            if r.lo.is_finite() {
+                edges.push((ia, ib, -r.lo, false));
+            }
+        }
+        for (name, ac) in c.attr_constraints() {
+            let Some(&i) = idx.get(name) else { continue };
+            // `a ≤ v` ⇒ a − origin ≤ v; `a ≥ v` ⇒ origin − a ≤ −v.
+            // Non-numeric bounds are skipped (sound: skipping only
+            // loosens).
+            if let Some((v, incl)) = &ac.interval.hi {
+                if let Some(x) = v.as_f64() {
+                    edges.push((0, i, x, !incl));
+                }
+            }
+            if let Some((v, incl)) = &ac.interval.lo {
+                if let Some(x) = v.as_f64() {
+                    edges.push((i, 0, -x, !incl));
+                }
+            }
+        }
+        for e in extra {
+            let from = e.from.map_or(0, |a| idx[a]);
+            let to = e.to.map_or(0, |a| idx[a]);
+            edges.push((from, to, e.w, e.strict));
+        }
+
+        let max_w = edges.iter().map(|e| e.2.abs()).fold(0.0f64, f64::max);
+        let eps = 1e-9 * (1.0 + max_w) * edges.len().max(1) as f64;
+        ConstraintGraph { idx, edges, eps }
+    }
+
+    fn node_count(&self) -> usize {
+        self.idx.len() + 1 // node 0 is the virtual origin
+    }
+
+    /// Lexicographic path weight (sum, strict-edge count): a path is
+    /// strictly shorter when its sum is smaller beyond tolerance, or the
+    /// sums tie and it crosses more strict bounds (each strict edge is
+    /// an infinitesimal −ε).
+    fn less(&self, a: (f64, usize), b: (f64, usize)) -> bool {
+        a.0 < b.0 - self.eps || (a.0 <= b.0 + self.eps && a.1 > b.1)
+    }
+
+    /// Whether the difference-constraint system is infeasible: Bellman–
+    /// Ford from an implicit super-source (all distances 0); after n
+    /// relaxation rounds, any still-relaxable edge lies on a negative
+    /// (or zero-but-strict) cycle.
+    fn infeasible(&self) -> bool {
+        if self.idx.is_empty() || self.edges.is_empty() {
+            return false;
+        }
+        let mut dist = vec![(0.0f64, 0usize); self.node_count()];
+        for _ in 0..self.node_count() {
+            let mut changed = false;
+            for &(u, v, w, strict) in &self.edges {
+                let cand = (dist[u].0 + w, dist[u].1 + strict as usize);
+                if self.less(cand, dist[v]) {
+                    dist[v] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return false;
+            }
+        }
+        self.edges.iter().any(|&(u, v, w, strict)| {
+            let cand = (dist[u].0 + w, dist[u].1 + strict as usize);
+            self.less(cand, dist[v])
+        })
+    }
+
+    /// Single-source shortest paths from the origin (node 0), optionally
+    /// over the reversed edge set. `dists[i] = Some((d, strict))` means
+    /// the tightest derivable path bound is `d`, crossing a strict edge
+    /// iff `strict`; `None` means node `i` is unreachable (no bound).
+    /// Only meaningful on a feasible graph (no negative cycles).
+    fn origin_distances(&self, reversed: bool) -> Vec<Option<(f64, bool)>> {
+        let n = self.node_count();
+        let mut dist: Vec<Option<(f64, usize)>> = vec![None; n];
+        dist[0] = Some((0.0, 0));
+        for _ in 1..n.max(2) {
+            let mut changed = false;
+            for &(u, v, w, strict) in &self.edges {
+                let (u, v) = if reversed { (v, u) } else { (u, v) };
+                let Some(du) = dist[u] else { continue };
+                let cand = (du.0 + w, du.1 + strict as usize);
+                if dist[v].is_none_or(|dv| self.less(cand, dv)) {
+                    dist[v] = Some(cand);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        dist.into_iter()
+            .map(|d| d.map(|(sum, strict)| (sum, strict > 0)))
+            .collect()
+    }
+}
+
 /// Whether `c`, conjoined with the extra difference bounds, provably
 /// admits no assignment. The core of every entry point in this module.
 fn unsat_with(c: &Conjunction, extra: &[ExtraEdge<'_>]) -> bool {
-    // Nodes: one per attribute that appears in a difference constraint
-    // (of `c` or of an extra edge). Attributes outside every difference
-    // constraint cannot interact with anything, and their interval
-    // emptiness is covered by the shallow `is_unsat` check upstream.
-    let mut idx: BTreeMap<&str, usize> = BTreeMap::new();
-    for (a, b, _) in c.diff_constraints() {
-        let next = idx.len() + 1;
-        idx.entry(a).or_insert(next);
-        let next = idx.len() + 1;
-        idx.entry(b).or_insert(next);
-    }
-    for e in extra {
-        for name in [e.from, e.to].into_iter().flatten() {
-            let next = idx.len() + 1;
-            idx.entry(name).or_insert(next);
-        }
-    }
-    if idx.is_empty() {
-        return false;
-    }
-    let n = idx.len() + 1; // node 0 is the virtual origin (value 0)
-
-    // Edges (from, to, weight, strict): constraint `to − from ≤ weight`,
-    // strict when the bound excludes equality.
-    let mut edges: Vec<(usize, usize, f64, bool)> = Vec::new();
-    for (a, b, r) in c.diff_constraints() {
-        let (ia, ib) = (idx[a], idx[b]);
-        // lo ≤ a − b ≤ hi: `a − b ≤ hi` and `b − a ≤ −lo`.
-        if r.hi.is_finite() {
-            edges.push((ib, ia, r.hi, false));
-        }
-        if r.lo.is_finite() {
-            edges.push((ia, ib, -r.lo, false));
-        }
-    }
-    for (name, ac) in c.attr_constraints() {
-        let Some(&i) = idx.get(name) else { continue };
-        // `a ≤ v` ⇒ a − origin ≤ v; `a ≥ v` ⇒ origin − a ≤ −v.
-        // Non-numeric bounds are skipped (sound: skipping only loosens).
-        if let Some((v, incl)) = &ac.interval.hi {
-            if let Some(x) = v.as_f64() {
-                edges.push((0, i, x, !incl));
-            }
-        }
-        if let Some((v, incl)) = &ac.interval.lo {
-            if let Some(x) = v.as_f64() {
-                edges.push((i, 0, -x, !incl));
-            }
-        }
-    }
-    for e in extra {
-        let from = e.from.map_or(0, |a| idx[a]);
-        let to = e.to.map_or(0, |a| idx[a]);
-        edges.push((from, to, e.w, e.strict));
-    }
-    if edges.is_empty() {
-        return false;
-    }
-
-    // Tolerance scaled to the weights in play so float rounding cannot
-    // manufacture a spurious negative cycle (a false "unsat" would drop a
-    // live filter; missing a borderline cycle merely skips a lint).
-    let max_w = edges.iter().map(|e| e.2.abs()).fold(0.0f64, f64::max);
-    let eps = 1e-9 * (1.0 + max_w) * edges.len() as f64;
-
-    // Lexicographic path weight (sum, strict-edge count): a path is
-    // strictly shorter when its sum is smaller beyond tolerance, or the
-    // sums tie and it crosses more strict bounds (each strict edge is an
-    // infinitesimal −ε).
-    let less = |a: (f64, usize), b: (f64, usize)| -> bool {
-        a.0 < b.0 - eps || (a.0 <= b.0 + eps && a.1 > b.1)
-    };
-
-    // Bellman–Ford from an implicit super-source (all distances 0). After
-    // n relaxation rounds, any still-relaxable edge lies on a negative
-    // (or zero-but-strict) cycle — i.e. the system is infeasible.
-    let mut dist = vec![(0.0f64, 0usize); n];
-    for _ in 0..n {
-        let mut changed = false;
-        for &(u, v, w, strict) in &edges {
-            let cand = (dist[u].0 + w, dist[u].1 + strict as usize);
-            if less(cand, dist[v]) {
-                dist[v] = cand;
-                changed = true;
-            }
-        }
-        if !changed {
-            return false;
-        }
-    }
-    edges.iter().any(|&(u, v, w, strict)| {
-        let cand = (dist[u].0 + w, dist[u].1 + strict as usize);
-        less(cand, dist[v])
-    })
+    ConstraintGraph::build(c, extra).infeasible()
 }
 
 /// Whether the conjunction provably admits no assignment.
@@ -146,6 +198,65 @@ pub fn conjunction_unsat(c: &Conjunction) -> bool {
         return true;
     }
     unsat_with(c, &[])
+}
+
+/// The tightest per-attribute intervals implied by a conjunction,
+/// extracted from its difference-constraint graph.
+///
+/// Returns `None` when the conjunction is provably unsatisfiable — its
+/// abstraction is the empty set. Otherwise every referenced attribute
+/// maps to a **sound over-approximation** of its admissible values:
+/// the attribute's own declared interval (covering non-numeric bounds
+/// the graph cannot express), tightened by shortest paths through the
+/// difference constraints — `dist(origin → x)` is the tightest
+/// derivable upper bound on `x`, `−dist(x → origin)` the tightest
+/// lower bound, with a bound strict iff its tightest path crosses a
+/// strict edge. So `a − b ≤ 2 AND b < 3` yields `a < 5` even though
+/// `a` carries no interval constraint of its own. Exclusions (`!=`)
+/// are ignored and graph bounds are widened by the float tolerance,
+/// both of which only loosen the result — every satisfying assignment
+/// lies inside every returned interval.
+pub fn conjunction_range(c: &Conjunction) -> Option<BTreeMap<String, Interval>> {
+    if conjunction_unsat(c) {
+        return None;
+    }
+    // Base abstraction: each referenced attribute's declared interval.
+    let mut out: BTreeMap<String, Interval> = c
+        .referenced_attrs()
+        .into_iter()
+        .map(|attr| {
+            let interval = c.constraint_for(&attr).interval;
+            (attr, interval)
+        })
+        .collect();
+    // Tighten attributes that participate in difference constraints.
+    let g = ConstraintGraph::build(c, &[]);
+    if g.idx.is_empty() {
+        return Some(out);
+    }
+    let upper = g.origin_distances(false);
+    let lower = g.origin_distances(true);
+    for (name, &i) in &g.idx {
+        let mut derived = Interval::full();
+        // Widen by the graph tolerance: `x ≤ d` proven with float sums
+        // must not round into a bound tighter than the real one.
+        if let Some((d, strict)) = upper[i] {
+            derived.hi = Some((Value::Float(d + g.eps), !strict));
+        }
+        if let Some((d, strict)) = lower[i] {
+            derived.lo = Some((Value::Float(-d - g.eps), !strict));
+        }
+        let entry = out
+            .entry((*name).to_string())
+            .or_insert_with(Interval::full);
+        *entry = entry.intersect(&derived);
+        if entry.is_empty() {
+            // Both operands over-approximate the admissible values, so
+            // an empty meet proves the conjunction itself is empty.
+            return None;
+        }
+    }
+    Some(out)
 }
 
 /// Whether every assignment satisfying `a` satisfies `b` (`a ⇒ b`).
@@ -531,6 +642,146 @@ mod tests {
         assert!(!filters_intersect(&[], &[dead]));
     }
 
+    #[test]
+    fn empty_conjunction_degenerate_cases() {
+        let always = Conjunction::always();
+        assert!(!conjunction_unsat(&always));
+        assert!(conjunction_implies(&always, &always));
+        let mut restrictive = Conjunction::always();
+        restrictive.lower("a", 5, true);
+        assert!(!conjunction_implies(&always, &restrictive));
+        assert!(conjunction_implies(&restrictive, &always));
+        // An always-true disjunct behaves as accept-all inside a list.
+        assert!(filters_imply(
+            &[restrictive.clone()],
+            &[Conjunction::always()]
+        ));
+        assert!(!filters_imply(&[Conjunction::always()], &[restrictive]));
+    }
+
+    #[test]
+    fn tautological_bounds_are_implied() {
+        // x ≤ 5 ⇒ x < 6 and x ≤ 5 over the reals — the semantic check
+        // must see both even though neither is syntactically keyed.
+        let mut a = Conjunction::always();
+        a.upper("x", 5, true);
+        let mut b = Conjunction::always();
+        b.upper("x", 6, false);
+        assert!(conjunction_implies(&a, &b));
+        let mut same = Conjunction::always();
+        same.upper("x", 5, true);
+        assert!(conjunction_implies(&a, &same));
+        // …but not the converse.
+        assert!(!conjunction_implies(&b, &a));
+    }
+
+    #[test]
+    fn equality_chain_at_interval_endpoints() {
+        // a = b, b ∈ [3, 7], a ≥ 7: the chain pins both to exactly 7 —
+        // satisfiable at the closed endpoint, empty once it is open.
+        let mut c = Conjunction::always();
+        c.diff("a", "b", DiffRange::new(0.0, 0.0))
+            .between("b", 3, 7)
+            .lower("a", 7, true);
+        assert!(!conjunction_unsat(&c));
+        let mut open = Conjunction::always();
+        open.diff("a", "b", DiffRange::new(0.0, 0.0))
+            .between("b", 3, 7)
+            .lower("a", 7, false);
+        assert!(conjunction_unsat(&open));
+    }
+
+    #[test]
+    fn filter_lists_of_only_unsat_disjuncts() {
+        let dead = {
+            let mut c = Conjunction::always();
+            c.lower("a", 5, true).upper("a", 5, false);
+            c
+        };
+        // Every-disjunct-dead antecedent implies anything (vacuous) and
+        // intersects nothing — including accept-all.
+        let mut restrictive = Conjunction::always();
+        restrictive.lower("b", 0, true);
+        assert!(filters_imply(
+            &[dead.clone(), dead.clone()],
+            std::slice::from_ref(&restrictive)
+        ));
+        assert!(!filters_intersect(
+            std::slice::from_ref(&dead),
+            &[restrictive]
+        ));
+        assert!(!filters_intersect(std::slice::from_ref(&dead), &[]));
+        assert!(!filters_intersect(&[], &[dead]));
+    }
+
+    #[test]
+    fn range_of_empty_conjunction_is_empty_map() {
+        let r = conjunction_range(&Conjunction::always()).expect("always is satisfiable");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn range_of_unsat_conjunction_is_none() {
+        let mut c = Conjunction::always();
+        c.diff("a", "b", ge(0.0)).lower("b", 5, true).upper(
+            "a", 5, false, // a ≥ b ≥ 5 and a < 5
+        );
+        assert_eq!(conjunction_range(&c), None);
+    }
+
+    #[test]
+    fn range_reads_declared_intervals_for_diff_free_attrs() {
+        let mut c = Conjunction::always();
+        c.between("x", 2, 9).equals("name", Value::str("abc"));
+        let r = conjunction_range(&c).unwrap();
+        assert_eq!(r["x"], Interval::closed(Value::Int(2), Value::Int(9)));
+        assert_eq!(r["name"], Interval::point(Value::str("abc")));
+    }
+
+    #[test]
+    fn range_tightens_through_differences() {
+        // a − b ≤ 2 AND 0 ≤ b ≤ 3: a ≤ 5 though a has no own bound.
+        let mut c = Conjunction::always();
+        c.diff("a", "b", DiffRange::new(f64::NEG_INFINITY, 2.0))
+            .between("b", 0, 3);
+        let r = conjunction_range(&c).unwrap();
+        let (hi, incl) = r["a"].hi.clone().expect("derived upper bound");
+        assert!(incl);
+        let hi = hi.as_f64().unwrap();
+        assert!((hi - 5.0).abs() < 1e-6, "a ≤ {hi}, expected ≈5");
+        assert!(r["a"].lo.is_none(), "no lower bound is derivable");
+        // b keeps its declared closed interval.
+        assert_eq!(r["b"], Interval::closed(Value::Int(0), Value::Int(3)));
+    }
+
+    #[test]
+    fn range_strictness_follows_the_tightest_path() {
+        // a ≥ b AND b > 2: the derived lower bound on a is strict.
+        let mut c = Conjunction::always();
+        c.diff("a", "b", ge(0.0)).lower("b", 2, false);
+        let r = conjunction_range(&c).unwrap();
+        let (lo, incl) = r["a"].lo.clone().expect("derived lower bound");
+        assert!(!incl, "bound through a strict edge must stay strict");
+        let lo = lo.as_f64().unwrap();
+        assert!((lo - 2.0).abs() < 1e-6, "a > {lo}, expected ≈2");
+    }
+
+    #[test]
+    fn range_pins_equality_chains_at_endpoints() {
+        // a = b, b ∈ [3, 7], a ≥ 7 ⇒ both collapse to ≈[7, 7].
+        let mut c = Conjunction::always();
+        c.diff("a", "b", DiffRange::new(0.0, 0.0))
+            .between("b", 3, 7)
+            .lower("a", 7, true);
+        let r = conjunction_range(&c).unwrap();
+        for attr in ["a", "b"] {
+            let (lo, _) = r[attr].lo.clone().expect("lower");
+            let (hi, _) = r[attr].hi.clone().expect("upper");
+            assert!((lo.as_f64().unwrap() - 7.0).abs() < 1e-6, "{attr} lo");
+            assert!((hi.as_f64().unwrap() - 7.0).abs() < 1e-6, "{attr} hi");
+        }
+    }
+
     mod prop_tests {
         use super::*;
         use proptest::prelude::*;
@@ -644,6 +895,43 @@ mod tests {
                                     prop_assert!(
                                         satisfied_at(&b, [x, y, z]),
                                         "claimed {a} ⇒ {b} but ({x},{y},{z}) refutes it"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            /// Range-extraction soundness: every sampled satisfying
+            /// point must lie inside every interval the extraction
+            /// claims — and a conjunction with a witness must not map
+            /// to `None` (the empty abstraction).
+            #[test]
+            fn extracted_ranges_contain_every_sampled_point(
+                atoms in proptest::collection::vec(arb_atom(), 0..8),
+            ) {
+                let c = build(&atoms);
+                let ranges = conjunction_range(&c);
+                for x in -5i64..=5 {
+                    for y in -5i64..=5 {
+                        for z in -5i64..=5 {
+                            if !satisfied_at(&c, [x, y, z]) {
+                                continue;
+                            }
+                            let Some(ranges) = &ranges else {
+                                prop_assert!(
+                                    false,
+                                    "empty abstraction despite witness ({x},{y},{z}): {c}"
+                                );
+                                unreachable!()
+                            };
+                            for (i, v) in [x, y, z].into_iter().enumerate() {
+                                if let Some(iv) = ranges.get(ATTRS[i]) {
+                                    prop_assert!(
+                                        iv.contains(&Value::Int(v)),
+                                        "{} = {v} escapes claimed {iv} of {c}",
+                                        ATTRS[i]
                                     );
                                 }
                             }

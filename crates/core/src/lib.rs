@@ -36,4 +36,4 @@ pub mod system;
 pub use autotune::{AutotuneOptions, AutotuneReport};
 pub use cosmos_metrics::{MetricsConfig, MetricsSnapshot, RouterTotals, METRICS_VERSION};
 pub use snapshot::NetworkSnapshot;
-pub use system::{Cosmos, CosmosConfig, NodeRole};
+pub use system::{Cosmos, CosmosConfig, NodeRole, RepStateView};

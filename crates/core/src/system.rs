@@ -6,7 +6,7 @@ use cosmos_cbn::{BatchForward, Destination, Profile, RegistryMode, Router, Schem
 use cosmos_metrics::{relative_drift, MetricsConfig, MetricsHub, MetricsSnapshot, RouterTotals};
 use cosmos_overlay::{generate, minimum_spanning_tree, Graph, TopologyKind, Tree};
 use cosmos_query::{retighten_profile, GroupManager, StatsCatalog, StreamStats};
-use cosmos_spe::{AnalyzedQuery, Executor};
+use cosmos_spe::{AnalyzedQuery, Executor, StateSize};
 use cosmos_types::{
     CosmosError, FxHashMap, NodeId, QueryId, Result, Schema, StreamName, SubscriberId, Tuple,
 };
@@ -76,6 +76,20 @@ struct RepSite {
     executor: Executor,
     /// Generation stamp of this executor (see [`Cosmos::executor_generation`]).
     generation: u64,
+}
+
+/// Read-only view of one running representative executor's identity and
+/// retained-state occupancy (see [`Cosmos::rep_states`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RepStateView<'a> {
+    /// The result stream the representative produces.
+    pub result_stream: &'a StreamName,
+    /// The processor hosting the executor.
+    pub processor: NodeId,
+    /// The representative query the executor runs.
+    pub query: &'a AnalyzedQuery,
+    /// Measured per-component state occupancy.
+    pub state: StateSize,
 }
 
 /// One hop of the dissemination BFS: a stream-homogeneous batch of
@@ -481,6 +495,25 @@ impl Cosmos {
             .collect();
         let parsed = spanned.query;
         let analyzed = AnalyzedQuery::analyze(&parsed, self.catalog.schema_fn())?;
+        // Admission control (cosmos-bound): a query whose executor state
+        // provably grows without bound — a join buffer or aggregate
+        // window under `[Unbounded]` — is rejected before any routing
+        // state is allocated or the result stream is advertised.
+        // Warning-level findings (DISTINCT dedup state) ride along with
+        // the lint warnings.
+        let mut warnings = warnings;
+        for d in cosmos_bound::check_query(&analyzed) {
+            match d.severity {
+                cosmos_lint::Severity::Error => {
+                    return Err(CosmosError::Lint(format!("{}: {}", d.code, d.message)));
+                }
+                _ => {
+                    if warnings.len() < MAX_LINT_WARNINGS_PER_QUERY {
+                        warnings.push(d.headline());
+                    }
+                }
+            }
+        }
         let qid = QueryId(self.next_query);
         self.next_query += 1;
         if !warnings.is_empty() {
@@ -1017,6 +1050,26 @@ impl Cosmos {
         self.query_processor.get(&qid).copied()
     }
 
+    /// One view per running representative executor: its result stream,
+    /// the processor hosting it, the representative query it runs, and
+    /// its current retained-state occupancy — the measured side of
+    /// `cosmos-bound`'s per-executor state bounds. Ordered by result
+    /// stream for determinism.
+    pub fn rep_states(&self) -> Vec<RepStateView<'_>> {
+        let mut out: Vec<RepStateView<'_>> = self
+            .reps
+            .iter()
+            .map(|(stream, site)| RepStateView {
+                result_stream: stream,
+                processor: site.processor,
+                query: site.executor.query(),
+                state: site.executor.state_size(),
+            })
+            .collect();
+        out.sort_by_key(|v| v.result_stream.clone());
+        out
+    }
+
     /// Bytes that crossed the (undirected) overlay link `a - b`.
     pub fn link_bytes(&self, a: NodeId, b: NodeId) -> u64 {
         self.link_bytes
@@ -1467,6 +1520,54 @@ mod tests {
         assert!(sys.total_bytes() > 0);
         assert!(sys.weighted_cost() > 0.0);
         assert_eq!(sys.tuples_published(), 10);
+    }
+
+    #[test]
+    fn unbounded_state_query_is_rejected_at_admission() {
+        let mut sys = line_system(true);
+        sys.register_stream(
+            "T",
+            Schema::of(&[("k", AttrType::Int), ("timestamp", AttrType::Int)]),
+            StreamStats::with_rate(1.0).attr("k", AttrStats::categorical(10.0)),
+            NodeId(0),
+        )
+        .unwrap();
+        // Join buffers under [Unbounded] never evict: rejected before
+        // any routing state is allocated or data published.
+        let err = sys
+            .submit_query(
+                "SELECT S.k FROM S [Unbounded] S, T [Unbounded] T WHERE S.k = T.k",
+                NodeId(3),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("B0101"), "{err}");
+        // Aggregates over [Unbounded] retain their whole history.
+        let err = sys
+            .submit_query(
+                "SELECT k, COUNT(*) FROM S [Unbounded] GROUP BY k",
+                NodeId(2),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("B0102"), "{err}");
+        // Rejection left nothing behind: a fresh query gets id 0 and
+        // the system still works end to end.
+        let q = sys
+            .submit_query("SELECT DISTINCT k FROM S [Range 5 Second]", NodeId(3))
+            .unwrap();
+        assert_eq!(q, QueryId(0));
+        assert!(
+            sys.lint_warnings(q).iter().any(|w| w.contains("B0103")),
+            "DISTINCT warning recorded: {:?}",
+            sys.lint_warnings(q)
+        );
+        sys.run((0..4).map(|i| s_tuple(i * 1000, i % 2, i as f64)))
+            .unwrap();
+        assert_eq!(sys.results(q).len(), 2);
+        // The admission gate's measured counterpart: rep state views.
+        let views = sys.rep_states();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].processor, NodeId(0));
+        assert_eq!(views[0].state.distinct_rows, 2);
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub use parser::{parse_query, parse_query_spanned};
 pub use span::{QuerySpans, Span, SpannedQuery};
 pub use token::{is_keyword, Token, TokenKind};
 
+/// Split a `.cql` source text into individual statements: statements
+/// are separated by `;`, surrounding whitespace is trimmed, and empty
+/// statements (including a trailing terminator) are dropped. Shared by
+/// the `cosmos-lint` and `cosmos-bound` CLIs so "one file, many
+/// statements" means the same thing everywhere.
+pub fn split_statements(text: &str) -> impl Iterator<Item = &str> {
+    text.split(';').map(str::trim).filter(|s| !s.is_empty())
+}
+
 #[cfg(test)]
 mod roundtrip_tests {
     use super::*;
@@ -134,5 +143,19 @@ mod roundtrip_tests {
             let q2 = parse_query(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
             prop_assert_eq!(q, q2);
         }
+    }
+}
+
+#[cfg(test)]
+mod split_tests {
+    #[test]
+    fn split_statements_trims_and_drops_empties() {
+        let text = "  SELECT a FROM S [Now] ;\n\nSELECT b FROM T [Now];;\n";
+        let stmts: Vec<&str> = super::split_statements(text).collect();
+        assert_eq!(
+            stmts,
+            vec!["SELECT a FROM S [Now]", "SELECT b FROM T [Now]"]
+        );
+        assert_eq!(super::split_statements("  \n ; ; ").count(), 0);
     }
 }

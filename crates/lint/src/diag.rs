@@ -1,6 +1,7 @@
 //! The diagnostic model: stable codes, severities, and source spans.
 
 use cosmos_cql::Span;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable diagnostic codes.
@@ -130,6 +131,35 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
 }
 
+/// The machine-readable diagnostic form shared by every COSMOS static
+/// tool: `cosmos-lint` (`C` codes), `cosmos-verify` (`V` codes), and
+/// `cosmos-bound` (`B` codes) all emit this one shape under `--json`,
+/// so downstream tooling parses a single format regardless of which
+/// analyzer produced the finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JsonDiagnostic {
+    /// Stable diagnostic code (`C…`, `V…`, or `B…`).
+    pub code: String,
+    /// `"error"`, `"warning"`, or `"note"`.
+    pub severity: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Byte span `(start, end)` into the source statement; `null` when
+    /// the finding has no source text to point into.
+    pub span: Option<(usize, usize)>,
+}
+
+impl From<&Diagnostic> for JsonDiagnostic {
+    fn from(d: &Diagnostic) -> JsonDiagnostic {
+        JsonDiagnostic {
+            code: d.code.to_string(),
+            severity: d.severity.to_string(),
+            message: d.message.clone(),
+            span: d.span.map(|s| (s.start, s.end)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +185,19 @@ mod tests {
     fn render_without_span_is_just_the_headline() {
         let d = Diagnostic::warning(codes::UNSAT_DISJUNCT, "dead disjunct", None);
         assert_eq!(d.render("whatever"), "warning[C0402]: dead disjunct");
+    }
+
+    #[test]
+    fn json_form_round_trips_and_elides_missing_spans() {
+        let d = Diagnostic::error(codes::UNSAT_WHERE, "boom", Some(Span::new(3, 7)));
+        let j = serde_json::to_string(&JsonDiagnostic::from(&d)).unwrap();
+        assert!(j.contains("\"code\":\"C0101\""), "{j}");
+        assert!(j.contains("\"span\":[3,7]"), "{j}");
+        let back: JsonDiagnostic = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, JsonDiagnostic::from(&d));
+        let spanless = Diagnostic::warning(codes::UNSAT_DISJUNCT, "dead", None);
+        let j = serde_json::to_string(&JsonDiagnostic::from(&spanless)).unwrap();
+        assert!(j.contains("\"span\":null"), "{j}");
     }
 
     #[test]

@@ -37,6 +37,6 @@ mod profile;
 mod query;
 
 pub use catalog::parse_catalog;
-pub use diag::{codes, has_errors, Diagnostic, Severity};
+pub use diag::{codes, has_errors, Diagnostic, JsonDiagnostic, Severity};
 pub use profile::{check_profile, check_split};
 pub use query::{check_query, check_query_with};

@@ -2,20 +2,24 @@
 //! `cosmos-lint` CLI: lint `.cql` files of `;`-separated statements.
 //!
 //! ```text
-//! cosmos-lint [--schemas CATALOG] FILE...
+//! cosmos-lint [--schemas CATALOG] [--json] FILE...
 //! ```
 //!
 //! Without `--schemas`, only the catalog-free lints run (satisfiability,
 //! equality chains, windows); with a catalog file (see
 //! [`cosmos_lint::parse_catalog`] for the format) the schema and type
-//! checks run too. Exit status: 0 clean or warnings only, 1 if any
+//! checks run too. `--json` emits one JSON array of findings (the
+//! [`JsonDiagnostic`] form shared with `cosmos-verify` and
+//! `cosmos-bound`, wrapped with `file`/`statement` context) instead of
+//! the human rendering. Exit status: 0 clean or warnings only, 1 if any
 //! error-level finding (including parse errors), 2 on usage/IO problems.
 
-use cosmos_lint::{codes, parse_catalog, Diagnostic, Severity};
+use cosmos_lint::{codes, parse_catalog, Diagnostic, JsonDiagnostic, Severity};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut schemas: Option<String> = None;
+    let mut json = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -24,8 +28,9 @@ fn main() -> ExitCode {
                 Some(path) => schemas = Some(path),
                 None => return usage("--schemas needs a file argument"),
             },
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: cosmos-lint [--schemas CATALOG] FILE...");
+                eprintln!("usage: cosmos-lint [--schemas CATALOG] [--json] FILE...");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -56,6 +61,7 @@ fn main() -> ExitCode {
     };
 
     let (mut errors, mut warnings) = (0usize, 0usize);
+    let mut findings: Vec<serde_json::Value> = Vec::new();
     for file in &files {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -64,12 +70,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        for (n, stmt) in text
-            .split(';')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .enumerate()
-        {
+        for (n, stmt) in cosmos_cql::split_statements(&text).enumerate() {
             let diags = match cosmos_cql::parse_query_spanned(stmt) {
                 Err(e) => vec![Diagnostic::error(codes::PARSE, e.message(), None)],
                 Ok(sq) => match &catalog {
@@ -85,11 +86,24 @@ fn main() -> ExitCode {
                     Severity::Warning => warnings += 1,
                     Severity::Note => {}
                 }
-                println!("{file}: statement {}: {}", n + 1, d.render(stmt));
+                if json {
+                    findings.push(serde_json::json!({
+                        "file": file,
+                        "statement": n + 1,
+                        "diagnostic": JsonDiagnostic::from(d),
+                    }));
+                } else {
+                    println!("{file}: statement {}: {}", n + 1, d.render(stmt));
+                }
             }
         }
     }
-    if errors + warnings > 0 {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&findings).expect("findings always serialize")
+        );
+    } else if errors + warnings > 0 {
         println!(
             "cosmos-lint: {errors} error{}, {warnings} warning{}",
             if errors == 1 { "" } else { "s" },
@@ -104,6 +118,6 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("cosmos-lint: {msg}\nusage: cosmos-lint [--schemas CATALOG] FILE...");
+    eprintln!("cosmos-lint: {msg}\nusage: cosmos-lint [--schemas CATALOG] [--json] FILE...");
     ExitCode::from(2)
 }

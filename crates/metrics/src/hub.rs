@@ -257,6 +257,15 @@ impl MetricsHub {
             .unwrap_or(0.0)
     }
 
+    /// Lifetime bytes consumed at `node` (deliveries + SPE intake) —
+    /// the measured side of `cosmos-bound`'s per-node load bound.
+    pub fn consumed_bytes_total(&self, node: NodeId) -> u64 {
+        self.consumed
+            .get(&node)
+            .map(RateWindow::total_bytes)
+            .unwrap_or(0)
+    }
+
     /// Lifetime number of tuples delivered to `qid`.
     pub fn delivered_count(&self, qid: QueryId) -> u64 {
         self.queries
@@ -532,6 +541,11 @@ mod tests {
         assert!((q.latency_avg_ms - 350.0).abs() < 1e-9);
         assert!(hub.consumed_byte_rate(NodeId(1)) > 0.0);
         assert_eq!(hub.consumed_byte_rate(NodeId(0)), 0.0);
+        let batch_bytes: u64 = batch.iter().map(|t| t.size_bytes() as u64).sum();
+        assert_eq!(hub.consumed_bytes_total(NodeId(1)), batch_bytes);
+        assert_eq!(hub.consumed_bytes_total(NodeId(0)), 0);
+        hub.on_spe_intake(NodeId(1), &batch);
+        assert_eq!(hub.consumed_bytes_total(NodeId(1)), 2 * batch_bytes);
     }
 
     #[test]

@@ -161,15 +161,25 @@ pub fn constraint_selectivity(c: &AttrConstraint, stats: Option<&AttrStats>) -> 
     let Some(st) = stats else {
         return DEFAULT_SELECTIVITY;
     };
-    // Point constraint: 1/distinct.
+    // Point constraint: 1/distinct — but a point outside a numeric
+    // domain matches nothing (categorical stats have no range to check).
     if let (Some((lo, true)), Some((hi, true))) = (&c.interval.lo, &c.interval.hi) {
         if lo == hi {
-            let base = 1.0 / st.distinct;
-            return if c.excluded.contains(lo) { 0.0 } else { base };
+            if c.excluded.contains(lo) {
+                return 0.0;
+            }
+            if st.width() > 0.0 {
+                if let Some(v) = value_to_f64(lo) {
+                    if v < st.min || v > st.max {
+                        return 0.0;
+                    }
+                }
+            }
+            return 1.0 / st.distinct;
         }
     }
     let width = st.width();
-    let mut sel = if width <= 0.0 {
+    let sel = if width <= 0.0 {
         // Constant or categorical attribute: interval either covers the
         // single point or not; fall back to the default when unknown.
         DEFAULT_SELECTIVITY
@@ -190,10 +200,19 @@ pub fn constraint_selectivity(c: &AttrConstraint, stats: Option<&AttrStats>) -> 
             .min(st.max);
         ((hi - lo) / width).clamp(0.0, 1.0)
     };
-    // Each excluded point removes ~1/distinct of the mass.
-    let inside = c.excluded.iter().filter(|e| c.interval.contains(e)).count() as f64;
-    sel *= (1.0 - inside / st.distinct).clamp(0.0, 1.0);
-    sel
+    // Each excluded point removes one value's worth of mass, 1/distinct
+    // — but only if it lies inside both the constraint interval and the
+    // stats domain (an out-of-domain point carries no mass under
+    // uniformity), and as an absolute subtraction, matching the exact
+    // count `(rows in interval − excluded rows) / rows in domain`.
+    let in_domain =
+        |e: &Value| width <= 0.0 || value_to_f64(e).is_none_or(|v| v >= st.min && v <= st.max);
+    let inside = c
+        .excluded
+        .iter()
+        .filter(|e| c.interval.contains(e) && in_domain(e))
+        .count() as f64;
+    (sel - inside / st.distinct).clamp(0.0, 1.0)
 }
 
 /// Selectivity of a whole conjunction (independence assumption).

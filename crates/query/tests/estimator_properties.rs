@@ -93,6 +93,76 @@ proptest! {
         prop_assert!(cost_bps(&narrow_q, &cat) <= cost_bps(&wide_q, &cat) + 1e-9);
     }
 
+    /// Brute-force audit: on a uniform integer grid `{0, …, gmax}` with
+    /// `distinct = gmax + 1`, the model's selectivity for a closed
+    /// interval with excluded points must agree with the exact count
+    /// `#matching grid values / #grid values` to within the
+    /// discretization gap `1/(gmax+1)` (continuous width ratio vs
+    /// discrete count — the model's only remaining approximation).
+    #[test]
+    fn closed_intervals_agree_with_brute_force_grid(
+        gmax in 10i64..80,
+        lo in -20i64..120,
+        len in 0i64..60,
+        excl in proptest::collection::btree_set(-20i64..120, 0..3),
+    ) {
+        let st = AttrStats::numeric(0.0, gmax as f64, (gmax + 1) as f64);
+        let hi = lo + len;
+        let mut c = AttrConstraint::from_interval(
+            Interval::closed(Value::Int(lo), Value::Int(hi)),
+        );
+        for e in &excl {
+            c.excluded.insert(Value::Int(*e));
+        }
+        let exact = (0..=gmax)
+            .filter(|v| *v >= lo && *v <= hi && !excl.contains(v))
+            .count() as f64
+            / (gmax + 1) as f64;
+        let model = constraint_selectivity(&c, Some(&st));
+        let tol = 1.0 / (gmax + 1) as f64 + 1e-9;
+        prop_assert!(
+            (model - exact).abs() <= tol,
+            "grid [0,{gmax}] ∩ [{lo},{hi}] \\ {excl:?}: model {model}, exact {exact}, tol {tol}"
+        );
+    }
+
+    /// An excluded point outside the stats domain removes no mass.
+    #[test]
+    fn excluded_point_outside_domain_is_a_noop(p in 101i64..200) {
+        let st = AttrStats::numeric(0.0, 100.0, 500.0);
+        let base = AttrConstraint::from_interval(
+            Interval::closed(Value::Int(-10), Value::Int(150)),
+        );
+        let mut with = base.clone();
+        with.excluded.insert(Value::Int(p));
+        with.excluded.insert(Value::Int(-p));
+        prop_assert_eq!(
+            constraint_selectivity(&with, Some(&st)),
+            constraint_selectivity(&base, Some(&st))
+        );
+        // …while the same exclusion inside the domain does reduce it.
+        let mut inside = base.clone();
+        inside.excluded.insert(Value::Int(p % 100));
+        prop_assert!(
+            constraint_selectivity(&inside, Some(&st))
+                < constraint_selectivity(&base, Some(&st))
+        );
+    }
+
+    /// A point constraint outside a numeric domain matches nothing; a
+    /// categorical domain (no range) keeps the 1/distinct estimate.
+    #[test]
+    fn point_outside_numeric_domain_is_zero(p in 101i64..200) {
+        let numeric = AttrStats::numeric(0.0, 100.0, 500.0);
+        for v in [p, -p] {
+            let c = AttrConstraint::from_interval(Interval::point(Value::Int(v)));
+            prop_assert_eq!(constraint_selectivity(&c, Some(&numeric)), 0.0);
+        }
+        let categorical = AttrStats::categorical(64.0);
+        let c = AttrConstraint::from_interval(Interval::point(Value::Int(p)));
+        prop_assert!((constraint_selectivity(&c, Some(&categorical)) - 1.0 / 64.0).abs() < 1e-12);
+    }
+
     /// Wider join windows never lower the estimated join output rate.
     #[test]
     fn wider_windows_cost_more(w1 in 1i64..60, extra in 1i64..60) {

@@ -26,6 +26,29 @@ use std::collections::{BTreeMap, VecDeque};
 /// Positional source of one output column: `(stream index, attr index)`.
 type ColSource = (usize, usize);
 
+/// A snapshot of an executor's retained-state occupancy, by component.
+/// Each field is the measured counterpart of a row bound derived by the
+/// `cosmos-bound` crate (`QueryBounds`), so the testkit can check
+/// measured ≤ bound on every sweep event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateSize {
+    /// Rows across all join input buffers.
+    pub buffer_rows: usize,
+    /// Rows in the aggregate's sliding window.
+    pub agg_window_rows: usize,
+    /// Live groups in the aggregate's group table.
+    pub group_rows: usize,
+    /// Entries in the DISTINCT dedup set.
+    pub distinct_rows: usize,
+}
+
+impl StateSize {
+    /// Total retained rows across all components.
+    pub fn total_rows(&self) -> usize {
+        self.buffer_rows + self.agg_window_rows + self.group_rows + self.distinct_rows
+    }
+}
+
 /// A running continuous query.
 #[derive(Debug, Clone)]
 pub struct Executor {
@@ -111,6 +134,17 @@ impl Executor {
     /// Result tuples emitted so far.
     pub fn emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Current retained-state occupancy, per component — the measured
+    /// side of `cosmos-bound`'s bound-soundness oracle.
+    pub fn state_size(&self) -> StateSize {
+        StateSize {
+            buffer_rows: self.buffers.iter().map(VecDeque::len).sum(),
+            agg_window_rows: self.agg.as_ref().map_or(0, |a| a.window.len()),
+            group_rows: self.agg.as_ref().map_or(0, |a| a.groups.len()),
+            distinct_rows: self.distinct_seen.len(),
+        }
     }
 
     /// Process an arrival that may have been *early-projected* by the

@@ -21,9 +21,16 @@
 //! A third, *static* family runs inside the runner itself: after every
 //! routing-relevant event, [`cosmos::Cosmos::snapshot`] is handed to
 //! [`cosmos_verify::verify_snapshot`], which symbolically proves the
-//! V1–V5 network invariants (no black holes, no over-delivery, tree
-//! well-formedness, merge containment, split-filter exactness) — catching
-//! routing-state bugs before any tuple exercises them.
+//! V1–V6 network invariants (no black holes, no over-delivery, tree
+//! well-formedness, merge containment, split-filter exactness,
+//! abstraction consistency) — catching routing-state bugs before any
+//! tuple exercises them.
+//!
+//! A fourth, *bound-soundness* family ([`bound::BoundTracker`]) checks
+//! after every event that measured `cosmos-metrics` counters — per-query
+//! delivered rows, per-node consumed bytes, per-executor retained state
+//! — are dominated by `cosmos-bound`'s closed-form static bounds
+//! instantiated with the observed trace envelope.
 //!
 //! Failures are written as replayable JSON scenario files, minimized by
 //! a greedy event-level shrinker ([`shrink::shrink`]; the vendored
@@ -31,12 +38,14 @@
 //! `cosmos-sim` binary exposes `run --seed`, `replay <file>`, and
 //! `sweep --seeds N` over this library.
 
+pub mod bound;
 pub mod gen;
 pub mod oracle;
 pub mod run;
 pub mod scenario;
 pub mod shrink;
 
+pub use bound::{BoundReportEntry, BoundTracker};
 pub use oracle::{
     assert_results_match_oracle, check_scenario, check_scenario_opts, normalize_delivered,
     normalize_expected, CheckOptions, Failure, Report,

@@ -7,10 +7,12 @@
 //! cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]
 //! cosmos-sim snapshot --seed S [--baseline] [--out FILE]
 //! cosmos-sim metrics --seed S [--baseline] [--out FILE]
+//! cosmos-sim bounds --seed S [--baseline] [--out FILE]
+//! cosmos-sim admission-canary
 //! ```
 //!
 //! `run` expands one seed and checks every oracle — including the static
-//! verifier (`cosmos-verify`), which proves the V1–V5 routing invariants
+//! verifier (`cosmos-verify`), which proves the V1–V6 routing invariants
 //! over a network snapshot after every routing-relevant event; on
 //! failure the scenario is minimized and written as a replayable JSON
 //! file, and for static-verify failures the violating snapshot is
@@ -20,7 +22,13 @@
 //! snapshot a seed's scenario ends in, for `cosmos-verify <file>`.
 //! `metrics` dumps the versioned metrics snapshot the same run ends in —
 //! per-link/node traffic, observed stream statistics, per-query delivery
-//! rates and latencies, and the aggregated router counters. The
+//! rates and latencies, and the aggregated router counters. `bounds`
+//! runs the bound-soundness oracle on one seed and dumps the final
+//! measured-vs-static comparison as a JSON report (exit 1 if any
+//! measured metric exceeded its static `cosmos-bound` bound).
+//! `admission-canary` submits a deliberately unbounded-state query to a
+//! live deployment and exits nonzero unless the admission gate rejects
+//! it with a stable `B01xx` code before any tuple is published. The
 //! hidden `--inject-bug` flag disables selection re-tightening in the
 //! merge layer — a deliberately broken build used to prove the oracles
 //! catch real merge bugs (the static verifier flags it as V0501 with no
@@ -38,7 +46,9 @@ fn usage(msg: &str) -> ExitCode {
          \u{20}      cosmos-sim replay FILE\n\
          \u{20}      cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]\n\
          \u{20}      cosmos-sim snapshot --seed S [--baseline] [--out FILE]\n\
-         \u{20}      cosmos-sim metrics --seed S [--baseline] [--out FILE]"
+         \u{20}      cosmos-sim metrics --seed S [--baseline] [--out FILE]\n\
+         \u{20}      cosmos-sim bounds --seed S [--baseline] [--out FILE]\n\
+         \u{20}      cosmos-sim admission-canary"
     );
     ExitCode::from(2)
 }
@@ -153,6 +163,13 @@ fn main() -> ExitCode {
             }
             dump_metrics(&o)
         }
+        "bounds" => {
+            if !seed_given {
+                return usage("bounds needs --seed");
+            }
+            check_bounds(&o)
+        }
+        "admission-canary" => admission_canary(),
         other => usage(&format!("unknown command '{other}'")),
     }
 }
@@ -235,6 +252,118 @@ fn dump_metrics(o: &Opts) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Submit a deliberately unbounded-state query (a join whose buffer is
+/// never evicted under an `[Unbounded]` window) to a live deployment.
+/// The `cosmos-bound` admission gate must reject it with a stable
+/// `B01xx` error before any tuple is published; if the query is
+/// admitted, the gate is broken and the canary exits nonzero.
+fn admission_canary() -> ExitCode {
+    use cosmos_types::NodeId;
+    let mut sys = match cosmos::Cosmos::new(cosmos::CosmosConfig {
+        nodes: 8,
+        seed: 1,
+        ..cosmos::CosmosConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cosmos-sim: building deployment: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let sensors = cosmos_workload::sensor_catalog();
+    for (i, stream) in ["sensors_00", "sensors_01"].into_iter().enumerate() {
+        let key = stream.into();
+        let (Some(schema), Some(stats)) = (sensors.schema(&key), sensors.stats(&key)) else {
+            eprintln!("cosmos-sim: sensor catalog is missing {stream}");
+            return ExitCode::from(2);
+        };
+        if let Err(e) = sys.register_stream(stream, schema.clone(), stats.clone(), NodeId(i as u32))
+        {
+            eprintln!("cosmos-sim: registering {stream}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let text = "SELECT A.node_id, B.ambient_temp \
+                FROM sensors_00 [Unbounded] A, sensors_01 [Range 10 Second] B \
+                WHERE A.node_id = B.node_id";
+    match sys.submit_query(text, NodeId(5)) {
+        Ok(qid) => {
+            eprintln!(
+                "cosmos-sim: admission gate FAILED — unbounded-state query was \
+                 admitted as {qid:?}: {text}"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            if msg.contains("B01") {
+                println!("admission canary OK — rejected statically: {msg}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "cosmos-sim: query was rejected, but not by the bound gate \
+                     (no B01xx code): {msg}"
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// Run one seed's scenario with the bound-soundness oracle on and dump
+/// the final measured-vs-static report. Any measurement exceeding its
+/// static bound makes the command fail.
+fn check_bounds(o: &Opts) -> ExitCode {
+    let scenario = gen::generate(o.seed);
+    let opts = RunOptions {
+        merging: !o.baseline,
+        static_verify: false,
+        bound_checks: true,
+        ..RunOptions::default()
+    };
+    let outcome = match run_scenario(&scenario, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cosmos-sim: seed {}: {e}", o.seed);
+            return ExitCode::from(2);
+        }
+    };
+    let json = match serde_json::to_string(&outcome.bound_report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cosmos-sim: seed {}: serializing report: {e}", o.seed);
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &o.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cosmos-sim: could not write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+    if let Some((ev_idx, detail)) = outcome.bound_violations.first() {
+        eprintln!(
+            "cosmos-sim: seed {}: bound soundness broken after event #{ev_idx}: {detail}{}",
+            o.seed,
+            match outcome.bound_violations.len() {
+                1 => String::new(),
+                n => format!(" (+{} more violations)", n - 1),
+            }
+        );
+        return ExitCode::FAILURE;
+    }
+    let checked = outcome.bound_report.len();
+    eprintln!(
+        "seed {}: bound soundness OK — {checked} subject{} within static bounds",
+        o.seed,
+        if checked == 1 { "" } else { "s" }
+    );
+    ExitCode::SUCCESS
 }
 
 /// Expand, check, and (on failure) minimize + persist one seed.

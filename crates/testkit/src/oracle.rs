@@ -41,7 +41,8 @@ use cosmos_types::{QueryId, Timestamp, Tuple, Value};
 pub struct Failure {
     /// Which oracle fired (`differential (merged)`, `metamorphic-merge`,
     /// `metamorphic-tree`, `metamorphic-batch`, `determinism`,
-    /// `run-error`).
+    /// `static-verify (…)`, `metrics-conservation (…)`,
+    /// `bound-soundness (…)`, `run-error`).
     pub oracle: String,
     /// The offending query's scenario label, when attributable.
     pub label: Option<u32>,
@@ -97,6 +98,11 @@ pub struct CheckOptions {
     /// final metrics snapshot must be byte-identical across the
     /// determinism replay.
     pub metrics_conservation: bool,
+    /// Bound soundness: measured delivered counts, per-node consumed
+    /// bytes, and executor state sizes must be dominated by the static
+    /// `cosmos-bound` bounds after every event, in merged, baseline,
+    /// and batched modes.
+    pub bound_soundness: bool,
 }
 
 impl Default for CheckOptions {
@@ -109,6 +115,7 @@ impl Default for CheckOptions {
             determinism: true,
             static_verify: true,
             metrics_conservation: true,
+            bound_soundness: true,
         }
     }
 }
@@ -129,6 +136,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         scenario,
         &RunOptions {
             static_verify: opts.static_verify,
+            bound_checks: opts.bound_soundness,
             ..RunOptions::default()
         },
     )
@@ -137,14 +145,16 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
     if opts.metrics_conservation {
         metrics_conservation_failure(&merged, "merged")?;
     }
+    bound_soundness_failure(&merged, "merged")?;
 
     if opts.determinism {
-        // The verifier only reads state, so skipping it here cannot
-        // change the digest being compared.
+        // The verifier and bound tracker only read state, so skipping
+        // them here cannot change the digest being compared.
         let again = run_scenario(
             scenario,
             &RunOptions {
                 static_verify: false,
+                bound_checks: false,
                 ..RunOptions::default()
             },
         )
@@ -177,6 +187,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         &RunOptions {
             merging: false,
             static_verify: opts.static_verify,
+            bound_checks: opts.bound_soundness,
             ..RunOptions::default()
         },
     )
@@ -185,6 +196,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
     if opts.metrics_conservation {
         metrics_conservation_failure(&baseline, "baseline")?;
     }
+    bound_soundness_failure(&baseline, "baseline")?;
     if opts.differential {
         differential(&baseline, "baseline")?;
     }
@@ -201,6 +213,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
                 merging: true,
                 optimize_every_event: true,
                 static_verify: false,
+                bound_checks: false,
                 ..RunOptions::default()
             },
         )
@@ -217,6 +230,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             &RunOptions {
                 batched: true,
                 static_verify: false,
+                bound_checks: opts.bound_soundness,
                 ..RunOptions::default()
             },
         )
@@ -224,6 +238,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         if opts.metrics_conservation {
             metrics_conservation_failure(&batched, "batched")?;
         }
+        bound_soundness_failure(&batched, "batched")?;
         metamorphic_batch(&merged, &batched)?;
     }
 
@@ -234,6 +249,25 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         epochs: merged.queries.iter().map(|q| q.epochs.len()).sum(),
         merge_compared,
         digest: merged.digest,
+    })
+}
+
+/// Surface a run's bound-soundness violations as an oracle failure (a
+/// no-op when the run had bound checks off, since the list is empty).
+fn bound_soundness_failure(run: &RunOutcome, mode: &str) -> Result<(), Failure> {
+    let Some((ev_idx, detail)) = run.bound_violations.first() else {
+        return Ok(());
+    };
+    Err(Failure {
+        oracle: format!("bound-soundness ({mode})"),
+        label: None,
+        detail: format!(
+            "after event #{ev_idx}: {detail}{}",
+            match run.bound_violations.len() {
+                1 => String::new(),
+                n => format!(" (+{} more violations)", n - 1),
+            }
+        ),
     })
 }
 

@@ -48,6 +48,13 @@ pub struct RunOptions {
     /// [`RunOutcome::static_violations`]; they prove a broken invariant
     /// *before* any tuple exercises it.
     pub static_verify: bool,
+    /// Run the bound-soundness oracle ([`crate::bound::BoundTracker`])
+    /// after every event: measured delivered counts, per-node consumed
+    /// bytes, and executor state sizes must all be dominated by the
+    /// static `cosmos-bound` bounds instantiated with the observed
+    /// trace envelope. Violations are collected in
+    /// [`RunOutcome::bound_violations`].
+    pub bound_checks: bool,
 }
 
 impl Default for RunOptions {
@@ -57,6 +64,7 @@ impl Default for RunOptions {
             optimize_every_event: false,
             batched: false,
             static_verify: true,
+            bound_checks: true,
         }
     }
 }
@@ -128,6 +136,15 @@ pub struct RunOutcome {
     /// router plan-cache counters legitimately differ between
     /// per-tuple and batched publishing).
     pub metrics_json: Option<String>,
+    /// Bound-soundness violations, as `(event index, detail)` — a
+    /// measured metric exceeded its static `cosmos-bound` bound under
+    /// the observed trace envelope. Empty on a healthy run (or when
+    /// [`RunOptions::bound_checks`] is off). Excluded from `digest`
+    /// (like `static_violations`).
+    pub bound_violations: Vec<(usize, String)>,
+    /// The final measured-vs-bound comparison, entry per subject —
+    /// the `cosmos-sim bounds` report.
+    pub bound_report: Vec<crate::bound::BoundReportEntry>,
     /// Digest over delivered results, epochs, and routing state — equal
     /// across runs iff the runs were observably identical.
     pub digest: u64,
@@ -170,6 +187,10 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
     let mut static_violations: Vec<(usize, String)> = Vec::new();
     let mut first_violation_snapshot: Option<String> = None;
     let mut metrics_violations: Vec<(usize, String)> = Vec::new();
+    let mut bound_violations: Vec<(usize, String)> = Vec::new();
+    let mut tracker = opts
+        .bound_checks
+        .then(|| crate::bound::BoundTracker::new(nodes));
 
     for (ev_idx, ev) in scenario.events.iter().enumerate() {
         match ev {
@@ -195,6 +216,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
             Event::Submit { label, user, text } => {
                 match sys.submit_query(text, NodeId(*user % nodes)) {
                     Ok(qid) => {
+                        if let Some(tr) = tracker.as_mut() {
+                            tr.on_submit(qid, NodeId(*user % nodes));
+                        }
                         let analyzed = AnalyzedQuery::analyze(
                             &cosmos_cql::parse_query(text)?,
                             sys.catalog().schema_fn(),
@@ -226,14 +250,24 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                         let (run, tail) = rest.split_at(len);
                         rest = tail;
                         match sys.publish_batch(run) {
-                            Ok(()) => published.extend(run.iter().cloned()),
+                            Ok(()) => {
+                                if let Some(tr) = tracker.as_mut() {
+                                    run.iter().for_each(|t| tr.on_publish(t));
+                                }
+                                published.extend(run.iter().cloned());
+                            }
                             Err(_) => skipped_publishes += run.len(),
                         }
                     }
                 } else {
                     for t in tuples {
                         match sys.publish(t) {
-                            Ok(()) => published.push(t.clone()),
+                            Ok(()) => {
+                                if let Some(tr) = tracker.as_mut() {
+                                    tr.on_publish(t);
+                                }
+                                published.push(t.clone());
+                            }
                             Err(_) => skipped_publishes += 1,
                         }
                     }
@@ -321,6 +355,15 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                 ));
             }
         }
+        // Bound-soundness oracle: every measured metric must stay under
+        // the static bound instantiated with the trace observed so far.
+        // Bounds are monotone in the envelope and the measurements are
+        // lifetime counters or current occupancies, so checking after
+        // every event also catches transient state peaks.
+        if let Some(tr) = tracker.as_mut() {
+            tr.observe_processors(&sys, &queries);
+            bound_violations.extend(tr.check(&sys, &queries).into_iter().map(|v| (ev_idx, v)));
+        }
         // Static oracle: prove V1–V5 over the routing state this event
         // left behind. Plain publishes don't move routing state, so
         // re-verifying after them would only re-prove the same snapshot.
@@ -374,6 +417,10 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
 
     let final_snapshot = Some(sys.snapshot()?.to_json()?);
     let metrics_json = Some(sys.metrics().to_json()?);
+    let bound_report = tracker
+        .as_ref()
+        .map(|tr| tr.assess(&sys, &queries))
+        .unwrap_or_default();
 
     Ok(RunOutcome {
         queries,
@@ -387,6 +434,8 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         final_snapshot,
         metrics_violations,
         metrics_json,
+        bound_violations,
+        bound_report,
         digest,
     })
 }

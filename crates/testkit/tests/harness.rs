@@ -70,6 +70,7 @@ fn injected_merge_bug_is_caught_by_metamorphic_oracle() {
         determinism: false,
         static_verify: false,
         metrics_conservation: false,
+        bound_soundness: false,
     };
     for seed in [1u64, 6] {
         let scenario = gen::generate(seed);
@@ -100,6 +101,7 @@ fn injected_merge_bug_is_caught_statically_before_any_publish() {
         determinism: false,
         static_verify: true,
         metrics_conservation: false,
+        bound_soundness: false,
     };
     for seed in [1u64, 6] {
         let mut scenario = gen::generate(seed);

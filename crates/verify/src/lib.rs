@@ -19,6 +19,7 @@
 //! | V3 tree well-formedness | `V0301` | every dissemination tree is acyclic, connected, spans the overlay, and per-source trees are rooted at their advertiser |
 //! | V4 merge soundness | `V0401` | Theorem 1/2 containment of each member in its representative, re-derived from the ASTs independently of `cosmos_query::containment`, agrees with the library |
 //! | V5 split-filter exactness | `V0501` | `member ≡ representative ∘ re-tightened filter`, checked as mutual semantic implication (Lemma 1 window re-tightening included) |
+//! | V6 abstraction consistency | `V0601`–`V0604` | the interval abstractions (`cosmos_bound::absint`) of the filters along every delivery path meet non-emptily — no statically-dead delivery — and no deployed representative has provably unbounded executor state |
 //!
 //! `V0001` marks a snapshot too inconsistent to analyze (unparseable
 //! query text, dangling subscriber, missing advertisement for a result
@@ -31,6 +32,7 @@ mod contain;
 use cosmos::snapshot::{
     GroupSnapshot, LocalSubscriber, NetworkSnapshot, SubscriberKind, TreeTopology,
 };
+use cosmos_bound::absint;
 use cosmos_cbn::{filters_imply, Conjunction, DiffRange, Profile, ProfileEntry, Projection};
 use cosmos_lint::{Diagnostic, Severity};
 use cosmos_query::merge::TIMESTAMP_ATTR;
@@ -66,6 +68,20 @@ pub mod codes {
     /// V5: the installed split filter is not equivalent to the member's
     /// re-tightening of the representative (over- or under-delivery).
     pub const SPLIT_FILTER: &str = "V0501";
+    /// V6: the interval abstractions along a subscriber's delivery path
+    /// are disjoint — no concrete tuple can ever reach it (a
+    /// statically-dead delivery the hop filters silently absorb).
+    pub const DEAD_DELIVERY: &str = "V0601";
+    /// V6: a subscriber's own filter abstraction is empty — every
+    /// disjunct is unsatisfiable, so the subscription matches nothing.
+    pub const EMPTY_SUBSCRIPTION: &str = "V0602";
+    /// V6: a group member's installed split-filter abstraction is empty
+    /// — the member can never receive a result tuple.
+    pub const EMPTY_SPLIT: &str = "V0603";
+    /// V6: a deployed representative has provably unbounded executor
+    /// state (`cosmos_bound::check_query` error) — it should have been
+    /// rejected at admission.
+    pub const UNBOUNDED_REP_STATE: &str = "V0604";
 }
 
 /// Whether a verification result contains any `Error`-level violation.
@@ -84,6 +100,7 @@ pub fn verify_snapshot(snap: &NetworkSnapshot) -> Vec<Diagnostic> {
     if let (Some(forest), true) = (&forest, routers_ok) {
         check_forwarding_edges(snap, forest, &mut diags);
         check_delivery_paths(snap, forest, &mut diags);
+        check_path_abstractions(snap, forest, &mut diags);
     }
     check_groups(snap, &mut diags);
     diags
@@ -491,6 +508,86 @@ fn check_one_path(
 }
 
 // ---------------------------------------------------------------------
+// V6: interval-abstraction consistency along delivery paths
+// ---------------------------------------------------------------------
+
+/// Abstract-interpretation pass over the same tree walks as V1/V2: the
+/// per-attribute interval abstraction of each hop's filters
+/// ([`cosmos_bound::absint`]) must meet non-emptily with every other
+/// hop's and with the subscriber's own — an empty meet proves that no
+/// concrete tuple can ever complete the path. Complementary to V1's
+/// implication check: implication asks "does the hop *cover* the
+/// subscriber", this asks "can anything at all get through".
+fn check_path_abstractions(snap: &NetworkSnapshot, forest: &Forest, diags: &mut Vec<Diagnostic>) {
+    for r in &snap.routers {
+        for sub in &r.local_subscribers {
+            for (stream, entry) in sub.profile.iter() {
+                let who = format!("subscriber {} at {}", sub.id, r.node);
+                let sub_abs = match absint::filters_abstraction(&entry.filters) {
+                    Some(a) => a,
+                    None => {
+                        diags.push(Diagnostic::warning(
+                            codes::EMPTY_SUBSCRIPTION,
+                            format!(
+                                "{who}: every filter disjunct for '{stream}' is \
+                                 unsatisfiable — the subscription matches nothing",
+                            ),
+                            None,
+                        ));
+                        continue;
+                    }
+                };
+                let Some(adv) = snap.advertisement(stream) else {
+                    continue; // V1 reports the black hole
+                };
+                let path = forest.view_for(adv.origin).path(r.node, adv.origin);
+                // Meet the hop abstractions in tuple-flow order; start
+                // from the subscriber's own (non-empty) abstraction.
+                let mut flow = sub_abs;
+                for w in path.windows(2).rev() {
+                    let (down, up) = (w[0], w[1]);
+                    let Some(interest) = snap.routers[up.index()]
+                        .neighbor_interests
+                        .iter()
+                        .find(|(n, _)| *n == down)
+                        .and_then(|(_, p)| p.entry(stream))
+                    else {
+                        break; // V1 reports the missing interest
+                    };
+                    let Some(hop_abs) = absint::filters_abstraction(&interest.filters) else {
+                        diags.push(Diagnostic::error(
+                            codes::DEAD_DELIVERY,
+                            format!(
+                                "{who}: the interest installed at {up} (toward {down}) for \
+                                 '{stream}' is unsatisfiable — every tuple dies at that hop",
+                            ),
+                            None,
+                        ));
+                        break;
+                    };
+                    match absint::intersect(&flow, &hop_abs) {
+                        Some(met) => flow = met,
+                        None => {
+                            diags.push(Diagnostic::error(
+                                codes::DEAD_DELIVERY,
+                                format!(
+                                    "{who}: the interval abstraction of the filter at {up} \
+                                     (toward {down}) for '{stream}' is disjoint from what \
+                                     the rest of the path admits — no tuple can ever \
+                                     complete the delivery",
+                                ),
+                                None,
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // V4 + V5: merge soundness and split-filter exactness
 // ---------------------------------------------------------------------
 
@@ -770,6 +867,22 @@ fn check_groups(snap: &NetworkSnapshot, diags: &mut Vec<Diagnostic>) {
                 }
             }
         }
+        // V6: a deployed representative must not have provably unbounded
+        // executor state — the admission gate rejects such queries, so a
+        // snapshot containing one was tampered with or predates the gate.
+        for d in cosmos_bound::check_query(&rep) {
+            if d.severity == Severity::Error {
+                diags.push(Diagnostic::error(
+                    codes::UNBOUNDED_REP_STATE,
+                    format!(
+                        "group '{}': deployed representative has unbounded state \
+                         ({}: {})",
+                        g.result_stream, d.code, d.message
+                    ),
+                    None,
+                ));
+            }
+        }
         let ctx = rep_context(&rep);
         for m in &g.members {
             let who = format!("group '{}', member {}", g.result_stream, m.query);
@@ -872,6 +985,19 @@ fn check_member(
         ));
         return;
     };
+
+    // V6: an empty split-filter abstraction means the member can never
+    // receive a result tuple (every installed disjunct is unsat).
+    if absint::filters_abstraction(&entry.filters).is_none() {
+        diags.push(Diagnostic::warning(
+            codes::EMPTY_SPLIT,
+            format!(
+                "{who}: the installed split filter's interval abstraction is empty — \
+                 the member's subscription can never match a result tuple",
+            ),
+            None,
+        ));
+    }
 
     // V2: the installed projection must keep every member output column.
     for col in &member.output {

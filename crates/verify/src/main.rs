@@ -2,29 +2,32 @@
 //! `cosmos-verify` — statically verify a dumped network snapshot.
 //!
 //! ```text
-//! cosmos-verify <snapshot.json> [--quiet]
+//! cosmos-verify <snapshot.json> [--quiet] [--json]
 //! cosmos-verify -            # read the snapshot from stdin
 //! ```
 //!
 //! Prints every finding as a one-line diagnostic and exits non-zero iff
-//! any `error`-level violation (V1–V5) was found. Produce snapshots with
+//! any `error`-level violation (V1–V6) was found. `--json` emits one
+//! JSON array of findings in the [`cosmos_lint::JsonDiagnostic`] form
+//! shared with `cosmos-lint` and `cosmos-bound`. Produce snapshots with
 //! `cosmos-sim snapshot --seed N` or [`cosmos::Cosmos::snapshot`] +
 //! [`cosmos::NetworkSnapshot::to_json`].
 
 use cosmos::NetworkSnapshot;
-use cosmos_lint::Severity;
+use cosmos_lint::{JsonDiagnostic, Severity};
 use std::io::Read;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quiet = args.iter().any(|a| a == "--quiet" || a == "-q");
+    let json = args.iter().any(|a| a == "--json");
     let paths: Vec<&String> = args
         .iter()
         .filter(|a| !a.starts_with("--") && a.as_str() != "-q")
         .collect();
     let [path] = paths.as_slice() else {
-        eprintln!("usage: cosmos-verify <snapshot.json | -> [--quiet]");
+        eprintln!("usage: cosmos-verify <snapshot.json | -> [--quiet] [--json]");
         return ExitCode::from(2);
     };
 
@@ -58,7 +61,13 @@ fn main() -> ExitCode {
         .iter()
         .filter(|d| d.severity == Severity::Error)
         .count();
-    if !quiet {
+    if json {
+        let findings: Vec<JsonDiagnostic> = diags.iter().map(JsonDiagnostic::from).collect();
+        println!(
+            "{}",
+            serde_json::to_string(&findings).expect("findings always serialize")
+        );
+    } else if !quiet {
         for d in &diags {
             println!("{}", d.headline());
         }
@@ -72,7 +81,7 @@ fn main() -> ExitCode {
         );
         ExitCode::FAILURE
     } else {
-        if !quiet {
+        if !quiet && !json {
             println!(
                 "cosmos-verify: ok — {} node{}, {} group{}, {} advisory finding{}",
                 snap.nodes,
