@@ -138,38 +138,55 @@ impl StreamEnvelope {
     }
 
     /// `W(w)`: the most rows that can coexist in a closed window
-    /// `[τ − w, τ]` anchored at any arrival τ.
-    fn window_rows(&self, w: TimeDelta) -> Bound {
+    /// `[τ − w, τ]` anchored at any arrival τ, widened by the declared
+    /// reorder `slack` (see [`Envelope::set_reorder_slack`]).
+    fn window_rows(&self, w: TimeDelta, slack: Option<TimeDelta>) -> Bound {
         if w.is_infinite() {
             return self.total_rows();
         }
+        let w_ms = match slack {
+            Some(s) => w.millis().saturating_add(s.millis()),
+            None => w.millis(),
+        };
+        // max over k of #{j ≤ k : ts_j ≥ ts_k − w} — exactly the
+        // executor's eviction rule (strictly-older tuples are popped,
+        // the closed boundary is retained).
+        let scan = |sorted_ts: &[i64]| {
+            let (mut lo, mut best) = (0usize, 0usize);
+            for (k, &ts) in sorted_ts.iter().enumerate() {
+                while sorted_ts[lo] < ts - w_ms {
+                    lo += 1;
+                }
+                best = best.max(k - lo + 1);
+            }
+            Bound::Finite(best as f64)
+        };
         match self {
             StreamEnvelope::Rate { tuples_per_sec, .. } => {
                 // Mean-rate occupancy plus the anchoring arrival itself.
-                Bound::Finite((tuples_per_sec * w.as_secs_f64()).ceil() + 1.0)
+                Bound::Finite((tuples_per_sec * (w_ms as f64 / 1_000.0)).ceil() + 1.0)
             }
             StreamEnvelope::Trace {
                 timestamps,
                 nondecreasing,
                 ..
             } => {
-                if !nondecreasing {
-                    // Out-of-order arrivals break the two-pointer scan;
-                    // the total is always a sound fallback.
-                    return Bound::Finite(timestamps.len() as f64);
+                if *nondecreasing {
+                    scan(timestamps)
+                } else if slack.is_some() {
+                    // With a declared reorder slack the executor
+                    // processes arrivals in timestamp order (staged
+                    // behind the watermark frontier), so the sorted
+                    // trace *is* the processing order and the slack
+                    // covers grace-window retention.
+                    let mut sorted = timestamps.clone();
+                    sorted.sort_unstable();
+                    scan(&sorted)
+                } else {
+                    // Out-of-order arrivals with no declared slack break
+                    // the two-pointer scan; the total is always sound.
+                    Bound::Finite(timestamps.len() as f64)
                 }
-                // max over k of #{j ≤ k : ts_j ≥ ts_k − w} — exactly
-                // the executor's eviction rule (strictly-older tuples
-                // are popped, the closed boundary is retained).
-                let w_ms = w.millis();
-                let (mut lo, mut best) = (0usize, 0usize);
-                for (k, &ts) in timestamps.iter().enumerate() {
-                    while timestamps[lo] < ts - w_ms {
-                        lo += 1;
-                    }
-                    best = best.max(k - lo + 1);
-                }
-                Bound::Finite(best as f64)
             }
         }
     }
@@ -191,12 +208,33 @@ impl StreamEnvelope {
 #[derive(Debug, Clone, Default)]
 pub struct Envelope {
     streams: BTreeMap<StreamName, StreamEnvelope>,
+    /// Declared maximum timestamp displacement of arrivals (disorder
+    /// mode); widens every window-occupancy answer.
+    reorder_slack: Option<TimeDelta>,
 }
 
 impl Envelope {
     /// An empty envelope (everything unbounded).
     pub fn new() -> Envelope {
         Envelope::default()
+    }
+
+    /// Declare that arrivals may be displaced by up to `slack` of
+    /// application time (the disorder bound). Two effects, both needed
+    /// for the bounds to stay sound out of order: every
+    /// window-occupancy query is answered for `w + slack` — covering
+    /// grace-window retention (revision history) beside the live window
+    /// — and non-monotone traces are evaluated in *sorted* order
+    /// instead of degrading to the total, because the staged executor
+    /// processes arrivals in timestamp order regardless of publish
+    /// order. `None` (the default) restores the in-order behavior.
+    pub fn set_reorder_slack(&mut self, slack: Option<TimeDelta>) {
+        self.reorder_slack = slack;
+    }
+
+    /// The declared reorder slack, if any.
+    pub fn reorder_slack(&self) -> Option<TimeDelta> {
+        self.reorder_slack
     }
 
     /// A rate envelope over every stream of a statistics catalog, using
@@ -271,7 +309,7 @@ impl Envelope {
     pub fn window_rows(&self, stream: &StreamName, w: TimeDelta) -> Bound {
         self.streams
             .get(stream)
-            .map_or(Bound::Unbounded, |e| e.window_rows(w))
+            .map_or(Bound::Unbounded, |e| e.window_rows(w, self.reorder_slack))
     }
 
     /// `B(s)`: widest tuple of `s`, wire bytes.
@@ -332,6 +370,46 @@ mod tests {
         }
         assert_eq!(
             env.window_rows(&s, TimeDelta::from_millis(1)),
+            Bound::Finite(3.0)
+        );
+    }
+
+    #[test]
+    fn reorder_slack_tightens_disordered_traces() {
+        let mut env = Envelope::new();
+        let s = StreamName::from("S");
+        for ts in [0, 500, 100] {
+            env.record(&s, ts, 20);
+        }
+        env.set_reorder_slack(Some(TimeDelta::from_millis(400)));
+        assert_eq!(env.reorder_slack(), Some(TimeDelta::from_millis(400)));
+        // Sorted processing order is [0, 100, 500]; width 1 + 400 fits
+        // {0, 100} and {100, 500} but never all three — tighter than
+        // the slack-free degradation to the total (3).
+        assert_eq!(
+            env.window_rows(&s, TimeDelta::from_millis(1)),
+            Bound::Finite(2.0)
+        );
+        // Clearing the slack restores the degraded answer.
+        env.set_reorder_slack(None);
+        assert_eq!(
+            env.window_rows(&s, TimeDelta::from_millis(1)),
+            Bound::Finite(3.0)
+        );
+    }
+
+    #[test]
+    fn reorder_slack_widens_monotone_windows_for_grace_retention() {
+        let mut env = Envelope::new();
+        let s = StreamName::from("S");
+        for ts in [0, 100, 150, 1000] {
+            env.record(&s, ts, 20);
+        }
+        // In order, w = 100 holds at most 2 rows; a 50 ms grace window
+        // can retain {0, 100, 150} together.
+        env.set_reorder_slack(Some(TimeDelta::from_millis(50)));
+        assert_eq!(
+            env.window_rows(&s, TimeDelta::from_millis(100)),
             Bound::Finite(3.0)
         );
     }

@@ -296,6 +296,12 @@ impl Profile {
         self.entries.get(stream)
     }
 
+    /// Remove (and return) the entry for one stream — interest pruning
+    /// when a stream is closed by its final watermark.
+    pub fn remove_entry(&mut self, stream: &StreamName) -> Option<ProfileEntry> {
+        self.entries.remove(stream)
+    }
+
     /// Iterate over `(stream, entry)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&StreamName, &ProfileEntry)> {
         self.entries.iter()

@@ -442,6 +442,64 @@ impl Router {
         by_dest.into_values().collect()
     }
 
+    /// Route a punctuation (watermark datagram) for `stream`.
+    ///
+    /// Punctuations follow the *interest set*, not the filters: every
+    /// destination holding any entry for the stream receives the
+    /// watermark, because a promise about future timestamps is
+    /// independent of which attribute values a subscriber filters on.
+    /// The arrival link is excluded (reverse-path forwarding, exactly
+    /// like data). Destinations come out in deterministic
+    /// neighbors-then-locals order.
+    pub fn route_punctuation(&self, stream: &StreamName, from: Option<NodeId>) -> Vec<Destination> {
+        let mut out = Vec::new();
+        for (n, p) in &self.neighbor_interest {
+            if Some(*n) != from && p.entry(stream).is_some() {
+                out.push(Destination::Neighbor(*n));
+            }
+        }
+        for (s, p) in &self.local_interest {
+            if p.entry(stream).is_some() {
+                out.push(Destination::Local(*s));
+            }
+        }
+        out
+    }
+
+    /// Drop every interest entry for `stream` — neighbor and local —
+    /// shrinking the match engine and clearing the plan cache. Called
+    /// when a stream is closed by its final watermark: no datagram of it
+    /// will ever arrive again, so the routing state is dead weight.
+    /// Destinations whose whole profile becomes empty are removed.
+    pub fn prune_stream(&mut self, stream: &StreamName) {
+        let neighbors: Vec<NodeId> = self
+            .neighbor_interest
+            .iter()
+            .filter(|(_, p)| p.entry(stream).is_some())
+            .map(|(n, _)| *n)
+            .collect();
+        for n in neighbors {
+            let mut p = self.neighbor_interest[&n].clone();
+            p.remove_entry(stream);
+            self.set_neighbor_interest(n, p);
+        }
+        let locals: Vec<SubscriberId> = self
+            .local_interest
+            .iter()
+            .filter(|(_, p)| p.entry(stream).is_some())
+            .map(|(s, _)| *s)
+            .collect();
+        for s in locals {
+            let mut p = self.local_interest[&s].clone();
+            p.remove_entry(stream);
+            if p.is_empty() {
+                self.remove_local_subscriber(s);
+            } else {
+                self.add_local_subscriber(s, p);
+            }
+        }
+    }
+
     /// Enable or disable the projection-plan cache (and with it the
     /// fan-out sharing of projected tuples). Disabling restores the
     /// seed-era per-destination projection path; used for A/B
@@ -707,6 +765,51 @@ mod tests {
         assert_eq!(reference.tuples_routed(), r.tuples_routed());
         assert_eq!(reference.tuples_dropped(), r.tuples_dropped());
         assert!(r.route_batch(&[], &s, None).is_empty());
+    }
+
+    #[test]
+    fn punctuations_follow_interest_not_filters() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &[]));
+        r.add_local_subscriber(SubscriberId(7), interest(90, 99, &["id"]));
+        let s: StreamName = "S".into();
+        // Both destinations hold an entry for S; filters are irrelevant.
+        assert_eq!(
+            r.route_punctuation(&s, None),
+            vec![
+                Destination::Neighbor(NodeId(1)),
+                Destination::Local(SubscriberId(7))
+            ]
+        );
+        // The arrival link is excluded, and unknown streams go nowhere.
+        assert_eq!(
+            r.route_punctuation(&s, Some(NodeId(1))),
+            vec![Destination::Local(SubscriberId(7))]
+        );
+        assert!(r.route_punctuation(&"T".into(), None).is_empty());
+    }
+
+    #[test]
+    fn prune_stream_drops_interest_and_plans() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &[]));
+        let mut multi = interest(0, 10, &[]);
+        multi.add_interest("T", Projection::All, Conjunction::always());
+        r.add_local_subscriber(SubscriberId(7), multi);
+        let s = schema();
+        r.route(&tup(5, 1.0), &s, None);
+        assert!(r.cached_plan_count() > 0);
+
+        r.prune_stream(&"S".into());
+        // Neighbor 1's profile became empty and was removed entirely;
+        // subscriber 7 keeps its interest in T.
+        assert!(r.neighbor_interest(NodeId(1)).is_none());
+        assert!(r.route(&tup(5, 1.0), &s, None).is_empty());
+        assert!(r.route_punctuation(&"S".into(), None).is_empty());
+        assert_eq!(r.cached_plan_count(), 0);
+        let p7 = r.local_interest(SubscriberId(7)).unwrap();
+        assert!(p7.entry(&"T".into()).is_some());
+        assert!(p7.entry(&"S".into()).is_none());
     }
 
     #[test]

@@ -35,5 +35,6 @@ pub mod system;
 
 pub use autotune::{AutotuneOptions, AutotuneReport};
 pub use cosmos_metrics::{MetricsConfig, MetricsSnapshot, RouterTotals, METRICS_VERSION};
+pub use cosmos_spe::{DisorderStats, LatePolicy};
 pub use snapshot::NetworkSnapshot;
-pub use system::{Cosmos, CosmosConfig, NodeRole, RepStateView};
+pub use system::{Cosmos, CosmosConfig, DisorderRuntime, NodeRole, RepStateView};

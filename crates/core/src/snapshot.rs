@@ -100,7 +100,12 @@ pub struct GroupSnapshot {
 }
 
 /// The whole-network snapshot `cosmos-verify` analyzes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are written by hand (the vendored derive
+/// supports no field attributes): `closed_streams` is omitted from JSON
+/// when empty and defaults to empty when absent, so in-order snapshots
+/// keep their exact pre-disorder byte shape and old documents parse.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSnapshot {
     pub version: u32,
     /// Whether query merging (Section 4) was enabled.
@@ -116,6 +121,54 @@ pub struct NetworkSnapshot {
     /// Every router, indexed by node id.
     pub routers: Vec<RouterState>,
     pub groups: Vec<GroupSnapshot>,
+    /// Source streams closed by their final watermark (disorder mode);
+    /// their interest entries have been pruned from every router, so
+    /// path invariants are not checkable for them. Sorted; empty for
+    /// in-order deployments.
+    pub closed_streams: Vec<StreamName>,
+}
+
+impl Serialize for NetworkSnapshot {
+    fn to_content(&self) -> serde::Content {
+        let mut entries = vec![
+            ("version", self.version.to_content()),
+            ("merging_enabled", self.merging_enabled.to_content()),
+            ("nodes", self.nodes.to_content()),
+            ("shared_tree", self.shared_tree.to_content()),
+            ("source_trees", self.source_trees.to_content()),
+            ("advertisements", self.advertisements.to_content()),
+            ("routers", self.routers.to_content()),
+            ("groups", self.groups.to_content()),
+        ];
+        if !self.closed_streams.is_empty() {
+            entries.push(("closed_streams", self.closed_streams.to_content()));
+        }
+        serde::Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (serde::Content::Str(k.to_string()), v))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for NetworkSnapshot {
+    fn from_content(c: &serde::Content) -> std::result::Result<Self, serde::DeError> {
+        Ok(NetworkSnapshot {
+            version: Deserialize::from_content(serde::map_get(c, "version")?)?,
+            merging_enabled: Deserialize::from_content(serde::map_get(c, "merging_enabled")?)?,
+            nodes: Deserialize::from_content(serde::map_get(c, "nodes")?)?,
+            shared_tree: Deserialize::from_content(serde::map_get(c, "shared_tree")?)?,
+            source_trees: Deserialize::from_content(serde::map_get(c, "source_trees")?)?,
+            advertisements: Deserialize::from_content(serde::map_get(c, "advertisements")?)?,
+            routers: Deserialize::from_content(serde::map_get(c, "routers")?)?,
+            groups: Deserialize::from_content(serde::map_get(c, "groups")?)?,
+            closed_streams: match serde::map_get(c, "closed_streams") {
+                Ok(v) => Deserialize::from_content(v)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 impl NetworkSnapshot {

@@ -6,13 +6,14 @@ use cosmos_cbn::{BatchForward, Destination, Profile, RegistryMode, Router, Schem
 use cosmos_metrics::{relative_drift, MetricsConfig, MetricsHub, MetricsSnapshot, RouterTotals};
 use cosmos_overlay::{generate, minimum_spanning_tree, Graph, TopologyKind, Tree};
 use cosmos_query::{retighten_profile, GroupManager, StatsCatalog, StreamStats};
-use cosmos_spe::{AnalyzedQuery, Executor, StateSize};
+use cosmos_spe::{AnalyzedQuery, DisorderStats, Executor, LatePolicy, StateSize};
 use cosmos_types::{
-    CosmosError, FxHashMap, NodeId, QueryId, Result, Schema, StreamName, SubscriberId, Tuple,
+    CosmosError, FxHashMap, NodeId, Punctuation, QueryId, Result, Schema, StreamName, SubscriberId,
+    TimeDelta, Timestamp, Tuple,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// What a server contributes to the system (Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,27 @@ impl Default for CosmosConfig {
     }
 }
 
+/// Out-of-order operation: how the deployed system copes with
+/// disordered publishes (ISSUE: disorder injection / watermark
+/// datagrams / late-tuple semantics).
+///
+/// When set via [`Cosmos::set_disorder`], the driver tracks the global
+/// high water (the largest timestamp any accepted publish carried) and,
+/// after every publish, emits per-stream watermark [`Punctuation`]
+/// datagrams at `high_water − bound` along the dissemination trees.
+/// Every representative executor runs in staged (out-of-order) intake
+/// mode with the given late-tuple `policy`. When unset (the default),
+/// behavior is bit-for-bit identical to in-order operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisorderRuntime {
+    /// How far watermarks lag behind the global high water. Sound when
+    /// it covers the workload's maximum lateness (for the seeded
+    /// `cosmos-workload` disorder transform: `DisorderSpec::bound()`).
+    pub bound: TimeDelta,
+    /// What executors do with tuples behind their watermark frontier.
+    pub policy: LatePolicy,
+}
+
 /// One result-stream production site: the representative executor
 /// running at a processor.
 #[derive(Debug)]
@@ -90,6 +112,12 @@ pub struct RepStateView<'a> {
     pub query: &'a AnalyzedQuery,
     /// Measured per-component state occupancy.
     pub state: StateSize,
+    /// Out-of-order ingestion counters (`None` when disorder mode is
+    /// off).
+    pub disorder: Option<DisorderStats>,
+    /// The executor's watermark frontier (`None` when disorder mode is
+    /// off).
+    pub frontier: Option<Timestamp>,
 }
 
 /// One hop of the dissemination BFS: a stream-homogeneous batch of
@@ -161,6 +189,22 @@ pub struct Cosmos {
     /// Runtime observability: sliding-window rates, sampled stream
     /// statistics, delivery latencies (see [`Cosmos::metrics`]).
     metrics: MetricsHub,
+    /// Out-of-order operation (None = in-order, zero behavior change).
+    disorder: Option<DisorderRuntime>,
+    /// Largest timestamp any accepted publish carried (disorder mode).
+    high_water: Option<Timestamp>,
+    /// Last watermark emitted per stream (sources and, via executor
+    /// frontier propagation, result streams).
+    emitted_watermarks: FxHashMap<StreamName, Timestamp>,
+    /// Source streams that have published at least once in disorder
+    /// mode — the streams watermarks are emitted for.
+    published_streams: BTreeSet<StreamName>,
+    /// Disorder counters of executors that were replaced or torn down,
+    /// folded in so [`Cosmos::disorder_totals`] stays conserved.
+    retired_disorder: DisorderStats,
+    /// Source streams closed by their final watermark
+    /// ([`Cosmos::close_streams`]); their routing state is pruned.
+    closed_streams: BTreeSet<StreamName>,
 }
 
 impl Cosmos {
@@ -223,6 +267,12 @@ impl Cosmos {
             executor_gen: 0,
             query_executor_gen: FxHashMap::default(),
             metrics: MetricsHub::new(MetricsConfig::default()),
+            disorder: None,
+            high_water: None,
+            emitted_watermarks: FxHashMap::default(),
+            published_streams: BTreeSet::new(),
+            retired_disorder: DisorderStats::default(),
+            closed_streams: BTreeSet::new(),
             graph,
         })
     }
@@ -566,7 +616,8 @@ impl Cosmos {
                     &self.catalog,
                 )),
             );
-            let executor = Executor::new(rep.clone(), result_stream.clone())?;
+            let mut executor = Executor::new(rep.clone(), result_stream.clone())?;
+            self.arm_executor(&mut executor);
             // The SPE subscribes to the source data (Section 4 profile).
             let sub = self.alloc_sub();
             let source_profile = rep.source_profile();
@@ -587,9 +638,11 @@ impl Cosmos {
             // Replace the running representative: wider query, same
             // result stream. (Window state restarts; experiments submit
             // queries before publishing data.)
+            self.retire_executor(&result_stream);
             self.registry
                 .update_schema(&result_stream, rep.output_schema.clone())?;
-            let executor = Executor::new(rep.clone(), result_stream.clone())?;
+            let mut executor = Executor::new(rep.clone(), result_stream.clone())?;
+            self.arm_executor(&mut executor);
             self.executor_gen += 1;
             let site = self.reps.get_mut(&result_stream).expect("rep exists");
             site.executor = executor;
@@ -683,6 +736,7 @@ impl Cosmos {
                 .map(|(k, _)| k.clone())
                 .collect();
             for s in &old_streams {
+                self.retire_executor(s);
                 self.reps.remove(s);
                 self.registry.unregister(s);
                 let dead_subs: Vec<SubscriberId> = self
@@ -711,7 +765,8 @@ impl Cosmos {
                     rep.output_schema.clone(),
                     StreamStats::with_rate(rate),
                 );
-                let executor = Executor::new(rep.clone(), stream.clone())?;
+                let mut executor = Executor::new(rep.clone(), stream.clone())?;
+                self.arm_executor(&mut executor);
                 let sub = self.alloc_sub();
                 self.routers[p.index()].add_local_subscriber(sub, rep.source_profile());
                 self.spe_subs.insert(sub, stream.clone());
@@ -769,6 +824,7 @@ impl Cosmos {
                 None => {
                     // Group dissolved: stop the representative and drop
                     // its advertisement and SPE input subscription.
+                    self.retire_executor(&result_stream);
                     self.reps.remove(&result_stream);
                     self.registry.unregister(&result_stream);
                     let spe_sub = self
@@ -786,9 +842,11 @@ impl Cosmos {
                     // remaining members' profiles.
                     let rep = g.representative.clone();
                     let members: Vec<QueryId> = g.members.iter().map(|(m, _)| *m).collect();
+                    self.retire_executor(&result_stream);
                     self.registry
                         .update_schema(&result_stream, rep.output_schema.clone())?;
-                    let executor = Executor::new(rep.clone(), result_stream.clone())?;
+                    let mut executor = Executor::new(rep.clone(), result_stream.clone())?;
+                    self.arm_executor(&mut executor);
                     self.executor_gen += 1;
                     let site = self.reps.get_mut(&result_stream).expect("rep exists");
                     site.executor = executor;
@@ -825,6 +883,7 @@ impl Cosmos {
                 .baseline_streams
                 .remove(&qid)
                 .expect("baseline query has a private result stream");
+            self.retire_executor(&stream);
             self.reps.remove(&stream);
             self.registry.unregister(&stream);
             let spe_sub = self
@@ -906,10 +965,14 @@ impl Cosmos {
         let (origin, schema) = (reg.origin, reg.schema.clone());
         self.tuples_published += tuples.len() as u64;
         self.metrics.on_publish(&first.stream, &schema, tuples);
+        if self.disorder.is_some() {
+            self.published_streams.insert(first.stream.clone());
+        }
         if tuples.len() > 1 && self.has_cascading_reps() {
             for t in tuples {
                 self.drive(origin, t, &schema);
             }
+            self.after_publish(tuples);
             return Ok(());
         }
         let mut queue: VecDeque<Hop> = VecDeque::new();
@@ -920,6 +983,7 @@ impl Cosmos {
                 self.routers[hop.at.index()].route_batch(&hop.tuples, &hop.schema, hop.from);
             self.process_forwards(hop.at, forwards, &mut queue);
         }
+        self.after_publish(tuples);
         Ok(())
     }
 
@@ -989,6 +1053,245 @@ impl Cosmos {
                 }
             }
         }
+    }
+
+    /// Switch the deployment into (or out of) out-of-order operation.
+    ///
+    /// With a runtime set, publishes may arrive in any timestamp order
+    /// within `runtime.bound` of the global high water: every
+    /// representative executor stages out-of-order intake behind a
+    /// watermark frontier with the given late-tuple policy, and the
+    /// driver emits watermark punctuations after every publish. Pass
+    /// `None` (the default) for classic in-order operation — no
+    /// punctuations, no staging, bit-for-bit identical behavior.
+    ///
+    /// Call before publishing; executors already running are switched
+    /// in place with empty staging areas.
+    pub fn set_disorder(&mut self, runtime: Option<DisorderRuntime>) {
+        self.disorder = runtime;
+        let Some(rt) = runtime else { return };
+        let seeds: Vec<(StreamName, Timestamp)> = self
+            .emitted_watermarks
+            .iter()
+            .map(|(s, wm)| (s.clone(), *wm))
+            .collect();
+        for site in self.reps.values_mut() {
+            site.executor.enable_disorder(rt.policy);
+            for (s, wm) in &seeds {
+                let outputs = site.executor.advance_watermark(s, *wm);
+                debug_assert!(outputs.is_empty(), "fresh staging cannot drain");
+            }
+        }
+    }
+
+    /// The out-of-order runtime, if disorder mode is on.
+    pub fn disorder(&self) -> Option<DisorderRuntime> {
+        self.disorder
+    }
+
+    /// Put a freshly created executor into disorder mode (when on) and
+    /// seed it with every watermark already emitted, so its frontier
+    /// starts where the network's has advanced to instead of at −∞.
+    fn arm_executor(&self, executor: &mut Executor) {
+        let Some(rt) = self.disorder else { return };
+        executor.enable_disorder(rt.policy);
+        for (s, wm) in &self.emitted_watermarks {
+            let outputs = executor.advance_watermark(s, *wm);
+            debug_assert!(outputs.is_empty(), "fresh staging cannot drain");
+        }
+    }
+
+    /// Before an executor is replaced or torn down: flush its staging
+    /// area through the engine (routing whatever results that drains)
+    /// and fold its disorder counters into the retired totals, so
+    /// conservation holds across the whole deployment lifetime.
+    fn retire_executor(&mut self, stream: &StreamName) {
+        if self.disorder.is_none() {
+            return;
+        }
+        let Some(site) = self.reps.get_mut(stream) else {
+            return;
+        };
+        let outputs = site.executor.flush_staged();
+        if let Some(stats) = site.executor.disorder_stats() {
+            self.retired_disorder = self.retired_disorder.merge(&stats);
+        }
+        let processor = site.processor;
+        let schema = site.executor.result_schema().clone();
+        if !outputs.is_empty() {
+            self.metrics.on_publish(stream, &schema, &outputs);
+            self.inject_results(processor, outputs, schema);
+        }
+    }
+
+    /// Drive result tuples that entered the network at `at` (an executor
+    /// drain outside the normal publish path) through to completion.
+    fn inject_results(&mut self, at: NodeId, tuples: Vec<Tuple>, schema: Schema) {
+        let mut queue: VecDeque<Hop> = VecDeque::new();
+        queue.push_back(Hop {
+            from: None,
+            at,
+            tuples,
+            schema,
+        });
+        while let Some(hop) = queue.pop_front() {
+            let forwards =
+                self.routers[hop.at.index()].route_batch(&hop.tuples, &hop.schema, hop.from);
+            self.process_forwards(hop.at, forwards, &mut queue);
+        }
+    }
+
+    /// Disorder-mode epilogue of every publish: advance the global high
+    /// water and emit watermarks. A no-op in in-order operation.
+    fn after_publish(&mut self, tuples: &[Tuple]) {
+        if self.disorder.is_none() {
+            return;
+        }
+        if let Some(hw) = tuples.iter().map(|t| t.timestamp).max() {
+            self.high_water = Some(self.high_water.map_or(hw, |h| h.max(hw)));
+        }
+        self.emit_watermarks();
+    }
+
+    /// Emit `high_water − bound` as the watermark of every source
+    /// stream that has published, where it advances past the last one
+    /// emitted. Lagging the *global* high water is what makes the
+    /// promise sound: the workload's disorder transform displaces a
+    /// tuple's position by at most `bound` of application time, so no
+    /// future publish of *any* stream can carry a timestamp at or below
+    /// the emitted watermark.
+    fn emit_watermarks(&mut self) {
+        let (Some(rt), Some(hw)) = (self.disorder, self.high_water) else {
+            return;
+        };
+        let wm = Timestamp(hw.0.saturating_sub(rt.bound.millis()));
+        let streams: Vec<StreamName> = self.published_streams.iter().cloned().collect();
+        for stream in streams {
+            if self.closed_streams.contains(&stream) {
+                continue;
+            }
+            if self
+                .emitted_watermarks
+                .get(&stream)
+                .is_some_and(|l| wm <= *l)
+            {
+                continue;
+            }
+            let Some(origin) = self.registry.origin(&stream) else {
+                continue;
+            };
+            self.emitted_watermarks.insert(stream.clone(), wm);
+            self.disseminate_watermark(stream, wm, origin);
+        }
+    }
+
+    /// Route one watermark punctuation from its origin along the
+    /// stream's dissemination tree: every link crossing is accounted in
+    /// bytes exactly like data (and counted by the metrics hub), every
+    /// interested SPE input advances its executor's frontier (draining
+    /// staged tuples into the network), and an executor whose frontier
+    /// moved propagates a punctuation for its *result* stream — so
+    /// watermarks cascade through operator chains. User subscriptions
+    /// consume punctuations silently (their windows are the executors').
+    fn disseminate_watermark(&mut self, stream: StreamName, watermark: Timestamp, origin: NodeId) {
+        let mut queue: VecDeque<(Option<NodeId>, NodeId, StreamName, Timestamp)> = VecDeque::new();
+        queue.push_back((None, origin, stream, watermark));
+        while let Some((from, at, stream, wm)) = queue.pop_front() {
+            for dest in self.routers[at.index()].route_punctuation(&stream, from) {
+                match dest {
+                    Destination::Neighbor(n) => {
+                        let bytes = Punctuation::new(stream.clone(), wm).size_bytes();
+                        self.account_link(at, n, bytes);
+                        self.metrics.on_link(at, n, 0, bytes);
+                        self.metrics.on_punctuation(bytes);
+                        queue.push_back((Some(at), n, stream.clone(), wm));
+                    }
+                    Destination::Local(sub) => {
+                        let Some(result_stream) = self.spe_subs.get(&sub).cloned() else {
+                            continue;
+                        };
+                        let site = self.reps.get_mut(&result_stream).expect("rep site exists");
+                        debug_assert_eq!(site.processor, at);
+                        let processor = site.processor;
+                        let before = site.executor.frontier();
+                        let outputs = site.executor.advance_watermark(&stream, wm);
+                        let after = site.executor.frontier();
+                        let schema = site.executor.result_schema().clone();
+                        if !outputs.is_empty() {
+                            self.metrics.on_publish(&result_stream, &schema, &outputs);
+                            self.inject_results(processor, outputs, schema);
+                        }
+                        // The executor's frontier is a low-water promise
+                        // for its result stream (revision tuples may dip
+                        // below it, but stay within the grace window any
+                        // downstream executor retains).
+                        let (Some(b), Some(a)) = (before, after) else {
+                            continue;
+                        };
+                        if a > b
+                            && self
+                                .emitted_watermarks
+                                .get(&result_stream)
+                                .is_none_or(|l| a > *l)
+                        {
+                            self.emitted_watermarks.insert(result_stream.clone(), a);
+                            queue.push_back((None, processor, result_stream, a));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Declare every source stream finished: emit a final `+∞` watermark
+    /// along each one's dissemination tree (draining every staging area
+    /// and cascading through operator chains), then prune the streams'
+    /// routing state — interest entries, filters, and the plan-cache
+    /// lines they pinned — since no datagram of a closed stream can ever
+    /// arrive again. Records the closed set for the network snapshot.
+    /// Idempotent; a no-op in in-order operation.
+    pub fn close_streams(&mut self) {
+        if self.disorder.is_none() {
+            return;
+        }
+        let mut sources: Vec<(StreamName, NodeId)> = self
+            .registry
+            .iter()
+            .filter(|r| !self.reps.contains_key(&r.name))
+            .map(|r| (r.name.clone(), r.origin))
+            .collect();
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
+        for (stream, origin) in sources {
+            if self.closed_streams.contains(&stream) {
+                continue;
+            }
+            self.emitted_watermarks
+                .insert(stream.clone(), Timestamp(i64::MAX));
+            self.disseminate_watermark(stream.clone(), Timestamp(i64::MAX), origin);
+            for r in &mut self.routers {
+                r.prune_stream(&stream);
+            }
+            self.closed_streams.insert(stream);
+        }
+    }
+
+    /// Source streams closed by [`Cosmos::close_streams`].
+    pub fn closed_streams(&self) -> &BTreeSet<StreamName> {
+        &self.closed_streams
+    }
+
+    /// Deployment-wide out-of-order ingestion counters: every live
+    /// executor's statistics plus everything accumulated from executors
+    /// that were replaced or torn down. `conserved()` holds on this
+    /// total at any instant.
+    pub fn disorder_totals(&self) -> DisorderStats {
+        let mut total = self.retired_disorder;
+        for site in self.reps.values() {
+            if let Some(stats) = site.executor.disorder_stats() {
+                total = total.merge(&stats);
+            }
+        }
+        total
     }
 
     /// Publish a whole timestamp-ordered input sequence.
@@ -1064,6 +1367,8 @@ impl Cosmos {
                 processor: site.processor,
                 query: site.executor.query(),
                 state: site.executor.state_size(),
+                disorder: site.executor.disorder_stats(),
+                frontier: site.executor.frontier(),
             })
             .collect();
         out.sort_by_key(|v| v.result_stream.clone());
@@ -1440,6 +1745,7 @@ impl Cosmos {
             advertisements,
             routers,
             groups,
+            closed_streams: self.closed_streams.iter().cloned().collect(),
         })
     }
 }
@@ -2087,5 +2393,124 @@ mod tests {
         assert_eq!(sys.results(q2).len(), 5); // x = 0..40
         let gm = sys.group_manager(NodeId(0)).unwrap();
         assert_eq!(gm.group_count(), 1);
+    }
+
+    #[test]
+    fn disordered_publishes_converge_after_close() {
+        let mut sys = line_system(true);
+        let q = sys
+            .submit_query(
+                "SELECT k, COUNT(*) FROM S [Range 10 Second] GROUP BY k",
+                NodeId(3),
+            )
+            .unwrap();
+        sys.set_disorder(Some(DisorderRuntime {
+            bound: TimeDelta::from_millis(3_000),
+            policy: LatePolicy::Revise {
+                grace: TimeDelta::from_millis(3_000),
+            },
+        }));
+        // Timestamps displaced by up to the bound, plus one exact
+        // duplicate. In-order reference below must agree post-close.
+        let ts = [2_000i64, 1_000, 3_000, 5_000, 4_000, 5_000, 7_000, 6_000];
+        for t in ts {
+            let k = t / 1_000;
+            sys.publish(&s_tuple(t, k % 2, k as f64)).unwrap();
+        }
+        sys.close_streams();
+        let totals = sys.disorder_totals();
+        assert!(totals.conserved(), "{totals:?}");
+        assert_eq!(totals.duplicates, 1);
+        assert_eq!(totals.staged, 0, "close must drain all staging");
+        // The in-order reference run (disorder off, duplicate removed).
+        let mut reference = line_system(true);
+        let rq = reference
+            .submit_query(
+                "SELECT k, COUNT(*) FROM S [Range 10 Second] GROUP BY k",
+                NodeId(3),
+            )
+            .unwrap();
+        let mut sorted: Vec<i64> = ts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 5)
+            .map(|(_, t)| *t)
+            .collect();
+        sorted.sort_unstable();
+        for t in sorted {
+            let k = t / 1_000;
+            reference.publish(&s_tuple(t, k % 2, k as f64)).unwrap();
+        }
+        assert_eq!(sys.results(q), reference.results(rq));
+        // Punctuations crossed links and were accounted both ways.
+        let snap = sys.metrics();
+        assert!(snap.punctuations > 0);
+        assert_eq!(snap.punctuation_bytes, 18 * snap.punctuations);
+        assert_eq!(snap.link_bytes_total(), sys.total_bytes());
+        // The closed set reached the network snapshot (and only there:
+        // an in-order snapshot stays byte-identical to the old format).
+        let netsnap = sys.snapshot().unwrap();
+        assert_eq!(netsnap.closed_streams, vec![StreamName::from("S")]);
+        let json = netsnap.to_json().unwrap();
+        let back = crate::snapshot::NetworkSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, netsnap);
+        let plain = reference.snapshot().unwrap().to_json().unwrap();
+        assert!(!plain.contains("closed_streams"));
+    }
+
+    #[test]
+    fn in_order_disorder_mode_changes_nothing_but_watermarks() {
+        // Same in-order feed, disorder mode on vs off: deliveries are
+        // identical tuple for tuple (staging releases everything, no
+        // late path is ever taken).
+        let feed: Vec<Tuple> = (0..12).map(|i| s_tuple(i * 500, i % 3, i as f64)).collect();
+        let deliver = |disorder: bool| -> Vec<Tuple> {
+            let mut sys = line_system(true);
+            let q = sys
+                .submit_query(
+                    "SELECT k, COUNT(*) FROM S [Range 2 Second] GROUP BY k",
+                    NodeId(3),
+                )
+                .unwrap();
+            if disorder {
+                sys.set_disorder(Some(DisorderRuntime {
+                    bound: TimeDelta::from_millis(1_000),
+                    policy: LatePolicy::Drop,
+                }));
+            }
+            sys.run(feed.iter().cloned()).unwrap();
+            sys.close_streams();
+            sys.results(q).to_vec()
+        };
+        assert_eq!(deliver(false), deliver(true));
+    }
+
+    #[test]
+    fn retiring_a_rep_flushes_its_staging_through_the_engine() {
+        let mut sys = line_system(true);
+        let q1 = sys
+            .submit_query("SELECT k, x FROM S [Now] WHERE x <= 20.0", NodeId(2))
+            .unwrap();
+        sys.set_disorder(Some(DisorderRuntime {
+            bound: TimeDelta::from_millis(10_000),
+            policy: LatePolicy::Drop,
+        }));
+        // A huge bound keeps every publish staged (watermark trails far
+        // behind), so results only exist if replacement flushes.
+        sys.publish(&s_tuple(1_000, 1, 10.0)).unwrap();
+        sys.publish(&s_tuple(2_000, 2, 20.0)).unwrap();
+        assert!(sys.results(q1).is_empty(), "still staged");
+        // Widening member replaces the representative executor, which
+        // must flush the staged tuples through the old engine first.
+        let q2 = sys
+            .submit_query("SELECT k, x FROM S [Now] WHERE x <= 40.0", NodeId(3))
+            .unwrap();
+        assert_eq!(sys.results(q1).len(), 2);
+        assert!(sys.results(q2).is_empty(), "flushed before q2 subscribed");
+        let totals = sys.disorder_totals();
+        assert!(totals.conserved(), "{totals:?}");
+        assert_eq!(totals.drained, 2);
+        sys.close_streams();
+        assert!(sys.disorder_totals().conserved());
     }
 }

@@ -86,6 +86,10 @@ pub struct MetricsHub {
     consumed: FxHashMap<NodeId, RateWindow>,
     streams: FxHashMap<StreamName, StreamObservation>,
     queries: FxHashMap<QueryId, QueryObservation>,
+    /// Watermark punctuation datagrams disseminated (disorder mode).
+    punctuations: u64,
+    /// Link bytes spent on punctuations (also counted by `on_link`).
+    punctuation_bytes: u64,
 }
 
 impl MetricsHub {
@@ -100,6 +104,8 @@ impl MetricsHub {
             consumed: FxHashMap::default(),
             streams: FxHashMap::default(),
             queries: FxHashMap::default(),
+            punctuations: 0,
+            punctuation_bytes: 0,
         }
     }
 
@@ -235,6 +241,23 @@ impl MetricsHub {
         obs.window.record(now, tuples.len() as u64, bytes);
         obs.latency_sum_ms += lat_sum;
         obs.latency_max_ms = obs.latency_max_ms.max(lat_max);
+    }
+
+    /// A watermark punctuation datagram crossed one overlay link.
+    /// Its link bytes are accounted by the accompanying [`MetricsHub::on_link`]
+    /// call; this hook keeps the dedicated counters. Punctuations carry
+    /// no tuple timestamp, so virtual time does not advance.
+    pub fn on_punctuation(&mut self, bytes: usize) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.punctuations += 1;
+        self.punctuation_bytes += bytes as u64;
+    }
+
+    /// Lifetime punctuation datagrams and bytes disseminated.
+    pub fn punctuation_totals(&self) -> (u64, u64) {
+        (self.punctuations, self.punctuation_bytes)
     }
 
     /// A batch of tuples was handed to a stream-processing executor at
@@ -387,6 +410,8 @@ impl MetricsHub {
             streams,
             queries,
             router,
+            punctuations: self.punctuations,
+            punctuation_bytes: self.punctuation_bytes,
         }
     }
 }

@@ -124,7 +124,13 @@ pub struct RouterTotals {
 }
 
 /// A deterministic point-in-time view of every metric the system keeps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are written by hand (the vendored derive
+/// supports no field attributes): the punctuation counters are omitted
+/// from JSON when zero and default to zero when absent, so in-order
+/// runs produce byte-identical snapshots to the pre-disorder format and
+/// old documents still parse.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Format version ([`METRICS_VERSION`]).
     pub version: u32,
@@ -140,6 +146,59 @@ pub struct MetricsSnapshot {
     pub queries: Vec<QueryMetrics>,
     /// Aggregated CBN router counters.
     pub router: RouterTotals,
+    /// Watermark punctuation datagrams disseminated (disorder mode).
+    pub punctuations: u64,
+    /// Link bytes spent on punctuation datagrams (included in the
+    /// per-link totals above; broken out for the disorder sweep).
+    pub punctuation_bytes: u64,
+}
+
+impl serde::Serialize for MetricsSnapshot {
+    fn to_content(&self) -> serde::Content {
+        let mut entries = vec![
+            ("version", self.version.to_content()),
+            ("now_ms", self.now_ms.to_content()),
+            ("links", self.links.to_content()),
+            ("nodes", self.nodes.to_content()),
+            ("streams", self.streams.to_content()),
+            ("queries", self.queries.to_content()),
+            ("router", self.router.to_content()),
+        ];
+        if self.punctuations != 0 {
+            entries.push(("punctuations", self.punctuations.to_content()));
+        }
+        if self.punctuation_bytes != 0 {
+            entries.push(("punctuation_bytes", self.punctuation_bytes.to_content()));
+        }
+        serde::Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (serde::Content::Str(k.to_string()), v))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for MetricsSnapshot {
+    fn from_content(c: &serde::Content) -> std::result::Result<Self, serde::DeError> {
+        let opt_u64 = |key: &str| -> std::result::Result<u64, serde::DeError> {
+            match serde::map_get(c, key) {
+                Ok(v) => serde::Deserialize::from_content(v),
+                Err(_) => Ok(0),
+            }
+        };
+        Ok(MetricsSnapshot {
+            version: serde::Deserialize::from_content(serde::map_get(c, "version")?)?,
+            now_ms: serde::Deserialize::from_content(serde::map_get(c, "now_ms")?)?,
+            links: serde::Deserialize::from_content(serde::map_get(c, "links")?)?,
+            nodes: serde::Deserialize::from_content(serde::map_get(c, "nodes")?)?,
+            streams: serde::Deserialize::from_content(serde::map_get(c, "streams")?)?,
+            queries: serde::Deserialize::from_content(serde::map_get(c, "queries")?)?,
+            router: serde::Deserialize::from_content(serde::map_get(c, "router")?)?,
+            punctuations: opt_u64("punctuations")?,
+            punctuation_bytes: opt_u64("punctuation_bytes")?,
+        })
+    }
 }
 
 impl MetricsSnapshot {
@@ -192,9 +251,15 @@ mod tests {
             streams: Vec::new(),
             queries: Vec::new(),
             router: RouterTotals::default(),
+            punctuations: 0,
+            punctuation_bytes: 0,
         };
         let mut json = snap.to_json().expect("serialize");
         assert!(MetricsSnapshot::from_json(&json).is_ok());
+        assert!(
+            !json.contains("punctuation"),
+            "zero punctuation counters must not appear in JSON: {json}"
+        );
         json = json.replace("\"version\":1", "\"version\":999");
         let err = MetricsSnapshot::from_json(&json).expect_err("bad version");
         assert!(err.to_string().contains("999"), "{err}");

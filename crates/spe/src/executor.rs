@@ -18,8 +18,8 @@
 use crate::analyze::{AnalyzedQuery, OutputColumn, QAttr};
 use cosmos_cql::AggFunc;
 use cosmos_types::{
-    AttrType, CosmosError, FxHashMap, FxHashSet, Result, Schema, StreamName, Timestamp, Tuple,
-    Value,
+    AttrType, CosmosError, FxHashMap, FxHashSet, Result, Schema, StreamName, TimeDelta, Timestamp,
+    Tuple, Value,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -34,18 +34,184 @@ type ColSource = (usize, usize);
 pub struct StateSize {
     /// Rows across all join input buffers.
     pub buffer_rows: usize,
-    /// Rows in the aggregate's sliding window.
+    /// Rows in the aggregate's sliding window (including disorder-mode
+    /// revision history retained behind the live window).
     pub agg_window_rows: usize,
     /// Live groups in the aggregate's group table.
     pub group_rows: usize,
     /// Entries in the DISTINCT dedup set.
     pub distinct_rows: usize,
+    /// Tuples staged behind the watermark frontier (disorder mode).
+    pub staging_rows: usize,
 }
 
 impl StateSize {
     /// Total retained rows across all components.
     pub fn total_rows(&self) -> usize {
-        self.buffer_rows + self.agg_window_rows + self.group_rows + self.distinct_rows
+        self.buffer_rows
+            + self.agg_window_rows
+            + self.group_rows
+            + self.distinct_rows
+            + self.staging_rows
+    }
+}
+
+/// What to do with a tuple that arrives *behind* the watermark frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatePolicy {
+    /// Shed late tuples, counting them so conservation still balances.
+    Drop,
+    /// Process late tuples within `grace` of the frontier by emitting
+    /// their result as-of their timestamp plus *revision* tuples for
+    /// already-emitted results they change; shed beyond the grace.
+    Revise {
+        /// How far behind the frontier a tuple may still be folded in.
+        grace: TimeDelta,
+    },
+}
+
+impl LatePolicy {
+    /// How long state needed to fold late tuples in must be retained.
+    fn grace(&self) -> TimeDelta {
+        match self {
+            LatePolicy::Drop => TimeDelta::ZERO,
+            LatePolicy::Revise { grace } => *grace,
+        }
+    }
+}
+
+/// Disorder-mode bookkeeping counters. The conservation identity
+/// `arrived == drained + staged + shed + duplicates` holds at every
+/// instant; the testkit asserts it on every sweep event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DisorderStats {
+    /// Out-of-order arrivals offered to this executor.
+    pub arrived: u64,
+    /// Tuples processed through the engine (in-order drains, flushes,
+    /// and late tuples folded in by revision).
+    pub drained: u64,
+    /// Tuples currently staged behind the frontier.
+    pub staged: u64,
+    /// Late tuples shed (beyond grace, or `Drop` policy).
+    pub shed: u64,
+    /// Exact duplicates discarded by the dedup set.
+    pub duplicates: u64,
+    /// Late tuples folded in via the revision path (subset of `drained`).
+    pub late: u64,
+    /// Revision tuples emitted to supersede earlier emissions.
+    pub revisions: u64,
+}
+
+impl DisorderStats {
+    /// Sum two stat snapshots (used to total live + retired executors).
+    pub fn merge(&self, other: &DisorderStats) -> DisorderStats {
+        DisorderStats {
+            arrived: self.arrived + other.arrived,
+            drained: self.drained + other.drained,
+            staged: self.staged + other.staged,
+            shed: self.shed + other.shed,
+            duplicates: self.duplicates + other.duplicates,
+            late: self.late + other.late,
+            revisions: self.revisions + other.revisions,
+        }
+    }
+
+    /// The conservation identity; false means tuples were lost or
+    /// double-counted somewhere in the disorder machinery.
+    pub fn conserved(&self) -> bool {
+        self.arrived == self.drained + self.staged + self.shed + self.duplicates
+    }
+}
+
+/// Identity of a tuple for exact-duplicate detection.
+type DedupKey = (StreamName, Timestamp, Vec<Value>);
+
+/// Out-of-order ingestion state: a staging area ordered by
+/// `(timestamp, arrival seq)`, the watermark frontier that releases it,
+/// and an exact-duplicate dedup set with a time-indexed eviction queue.
+#[derive(Debug, Clone)]
+struct DisorderState {
+    policy: LatePolicy,
+    /// Tuples not yet released: all have `ts > frontier`.
+    staging: BTreeMap<(Timestamp, u64), Tuple>,
+    /// Arrival tiebreaker so equal timestamps drain in arrival order.
+    seq: u64,
+    /// Greatest effective watermark seen: `min` over the query's input
+    /// streams of their last watermark.
+    frontier: Timestamp,
+    /// Last watermark per stream (streams missing here hold `i64::MIN`).
+    watermarks: FxHashMap<StreamName, Timestamp>,
+    /// Exact duplicates of anything here are discarded.
+    seen: FxHashSet<DedupKey>,
+    /// Eviction index for `seen`: entries below `frontier − grace` can
+    /// no longer collide with a processable arrival.
+    seen_index: BTreeMap<Timestamp, Vec<DedupKey>>,
+    stats: DisorderStats,
+}
+
+impl DisorderState {
+    fn new(policy: LatePolicy) -> DisorderState {
+        DisorderState {
+            policy,
+            staging: BTreeMap::new(),
+            seq: 0,
+            frontier: Timestamp(i64::MIN),
+            watermarks: FxHashMap::default(),
+            seen: FxHashSet::default(),
+            seen_index: BTreeMap::new(),
+            stats: DisorderStats::default(),
+        }
+    }
+
+    /// Record a tuple in the dedup set (no-op if already present).
+    fn remember(&mut self, t: &Tuple) {
+        let key = (t.stream.clone(), t.timestamp, t.values().to_vec());
+        if self.seen.insert(key.clone()) {
+            self.seen_index.entry(t.timestamp).or_default().push(key);
+        }
+    }
+
+    fn is_duplicate(&self, t: &Tuple) -> bool {
+        self.seen
+            .contains(&(t.stream.clone(), t.timestamp, t.values().to_vec()))
+    }
+
+    /// Drop dedup entries that can no longer match a processable
+    /// arrival (strictly below `frontier − grace`).
+    fn evict_seen(&mut self) {
+        let horizon = self.frontier - self.policy.grace();
+        while let Some((&ts, _)) = self.seen_index.first_key_value() {
+            if ts >= horizon {
+                break;
+            }
+            let (_, keys) = self.seen_index.pop_first().expect("checked first");
+            for key in keys {
+                self.seen.remove(&key);
+            }
+        }
+    }
+}
+
+/// Planted bugs for the CI canary: prove the convergence oracle has
+/// teeth by disabling the machinery it guards.
+///
+/// Production code never sets these; see `cosmos_query::merge::faultinject`
+/// for the pattern.
+pub mod faultinject {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SKIP_WATERMARK_GATING: AtomicBool = AtomicBool::new(false);
+
+    /// Enable or disable the planted bug that bypasses watermark gating:
+    /// out-of-order arrivals are processed immediately in arrival order
+    /// instead of being staged until the frontier passes them.
+    pub fn set_skip_watermark_gating(on: bool) {
+        SKIP_WATERMARK_GATING.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the planted bug is currently enabled.
+    pub fn skip_watermark_gating() -> bool {
+        SKIP_WATERMARK_GATING.load(Ordering::SeqCst)
     }
 }
 
@@ -60,11 +226,19 @@ pub struct Executor {
     attr_sources: Vec<Option<ColSource>>,
     /// Precomputed `(left source, right source)` of each join predicate.
     join_sources: Vec<(ColSource, ColSource)>,
+    /// Per-stream-binding window sizes (parallel to `query.streams`).
+    windows: Vec<TimeDelta>,
     distinct_seen: FxHashSet<Vec<Value>>,
     agg: Option<AggregateState>,
     last_ts: Timestamp,
     consumed: u64,
     emitted: u64,
+    /// Out-of-order ingestion state; `None` = strict in-order mode.
+    disorder: Option<DisorderState>,
+    /// Under `Revise`, window state down to this timestamp (minus the
+    /// window size) is retained past normal eviction so late tuples can
+    /// be folded in. Tracks `frontier − grace`.
+    retain_floor: Option<Timestamp>,
 }
 
 impl Executor {
@@ -99,6 +273,7 @@ impl Executor {
         };
         Ok(Executor {
             buffers: vec![VecDeque::new(); query.streams.len()],
+            windows: query.streams.iter().map(|b| b.window).collect(),
             query,
             result_stream: result_stream.into(),
             attr_sources,
@@ -108,6 +283,8 @@ impl Executor {
             last_ts: Timestamp(i64::MIN),
             consumed: 0,
             emitted: 0,
+            disorder: None,
+            retain_floor: None,
         })
     }
 
@@ -141,10 +318,40 @@ impl Executor {
     pub fn state_size(&self) -> StateSize {
         StateSize {
             buffer_rows: self.buffers.iter().map(VecDeque::len).sum(),
-            agg_window_rows: self.agg.as_ref().map_or(0, |a| a.window.len()),
+            agg_window_rows: self
+                .agg
+                .as_ref()
+                .map_or(0, |a| a.window.len() + a.history.len()),
             group_rows: self.agg.as_ref().map_or(0, |a| a.groups.len()),
             distinct_rows: self.distinct_seen.len(),
+            staging_rows: self.disorder.as_ref().map_or(0, |d| d.staging.len()),
         }
+    }
+
+    /// Switch the executor into out-of-order ingestion mode: arrivals
+    /// are staged until a watermark releases them; tuples behind the
+    /// frontier are handled per `policy`. Must be called before the
+    /// first arrival.
+    pub fn enable_disorder(&mut self, policy: LatePolicy) {
+        self.retain_floor = match policy {
+            LatePolicy::Drop => None,
+            LatePolicy::Revise { .. } => Some(Timestamp(i64::MIN)),
+        };
+        self.disorder = Some(DisorderState::new(policy));
+    }
+
+    /// Disorder bookkeeping counters (`None` in strict in-order mode).
+    pub fn disorder_stats(&self) -> Option<DisorderStats> {
+        self.disorder.as_ref().map(|d| DisorderStats {
+            staged: d.staging.len() as u64,
+            ..d.stats
+        })
+    }
+
+    /// The watermark frontier (`None` in strict in-order mode): all
+    /// arrivals at or below it have been drained, shed, or deduplicated.
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.disorder.as_ref().map(|d| d.frontier)
     }
 
     /// Process an arrival that may have been *early-projected* by the
@@ -174,7 +381,7 @@ impl Executor {
         if *schema == bound.schema {
             let mut out = Vec::new();
             for t in tuples {
-                out.extend(self.push(t));
+                out.extend(self.ingest(t));
             }
             return out;
         }
@@ -193,9 +400,18 @@ impl Executor {
                 .map(|src| src.and_then(|i| t.get(i).cloned()).unwrap_or(Value::Null))
                 .collect();
             let aligned = Tuple::new(t.stream.clone(), t.timestamp, full);
-            out.extend(self.push(&aligned));
+            out.extend(self.ingest(&aligned));
         }
         out
+    }
+
+    /// Route one full-schema arrival through the mode-appropriate path.
+    fn ingest(&mut self, tuple: &Tuple) -> Vec<Tuple> {
+        if self.disorder.is_some() {
+            self.push_out_of_order(tuple)
+        } else {
+            self.push(tuple)
+        }
     }
 
     /// Process one source arrival, returning the result tuples it
@@ -207,7 +423,15 @@ impl Executor {
             tuple.timestamp,
             self.last_ts
         );
-        self.last_ts = tuple.timestamp;
+        self.push_unchecked(tuple)
+    }
+
+    /// [`Executor::push`] without the monotonicity contract — used by
+    /// the canary fault injection, which deliberately processes
+    /// out-of-order arrivals immediately to prove the convergence
+    /// oracle catches the resulting garbage.
+    fn push_unchecked(&mut self, tuple: &Tuple) -> Vec<Tuple> {
+        self.last_ts = self.last_ts.max(tuple.timestamp);
         let mut out = Vec::new();
         // A stream may be bound several times (self joins); process each.
         for si in 0..self.query.streams.len() {
@@ -228,6 +452,184 @@ impl Executor {
         }
         self.emitted += out.len() as u64;
         out
+    }
+
+    /// Process one arrival in out-of-order mode. Exact duplicates of
+    /// anything remembered are discarded; arrivals ahead of the
+    /// watermark frontier are staged; arrivals behind it are handled
+    /// per the late policy (revision within grace, shed otherwise).
+    pub fn push_out_of_order(&mut self, tuple: &Tuple) -> Vec<Tuple> {
+        let Some(mut d) = self.disorder.take() else {
+            return self.push(tuple);
+        };
+        d.stats.arrived += 1;
+        let mut out = Vec::new();
+        if d.is_duplicate(tuple) {
+            d.stats.duplicates += 1;
+        } else if faultinject::skip_watermark_gating() {
+            // Planted bug: no staging, process in arrival order. The
+            // convergence oracle must flag the resulting outputs.
+            d.remember(tuple);
+            out = self.push_unchecked(tuple);
+            d.stats.drained += 1;
+        } else if tuple.timestamp > d.frontier {
+            d.remember(tuple);
+            d.seq += 1;
+            d.staging.insert((tuple.timestamp, d.seq), tuple.clone());
+        } else {
+            match d.policy {
+                LatePolicy::Drop => d.stats.shed += 1,
+                LatePolicy::Revise { grace } => {
+                    if tuple.timestamp >= d.frontier - grace {
+                        d.remember(tuple);
+                        let mut revisions = 0;
+                        out = self.revise(tuple, &mut revisions);
+                        d.stats.late += 1;
+                        d.stats.drained += 1;
+                        d.stats.revisions += revisions;
+                    } else {
+                        d.stats.shed += 1;
+                    }
+                }
+            }
+        }
+        self.disorder = Some(d);
+        out
+    }
+
+    /// Fold in a watermark for `stream`: the effective frontier is the
+    /// minimum over all input streams' watermarks, and every staged
+    /// tuple at or below it is drained through the engine in
+    /// `(timestamp, arrival)` order. Returns the drained results.
+    pub fn advance_watermark(&mut self, stream: &StreamName, watermark: Timestamp) -> Vec<Tuple> {
+        let Some(mut d) = self.disorder.take() else {
+            return Vec::new();
+        };
+        d.watermarks
+            .entry(stream.clone())
+            .and_modify(|w| *w = (*w).max(watermark))
+            .or_insert(watermark);
+        let eff = self
+            .query
+            .streams
+            .iter()
+            .map(|b| {
+                d.watermarks
+                    .get(&b.stream)
+                    .copied()
+                    .unwrap_or(Timestamp(i64::MIN))
+            })
+            .min()
+            .unwrap_or(watermark);
+        let mut out = Vec::new();
+        if eff > d.frontier {
+            d.frontier = eff;
+            if matches!(d.policy, LatePolicy::Revise { .. }) {
+                self.retain_floor = Some(d.frontier - d.policy.grace());
+            }
+            while let Some((&(ts, _), _)) = d.staging.first_key_value() {
+                if ts > d.frontier {
+                    break;
+                }
+                let (_, t) = d.staging.pop_first().expect("checked first");
+                out.extend(self.push(&t));
+                d.stats.drained += 1;
+            }
+            d.evict_seen();
+        }
+        self.disorder = Some(d);
+        out
+    }
+
+    /// Drain everything still staged, in `(timestamp, arrival)` order,
+    /// *without* moving the frontier — used when an executor is about
+    /// to be retired so its staged tuples are not silently lost.
+    pub fn flush_staged(&mut self) -> Vec<Tuple> {
+        let Some(mut d) = self.disorder.take() else {
+            return Vec::new();
+        };
+        let staged = std::mem::take(&mut d.staging);
+        let mut out = Vec::new();
+        for t in staged.into_values() {
+            out.extend(self.push(&t));
+            d.stats.drained += 1;
+        }
+        self.disorder = Some(d);
+        out
+    }
+
+    /// Fold a late (behind-frontier, within-grace) tuple into the
+    /// query state as if it had arrived in order: emit its result
+    /// as-of its own timestamp, plus revision tuples for already-emitted
+    /// results it retroactively changes.
+    fn revise(&mut self, tuple: &Tuple, revisions: &mut u64) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for si in 0..self.query.streams.len() {
+            if self.query.streams[si].stream != tuple.stream {
+                continue;
+            }
+            self.consumed += 1;
+            if !self.query.selections[si].satisfies(tuple, &self.query.streams[si].schema) {
+                continue;
+            }
+            if self.agg.is_some() {
+                self.revise_aggregate(tuple, &mut out, revisions);
+            } else if self.query.streams.len() == 1 {
+                // Stateless: the row is independent of arrival order.
+                self.emit_single(tuple, &mut out);
+            } else {
+                self.revise_join(si, tuple, &mut out);
+            }
+        }
+        self.emitted += out.len() as u64;
+        out
+    }
+
+    fn revise_aggregate(&mut self, tuple: &Tuple, out: &mut Vec<Tuple>, revisions: &mut u64) {
+        let agg = self.agg.as_mut().expect("aggregate state");
+        let rows = agg.revise(&self.query, tuple);
+        for (ts, values) in rows {
+            if ts > tuple.timestamp {
+                *revisions += 1;
+            }
+            self.finish(values, ts, out);
+        }
+    }
+
+    /// Enumerate the join combinations the late tuple completes. Each
+    /// combination is stamped with the *latest* member's timestamp τ
+    /// (Lemma 1's completing arrival) and checked against every
+    /// member's window. No combination containing the late tuple can
+    /// have been emitted before, so no dedup is needed.
+    fn revise_join(&mut self, arrival_idx: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
+        let n = self.query.streams.len();
+        let mut combo: Vec<Option<&Tuple>> = vec![None; n];
+        combo[arrival_idx] = Some(tuple);
+        let ctx = JoinCtx {
+            join_sources: &self.join_sources,
+            attr_sources: &self.attr_sources,
+            windows: &self.windows,
+        };
+        let mut results: Vec<(Timestamp, Vec<Value>)> = Vec::new();
+        enumerate(
+            &self.buffers,
+            arrival_idx,
+            0,
+            &mut combo,
+            &ctx,
+            None,
+            &mut results,
+        );
+        results.sort_by_key(|r| r.0);
+        for (tau, values) in results {
+            self.finish(values, tau, out);
+        }
+        let buf = &mut self.buffers[arrival_idx];
+        let pos = buf
+            .iter()
+            .position(|u| u.timestamp > tuple.timestamp)
+            .unwrap_or(buf.len());
+        buf.insert(pos, tuple.clone());
     }
 
     /// Finish a candidate result-value vector: distinct check and wrap.
@@ -253,13 +655,19 @@ impl Executor {
     fn push_join(&mut self, arrival_idx: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
         let tau = tuple.timestamp;
         // Evict tuples that can no longer join any future arrival:
-        // tᵢ.ts < τ − Tᵢ (infinite windows never evict).
+        // tᵢ.ts < τ − Tᵢ (infinite windows never evict). Under a
+        // `Revise` late policy, tuples back to `frontier − grace − Tᵢ`
+        // are retained: a late arrival within grace may still complete
+        // a combination with them.
         for (si, buf) in self.buffers.iter_mut().enumerate() {
             let w = self.query.streams[si].window;
             if w.is_infinite() {
                 continue;
             }
-            let horizon = tau - w;
+            let mut horizon = tau - w;
+            if let Some(floor) = self.retain_floor {
+                horizon = horizon.min(floor - w);
+            }
             while buf.front().is_some_and(|t| t.timestamp < horizon) {
                 buf.pop_front();
             }
@@ -268,17 +676,22 @@ impl Executor {
         let n = self.query.streams.len();
         let mut combo: Vec<Option<&Tuple>> = vec![None; n];
         combo[arrival_idx] = Some(tuple);
-        let mut results: Vec<Vec<Value>> = Vec::new();
+        let ctx = JoinCtx {
+            join_sources: &self.join_sources,
+            attr_sources: &self.attr_sources,
+            windows: &self.windows,
+        };
+        let mut results: Vec<(Timestamp, Vec<Value>)> = Vec::new();
         enumerate(
             &self.buffers,
             arrival_idx,
             0,
             &mut combo,
-            &self.join_sources,
-            &self.attr_sources,
+            &ctx,
+            Some(tau),
             &mut results,
         );
-        for values in results {
+        for (_, values) in results {
             self.finish(values, tau, out);
         }
         self.buffers[arrival_idx].push_back(tuple.clone());
@@ -286,21 +699,34 @@ impl Executor {
 
     fn push_aggregate(&mut self, si: usize, tuple: &Tuple, out: &mut Vec<Tuple>) {
         debug_assert_eq!(si, 0, "aggregates run over a single stream");
+        let retain_floor = self.retain_floor;
         let agg = self.agg.as_mut().expect("aggregate state");
-        let row = agg.push(&self.query, tuple);
+        let row = agg.push(&self.query, tuple, retain_floor);
         self.finish(row, tuple.timestamp, out);
     }
 }
 
-/// Depth-first enumeration of join combinations.
+/// Shared immutable context for join enumeration.
+struct JoinCtx<'a> {
+    join_sources: &'a [(ColSource, ColSource)],
+    attr_sources: &'a [Option<ColSource>],
+    windows: &'a [TimeDelta],
+}
+
+/// Depth-first enumeration of join combinations. With `tau = Some(τ)`
+/// every emission is stamped τ (the in-order completing arrival); with
+/// `None` each combination's τ is its latest member's timestamp (the
+/// late-revision case). Either way, every member must satisfy Lemma 1:
+/// `tᵢ.ts ≥ τ − Tᵢ` — redundant with buffer eviction in strict
+/// in-order mode, load-bearing when buffers retain revision history.
 fn enumerate<'a>(
     buffers: &'a [VecDeque<Tuple>],
     arrival_idx: usize,
     si: usize,
     combo: &mut Vec<Option<&'a Tuple>>,
-    join_sources: &[(ColSource, ColSource)],
-    attr_sources: &[Option<ColSource>],
-    results: &mut Vec<Vec<Value>>,
+    ctx: &JoinCtx<'_>,
+    tau: Option<Timestamp>,
+    results: &mut Vec<(Timestamp, Vec<Value>)>,
 ) {
     if si == buffers.len() {
         // All join predicates whose sides are both bound must hold;
@@ -311,12 +737,28 @@ fn enumerate<'a>(
                 .get(src.1)
                 .expect("attr index valid")
         };
-        for (l, r) in join_sources {
+        let tau = tau.unwrap_or_else(|| {
+            combo
+                .iter()
+                .map(|t| t.expect("combo complete").timestamp)
+                .max()
+                .expect("non-empty combo")
+        });
+        for (i, w) in ctx.windows.iter().enumerate() {
+            if w.is_infinite() {
+                continue;
+            }
+            if combo[i].expect("combo complete").timestamp < tau - *w {
+                return;
+            }
+        }
+        for (l, r) in ctx.join_sources {
             if !get(*l).eq_coerce(get(*r)) {
                 return;
             }
         }
-        let values = attr_sources
+        let values = ctx
+            .attr_sources
             .iter()
             .map(|src| {
                 let (s, a) = src.expect("non-aggregate column");
@@ -327,43 +769,40 @@ fn enumerate<'a>(
                     .unwrap_or(Value::Null)
             })
             .collect();
-        results.push(values);
+        results.push((tau, values));
         return;
     }
     if si == arrival_idx {
-        enumerate(
-            buffers,
-            arrival_idx,
-            si + 1,
-            combo,
-            join_sources,
-            attr_sources,
-            results,
-        );
+        enumerate(buffers, arrival_idx, si + 1, combo, ctx, tau, results);
         return;
     }
     // Early join-predicate pruning would help at scale; buffers in this
     // system are small (windowed), so plain enumeration is fine.
     for t in &buffers[si] {
         combo[si] = Some(t);
-        enumerate(
-            buffers,
-            arrival_idx,
-            si + 1,
-            combo,
-            join_sources,
-            attr_sources,
-            results,
-        );
+        enumerate(buffers, arrival_idx, si + 1, combo, ctx, tau, results);
     }
     combo[si] = None;
 }
 
+/// One buffered aggregate contribution: `(timestamp, group key, agg
+/// arg values)`.
+type AggEntry = (Timestamp, Vec<Value>, Vec<Value>);
+
 /// Grouped sliding-window aggregate state.
 #[derive(Debug, Clone)]
 struct AggregateState {
-    /// Buffered contributions: `(timestamp, group key, agg arg values)`.
-    window: VecDeque<(Timestamp, Vec<Value>, Vec<Value>)>,
+    /// Buffered contributions inside the live window, sorted by time.
+    window: VecDeque<AggEntry>,
+    /// Contributions evicted from the live window (and from the
+    /// accumulators) but retained for late-tuple revision, sorted by
+    /// time and strictly older than everything in `window`. Only
+    /// populated under a `Revise` late policy.
+    history: VecDeque<AggEntry>,
+    /// Low edge of the live window: the greatest `τ − T` applied. The
+    /// accumulators reflect exactly the entries in `window`, i.e. those
+    /// with `ts ≥ horizon`.
+    horizon: Timestamp,
     /// Per-group accumulators, one per aggregate column.
     groups: FxHashMap<Vec<Value>, Vec<Accumulator>>,
     /// Positional sources of the group-by attributes.
@@ -500,6 +939,8 @@ impl AggregateState {
         }
         Ok(AggregateState {
             window: VecDeque::new(),
+            history: VecDeque::new(),
+            horizon: Timestamp(i64::MIN),
             groups: FxHashMap::default(),
             group_sources,
             agg_args,
@@ -508,34 +949,14 @@ impl AggregateState {
         })
     }
 
-    /// Advance the window to `tuple.timestamp`, fold the tuple in, and
-    /// return the output row for its group.
-    fn push(&mut self, query: &AnalyzedQuery, tuple: &Tuple) -> Vec<Value> {
-        let tau = tuple.timestamp;
-        let w = query.streams[0].window;
-        if !w.is_infinite() {
-            let horizon = tau - w;
-            while self.window.front().is_some_and(|(ts, _, _)| *ts < horizon) {
-                let (_, key, args) = self.window.pop_front().expect("checked front");
-                let accs = self.groups.get_mut(&key).expect("group exists");
-                for (ai, acc) in accs.iter_mut().enumerate() {
-                    acc.remove(if self.agg_args[ai].is_some() {
-                        Some(&args[ai])
-                    } else {
-                        None
-                    });
-                }
-                if accs[0].count == 0 {
-                    self.groups.remove(&key);
-                }
-            }
-        }
-        let key: Vec<Value> = self
+    /// The tuple's group key and aggregate-argument values.
+    fn key_and_args(&self, tuple: &Tuple) -> (Vec<Value>, Vec<Value>) {
+        let key = self
             .group_sources
             .iter()
             .map(|&i| tuple.get(i).cloned().unwrap_or(Value::Null))
             .collect();
-        let args: Vec<Value> = self
+        let args = self
             .agg_args
             .iter()
             .map(|src| match src {
@@ -543,21 +964,22 @@ impl AggregateState {
                 None => Value::Null,
             })
             .collect();
-        let accs = self
-            .groups
-            .entry(key.clone())
-            .or_insert_with(|| vec![Accumulator::default(); self.funcs.len()]);
+        (key, args)
+    }
+
+    /// Fold one entry's arguments into a set of accumulators.
+    fn accumulate(agg_args: &[Option<usize>], accs: &mut [Accumulator], args: &[Value]) {
         for (ai, acc) in accs.iter_mut().enumerate() {
-            acc.insert(if self.agg_args[ai].is_some() {
+            acc.insert(if agg_args[ai].is_some() {
                 Some(&args[ai])
             } else {
                 None
             });
         }
-        self.window.push_back((tau, key.clone(), args));
+    }
 
-        // Assemble the output row in SELECT order.
-        let accs = &self.groups[&key];
+    /// Assemble the output row for `key` from `accs`, in SELECT order.
+    fn output_row(&self, query: &AnalyzedQuery, key: &[Value], accs: &[Accumulator]) -> Vec<Value> {
         let mut agg_i = 0usize;
         query
             .output
@@ -578,6 +1000,124 @@ impl AggregateState {
                 }
             })
             .collect()
+    }
+
+    /// Advance the window to `tuple.timestamp`, fold the tuple in, and
+    /// return the output row for its group. With `retain_floor` set
+    /// (disorder mode, `Revise` policy), entries leaving the live
+    /// window move to `history` — still outside the accumulators —
+    /// until even a maximally-late tuple could not reach them.
+    fn push(
+        &mut self,
+        query: &AnalyzedQuery,
+        tuple: &Tuple,
+        retain_floor: Option<Timestamp>,
+    ) -> Vec<Value> {
+        let tau = tuple.timestamp;
+        let w = query.streams[0].window;
+        if !w.is_infinite() {
+            let horizon = tau - w;
+            self.horizon = self.horizon.max(horizon);
+            while self.window.front().is_some_and(|(ts, _, _)| *ts < horizon) {
+                let (ts, key, args) = self.window.pop_front().expect("checked front");
+                let accs = self.groups.get_mut(&key).expect("group exists");
+                for (ai, acc) in accs.iter_mut().enumerate() {
+                    acc.remove(if self.agg_args[ai].is_some() {
+                        Some(&args[ai])
+                    } else {
+                        None
+                    });
+                }
+                if accs[0].count == 0 {
+                    self.groups.remove(&key);
+                }
+                if retain_floor.is_some() {
+                    self.history.push_back((ts, key, args));
+                }
+            }
+            if let Some(floor) = retain_floor {
+                let keep = floor - w;
+                while self.history.front().is_some_and(|(ts, _, _)| *ts < keep) {
+                    self.history.pop_front();
+                }
+            }
+        }
+        let (key, args) = self.key_and_args(tuple);
+        let accs = self
+            .groups
+            .entry(key.clone())
+            .or_insert_with(|| vec![Accumulator::default(); self.funcs.len()]);
+        Self::accumulate(&self.agg_args, accs, &args);
+        self.window.push_back((tau, key.clone(), args));
+        let accs = &self.groups[&key];
+        self.output_row(query, &key, accs)
+    }
+
+    /// Recompute the row for `key` as of time `at` from scratch, by
+    /// scanning every retained contribution in `(at − w, at]`.
+    fn recompute_row(
+        &self,
+        query: &AnalyzedQuery,
+        key: &[Value],
+        at: Timestamp,
+        w: TimeDelta,
+    ) -> Vec<Value> {
+        let mut accs = vec![Accumulator::default(); self.funcs.len()];
+        for (ts, k, args) in self.history.iter().chain(self.window.iter()) {
+            if *ts > at || k != key {
+                continue;
+            }
+            if !w.is_infinite() && *ts < at - w {
+                continue;
+            }
+            Self::accumulate(&self.agg_args, &mut accs, args);
+        }
+        self.output_row(query, key, &accs)
+    }
+
+    /// Fold a late tuple in as if it had arrived in order and return
+    /// the rows to emit: first the late tuple's own row as of its
+    /// timestamp, then one revision row for every already-processed
+    /// same-group contribution whose window contained it.
+    fn revise(&mut self, query: &AnalyzedQuery, tuple: &Tuple) -> Vec<(Timestamp, Vec<Value>)> {
+        let ts = tuple.timestamp;
+        let w = query.streams[0].window;
+        let (key, args) = self.key_and_args(tuple);
+        if ts >= self.horizon {
+            // Still inside the live window: future in-order rows must
+            // see it, so it joins the accumulators too.
+            let accs = self
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| vec![Accumulator::default(); self.funcs.len()]);
+            Self::accumulate(&self.agg_args, accs, &args);
+            let pos = self
+                .window
+                .iter()
+                .position(|(t, _, _)| *t > ts)
+                .unwrap_or(self.window.len());
+            self.window.insert(pos, (ts, key.clone(), args));
+        } else {
+            let pos = self
+                .history
+                .iter()
+                .position(|(t, _, _)| *t > ts)
+                .unwrap_or(self.history.len());
+            self.history.insert(pos, (ts, key.clone(), args));
+        }
+        let mut rows = vec![(ts, self.recompute_row(query, &key, ts, w))];
+        // Revise same-group contributions at (ts, ts + w]: their rows
+        // were emitted before this tuple was known.
+        for (uts, k, _) in self.history.iter().chain(self.window.iter()) {
+            if *uts <= ts || k != &key {
+                continue;
+            }
+            if !w.is_infinite() && *uts > ts + w {
+                continue;
+            }
+            rows.push((*uts, self.recompute_row(query, &key, *uts, w)));
+        }
+        rows
     }
 }
 

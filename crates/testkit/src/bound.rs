@@ -29,7 +29,7 @@
 use crate::run::QueryRun;
 use cosmos::Cosmos;
 use cosmos_bound::{query_bounds, Bound, Envelope, QueryBounds};
-use cosmos_types::{NodeId, QueryId, Tuple};
+use cosmos_types::{NodeId, QueryId, TimeDelta, Tuple};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -84,6 +84,9 @@ pub struct BoundTracker {
     users: BTreeMap<QueryId, NodeId>,
     /// Every processor ever observed hosting the query's representative.
     procs: BTreeMap<QueryId, BTreeSet<NodeId>>,
+    /// Watermark lag of a disordered run, doubling as the envelope's
+    /// reorder slack (`None` in order).
+    disorder_bound: Option<TimeDelta>,
 }
 
 impl BoundTracker {
@@ -95,7 +98,21 @@ impl BoundTracker {
             nodes,
             users: BTreeMap::new(),
             procs: BTreeMap::new(),
+            disorder_bound: None,
         }
+    }
+
+    /// Arm the tracker for a disordered run: `bound` is the watermark
+    /// lag (= revision grace). It becomes the envelope's *reorder slack*
+    /// — disordered traces are evaluated in sorted order (the staged
+    /// executor's processing order) and every window is widened by the
+    /// slack to cover grace retention — and bounds the staging area:
+    /// staged tuples span at most `(frontier, high-water]`, a band of
+    /// width `bound`, so `window_rows(stream, bound)` dominates each
+    /// input stream's contribution.
+    pub fn set_disorder_bound(&mut self, bound: Option<TimeDelta>) {
+        self.disorder_bound = bound;
+        self.env.set_reorder_slack(bound);
     }
 
     /// Record one accepted publish as a trace arrival.
@@ -191,6 +208,23 @@ impl BoundTracker {
                     measured as f64,
                     bound,
                 ));
+            }
+            if let Some(db) = self.disorder_bound {
+                let mut staging_bound = Bound::ZERO;
+                for b in &v.query.streams {
+                    staging_bound = staging_bound + self.env.window_rows(&b.stream, db);
+                }
+                if v.state.staging_rows != 0 || staging_bound != Bound::ZERO {
+                    out.push(BoundReportEntry::new(
+                        format!(
+                            "rep '{}' @ node {} staging rows",
+                            v.result_stream,
+                            v.processor.index()
+                        ),
+                        v.state.staging_rows as f64,
+                        staging_bound,
+                    ));
+                }
             }
         }
         out

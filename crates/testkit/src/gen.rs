@@ -12,7 +12,7 @@ use crate::scenario::{Event, Scenario, ScenarioConfig, TopologySpec, SCENARIO_VE
 use cosmos_spe::AnalyzedQuery;
 use cosmos_workload::sensor::{merged_inputs, stream_name};
 use cosmos_workload::{
-    sensor_catalog, QueryGenConfig, QueryGenerator, SensorGenerator, SENSOR_STREAMS,
+    sensor_catalog, DisorderSpec, QueryGenConfig, QueryGenerator, SensorGenerator, SENSOR_STREAMS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +58,7 @@ pub fn generate(seed: u64) -> Scenario {
             0
         },
         per_source_trees,
+        disorder: None,
     };
 
     // Sensor deployments: k consecutive streams (consecutive so the
@@ -217,6 +218,34 @@ pub fn generate(seed: u64) -> Scenario {
         config,
         events,
     }
+}
+
+/// Expand a seed into a *disordered* scenario: the same deployment and
+/// event schedule as [`generate`], with every publish batch run through
+/// a seeded [`DisorderSpec`] (skew, stragglers, duplicates) drawn from
+/// the same seed. Batch boundaries are preserved — disorder reshuffles
+/// arrivals *within* each publish event — so the set of tuples any
+/// submission or registration boundary has seen is identical to the
+/// in-order scenario. That is what makes `disorder_equivalence` an
+/// exact metamorphic oracle: the two runs must converge to the same
+/// post-watermark results.
+pub fn generate_disordered(seed: u64) -> Scenario {
+    let mut sc = generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD15_02DE);
+    let spec = DisorderSpec {
+        seed: rng.gen(),
+        skew_ms: rng.gen_range(100..=2_000),
+        straggler_ms: rng.gen_range(500..=5_000),
+        straggler_prob: rng.gen_range(0.10..=0.30),
+        duplicate_prob: rng.gen_range(0.05..=0.15),
+    };
+    for ev in &mut sc.events {
+        if let Event::Publish { tuples } = ev {
+            *tuples = spec.apply(tuples);
+        }
+    }
+    sc.config.disorder = Some(spec);
+    sc
 }
 
 /// The stream names a query references, or `None` if it does not even

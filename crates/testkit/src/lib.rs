@@ -18,6 +18,14 @@
 //!   invariant under tree re-optimization injected after every event
 //!   (routing is semantically transparent).
 //!
+//! Scenarios may carry a [`cosmos_workload::DisorderSpec`]
+//! ([`gen::generate_disordered`]): publish batches arrive skewed, with
+//! stragglers and duplicates, the runner arms the watermark machinery
+//! (`Cosmos::set_disorder`) and closes every source stream after the
+//! schedule, and the differential family runs in *convergence* form —
+//! post-watermark deliveries must equal the reference evaluation of the
+//! *sorted, deduplicated* input (DESIGN.md §13).
+//!
 //! A third, *static* family runs inside the runner itself: after every
 //! routing-relevant event, [`cosmos::Cosmos::snapshot`] is handed to
 //! [`cosmos_verify::verify_snapshot`], which symbolically proves the

@@ -2,12 +2,12 @@
 //! `cosmos-sim` CLI: run, replay, and sweep deterministic scenarios.
 //!
 //! ```text
-//! cosmos-sim run --seed S [--no-shrink] [--out FILE]
+//! cosmos-sim run --seed S [--disorder] [--no-bounds] [--no-shrink] [--out FILE]
 //! cosmos-sim replay FILE
-//! cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]
-//! cosmos-sim snapshot --seed S [--baseline] [--out FILE]
-//! cosmos-sim metrics --seed S [--baseline] [--out FILE]
-//! cosmos-sim bounds --seed S [--baseline] [--out FILE]
+//! cosmos-sim sweep --seeds N [--start S0] [--disorder] [--no-bounds] [--no-shrink] [--out-dir DIR]
+//! cosmos-sim snapshot --seed S [--baseline] [--disorder] [--out FILE]
+//! cosmos-sim metrics --seed S [--baseline] [--disorder] [--out FILE]
+//! cosmos-sim bounds --seed S [--baseline] [--disorder] [--out FILE]
 //! cosmos-sim admission-canary
 //! ```
 //!
@@ -34,20 +34,34 @@
 //! catch real merge bugs (the static verifier flags it as V0501 with no
 //! tuple published).
 //!
+//! `--disorder` expands seeds with [`gen::generate_disordered`] instead:
+//! publish batches arrive skewed, with stragglers and duplicates, and
+//! the *convergence* oracle replaces the differential one. The hidden
+//! `--inject-eviction-bug` flag makes every executor skip watermark
+//! gating (process in raw arrival order) — a deliberately broken build
+//! the convergence oracle must catch on a disordered sweep.
+//! `--no-bounds` turns the (per-event, and therefore earliest-firing)
+//! bound-soundness oracle off for `run`/`sweep`, so a canary failure is
+//! attributed to the end-of-run semantic oracles instead.
+//!
 //! Exit status: 0 all scenarios pass, 1 any oracle failure, 2 usage/IO.
 
-use cosmos_testkit::{check_scenario, gen, run_scenario, shrink, RunOptions, Scenario};
+use cosmos_testkit::{
+    check_scenario, check_scenario_opts, gen, run_scenario, shrink, CheckOptions, RunOptions,
+    Scenario,
+};
 use std::process::ExitCode;
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("cosmos-sim: {msg}");
     eprintln!(
-        "usage: cosmos-sim run --seed S [--no-shrink] [--out FILE]\n\
+        "usage: cosmos-sim run --seed S [--disorder] [--no-bounds] [--no-shrink] [--out FILE]\n\
          \u{20}      cosmos-sim replay FILE\n\
-         \u{20}      cosmos-sim sweep --seeds N [--start S0] [--no-shrink] [--out-dir DIR]\n\
-         \u{20}      cosmos-sim snapshot --seed S [--baseline] [--out FILE]\n\
-         \u{20}      cosmos-sim metrics --seed S [--baseline] [--out FILE]\n\
-         \u{20}      cosmos-sim bounds --seed S [--baseline] [--out FILE]\n\
+         \u{20}      cosmos-sim sweep --seeds N [--start S0] [--disorder] [--no-bounds] \
+         [--no-shrink] [--out-dir DIR]\n\
+         \u{20}      cosmos-sim snapshot --seed S [--baseline] [--disorder] [--out FILE]\n\
+         \u{20}      cosmos-sim metrics --seed S [--baseline] [--disorder] [--out FILE]\n\
+         \u{20}      cosmos-sim bounds --seed S [--baseline] [--disorder] [--out FILE]\n\
          \u{20}      cosmos-sim admission-canary"
     );
     ExitCode::from(2)
@@ -58,10 +72,23 @@ struct Opts {
     seeds: u64,
     start: u64,
     no_shrink: bool,
+    no_bounds: bool,
     baseline: bool,
+    disorder: bool,
     out: Option<String>,
     out_dir: String,
     files: Vec<String>,
+}
+
+impl Opts {
+    /// Expand a seed per the `--disorder` flag.
+    fn expand(&self, seed: u64) -> Scenario {
+        if self.disorder {
+            gen::generate_disordered(seed)
+        } else {
+            gen::generate(seed)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -74,7 +101,9 @@ fn main() -> ExitCode {
         seeds: 64,
         start: 0,
         no_shrink: false,
+        no_bounds: false,
         baseline: false,
+        disorder: false,
         out: None,
         out_dir: "cosmos-sim-failures".into(),
         files: Vec::new(),
@@ -98,7 +127,9 @@ fn main() -> ExitCode {
                 None => return usage("--start needs an integer"),
             },
             "--no-shrink" => o.no_shrink = true,
+            "--no-bounds" => o.no_bounds = true,
             "--baseline" => o.baseline = true,
+            "--disorder" => o.disorder = true,
             "--out" => match args.next() {
                 Some(v) => o.out = Some(v),
                 None => return usage("--out needs a path"),
@@ -108,6 +139,7 @@ fn main() -> ExitCode {
                 None => return usage("--out-dir needs a path"),
             },
             "--inject-bug" => cosmos_query::merge::faultinject::set_skip_retighten(true),
+            "--inject-eviction-bug" => cosmos_spe::faultinject::set_skip_watermark_gating(true),
             "--help" | "-h" => {
                 return usage("");
             }
@@ -177,7 +209,7 @@ fn main() -> ExitCode {
 /// Run one seed's scenario to the end and dump the resulting network
 /// snapshot as `cosmos-verify` input.
 fn dump_snapshot(o: &Opts) -> ExitCode {
-    let scenario = gen::generate(o.seed);
+    let scenario = o.expand(o.seed);
     let opts = RunOptions {
         merging: !o.baseline,
         static_verify: false,
@@ -214,7 +246,7 @@ fn dump_snapshot(o: &Opts) -> ExitCode {
 /// produced. Any metrics-conservation violation the run recorded makes
 /// the command fail.
 fn dump_metrics(o: &Opts) -> ExitCode {
-    let scenario = gen::generate(o.seed);
+    let scenario = o.expand(o.seed);
     let opts = RunOptions {
         merging: !o.baseline,
         static_verify: false,
@@ -316,7 +348,7 @@ fn admission_canary() -> ExitCode {
 /// the final measured-vs-static report. Any measurement exceeding its
 /// static bound makes the command fail.
 fn check_bounds(o: &Opts) -> ExitCode {
-    let scenario = gen::generate(o.seed);
+    let scenario = o.expand(o.seed);
     let opts = RunOptions {
         merging: !o.baseline,
         static_verify: false,
@@ -369,8 +401,12 @@ fn check_bounds(o: &Opts) -> ExitCode {
 /// Expand, check, and (on failure) minimize + persist one seed.
 /// Returns true on pass.
 fn run_one(seed: u64, o: &Opts) -> bool {
-    let scenario = gen::generate(seed);
-    match check_scenario(&scenario) {
+    let scenario = o.expand(seed);
+    let copts = CheckOptions {
+        bound_soundness: !o.no_bounds,
+        ..CheckOptions::default()
+    };
+    match check_scenario_opts(&scenario, &copts) {
         Ok(r) => {
             println!(
                 "seed {seed}: PASS — {} queries ({} rejected), {} tuples, {} epochs, \

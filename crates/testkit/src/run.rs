@@ -20,7 +20,7 @@
 //!   the reference outputs produced in between.
 
 use crate::scenario::{Event, Scenario};
-use cosmos::{Cosmos, CosmosConfig};
+use cosmos::{Cosmos, CosmosConfig, DisorderRuntime, DisorderStats, LatePolicy};
 use cosmos_cbn::RegistryMode;
 use cosmos_spe::AnalyzedQuery;
 use cosmos_types::{NodeId, QueryId, Result, StreamName, Tuple};
@@ -81,6 +81,13 @@ pub struct Epoch {
     pub member_start: usize,
     /// Length of the query's delivery buffer when the epoch opened.
     pub delivered_start: usize,
+    /// System-wide `late + revisions + shed` disorder counter when the
+    /// epoch opened (always 0 in order). The convergence oracle compares
+    /// an epoch exactly only when this counter did not move across it:
+    /// staging-absorbed disorder converges bit-for-bit, while the rare
+    /// revise/shed paths are covered by the `crates/spe` directed tests
+    /// and the conservation counters instead.
+    pub late_start: u64,
 }
 
 /// One accepted query's bookkeeping across a run.
@@ -148,6 +155,17 @@ pub struct RunOutcome {
     /// Digest over delivered results, epochs, and routing state — equal
     /// across runs iff the runs were observably identical.
     pub digest: u64,
+    /// Final disorder conservation counters (`None` for in-order runs).
+    /// `arrived == drained + staged + shed + duplicates` must hold, and
+    /// `staged` must be 0 after stream closure.
+    pub disorder_totals: Option<DisorderStats>,
+}
+
+/// The system-wide `late + revisions + shed` counter — the part of the
+/// disorder machinery the convergence oracle cannot replay exactly.
+fn lateish(sys: &Cosmos) -> u64 {
+    let t = sys.disorder_totals();
+    t.late + t.revisions + t.shed
 }
 
 /// Execute a scenario once.
@@ -170,6 +188,18 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         merging_enabled: opts.merging,
         per_source_trees: sc.per_source_trees,
     })?;
+    // Disordered scenario: arm the watermark machinery. The injected
+    // displacement of any non-duplicate tuple is strictly under
+    // `spec.bound()`, so a watermark lag of `bound` with a matching
+    // revision grace makes the late path unreachable except for
+    // memory-evicted duplicates — disorder is absorbed by staging.
+    if let Some(spec) = &sc.disorder {
+        let bound = spec.bound();
+        sys.set_disorder(Some(DisorderRuntime {
+            bound,
+            policy: LatePolicy::Revise { grace: bound },
+        }));
+    }
     let sensors = sensor_catalog();
 
     let mut queries: Vec<QueryRun> = Vec::new();
@@ -191,6 +221,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
     let mut tracker = opts
         .bound_checks
         .then(|| crate::bound::BoundTracker::new(nodes));
+    if let (Some(tr), Some(spec)) = (tracker.as_mut(), sc.disorder.as_ref()) {
+        tr.set_disorder_bound(Some(spec.bound()));
+    }
 
     for (ev_idx, ev) in scenario.events.iter().enumerate() {
         match ev {
@@ -322,6 +355,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                     exec_start,
                     member_start: published.len(),
                     delivered_start: sys.results(q.qid).len(),
+                    late_start: lateish(&sys),
                 });
             }
         }
@@ -369,6 +403,76 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         // re-verifying after them would only re-prove the same snapshot.
         let routing_changed = !matches!(ev, Event::Publish { .. }) || opts.optimize_every_event;
         if opts.static_verify && routing_changed {
+            let snap = sys.snapshot()?;
+            let diags = cosmos_verify::verify_snapshot(&snap);
+            if cosmos_verify::has_violations(&diags) {
+                if first_violation_snapshot.is_none() {
+                    first_violation_snapshot = Some(snap.to_json()?);
+                }
+                static_violations.extend(
+                    diags
+                        .iter()
+                        .filter(|d| d.severity == cosmos_verify::VerifySeverity::Error)
+                        .map(|d| (ev_idx, d.headline())),
+                );
+            }
+        }
+    }
+
+    // End of schedule: close every source stream. In disorder mode this
+    // disseminates a final +∞ watermark per source, draining all staged
+    // tuples, closing every window, and pruning the routers' interest in
+    // the closed streams; in order it is a no-op, keeping in-order runs
+    // bit-for-bit identical to the pre-disorder harness.
+    sys.close_streams();
+    let disorder_totals = sc.disorder.is_some().then(|| sys.disorder_totals());
+    if let Some(totals) = &disorder_totals {
+        let ev_idx = scenario.events.len();
+        if !totals.conserved() {
+            metrics_violations.push((
+                ev_idx,
+                format!("disorder tuple conservation broken after closure: {totals:?}"),
+            ));
+        }
+        if totals.staged != 0 {
+            metrics_violations.push((
+                ev_idx,
+                format!("{} tuples still staged after stream closure", totals.staged),
+            ));
+        }
+        let hub = sys.metrics_hub();
+        if hub.link_bytes_total() != sys.total_bytes() {
+            metrics_violations.push((
+                ev_idx,
+                format!(
+                    "link byte conservation broken after closure: metrics {} vs accounted {}",
+                    hub.link_bytes_total(),
+                    sys.total_bytes()
+                ),
+            ));
+        }
+        for q in &queries {
+            let want = sys.results(q.qid).len() as u64;
+            let got = hub.delivered_count(q.qid);
+            if got != want {
+                metrics_violations.push((
+                    ev_idx,
+                    format!(
+                        "delivery conservation broken for query #{} after closure: \
+                         metrics {got} vs delivered {want}",
+                        q.label
+                    ),
+                ));
+            }
+        }
+        if let Some(tr) = tracker.as_mut() {
+            tr.observe_processors(&sys, &queries);
+            bound_violations.extend(tr.check(&sys, &queries).into_iter().map(|v| (ev_idx, v)));
+        }
+        // The closed deployment must still verify: watermark-driven
+        // pruning may not leave dangling interest in closed streams (V7)
+        // nor break any V1–V6 invariant for the surviving result paths.
+        if opts.static_verify {
             let snap = sys.snapshot()?;
             let diags = cosmos_verify::verify_snapshot(&snap);
             if cosmos_verify::has_violations(&diags) {
@@ -437,5 +541,6 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         bound_violations,
         bound_report,
         digest,
+        disorder_totals,
     })
 }

@@ -11,6 +11,7 @@
 
 use cosmos_overlay::TopologyKind;
 use cosmos_types::{CosmosError, Result, Tuple};
+use cosmos_workload::DisorderSpec;
 use serde::{Deserialize, Serialize};
 
 /// Scenario file format version (rejected on mismatch at load time).
@@ -48,7 +49,12 @@ impl TopologySpec {
 /// Deployment parameters of a scenario (everything
 /// [`cosmos::CosmosConfig`] needs except `merging_enabled`, which the
 /// metamorphic oracle varies per run).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are written by hand (the vendored derive
+/// supports no field attributes): `disorder` is omitted from JSON when
+/// `None` and defaults to `None` when absent, so in-order scenarios
+/// keep the exact pre-disorder file format and old files still load.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Overlay size.
     pub nodes: usize,
@@ -64,6 +70,56 @@ pub struct ScenarioConfig {
     pub dht_replicas: usize,
     /// Per-source dissemination trees instead of the shared MST.
     pub per_source_trees: bool,
+    /// Disorder transform applied to the publish sequence (recorded so
+    /// replays stay bit-for-bit); `None` runs the scenario in order.
+    pub disorder: Option<DisorderSpec>,
+}
+
+impl serde::Serialize for ScenarioConfig {
+    fn to_content(&self) -> serde::Content {
+        let mut entries = vec![
+            ("nodes", self.nodes.to_content()),
+            ("topology", self.topology.to_content()),
+            ("cosmos_seed", self.cosmos_seed.to_content()),
+            ("processor_fraction", self.processor_fraction.to_content()),
+            ("affinity_candidates", self.affinity_candidates.to_content()),
+            ("dht_replicas", self.dht_replicas.to_content()),
+            ("per_source_trees", self.per_source_trees.to_content()),
+        ];
+        if let Some(d) = &self.disorder {
+            entries.push(("disorder", d.to_content()));
+        }
+        serde::Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (serde::Content::Str(k.to_string()), v))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for ScenarioConfig {
+    fn from_content(c: &serde::Content) -> std::result::Result<Self, serde::DeError> {
+        Ok(ScenarioConfig {
+            nodes: Deserialize::from_content(serde::map_get(c, "nodes")?)?,
+            topology: Deserialize::from_content(serde::map_get(c, "topology")?)?,
+            cosmos_seed: Deserialize::from_content(serde::map_get(c, "cosmos_seed")?)?,
+            processor_fraction: Deserialize::from_content(serde::map_get(
+                c,
+                "processor_fraction",
+            )?)?,
+            affinity_candidates: Deserialize::from_content(serde::map_get(
+                c,
+                "affinity_candidates",
+            )?)?,
+            dht_replicas: Deserialize::from_content(serde::map_get(c, "dht_replicas")?)?,
+            per_source_trees: Deserialize::from_content(serde::map_get(c, "per_source_trees")?)?,
+            disorder: match serde::map_get(c, "disorder") {
+                Ok(v) => Some(Deserialize::from_content(v)?),
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// One step of the interleaved schedule.

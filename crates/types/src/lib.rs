@@ -19,6 +19,7 @@
 
 mod error;
 mod ids;
+mod punctuation;
 mod schema;
 mod time;
 mod tuple;
@@ -26,6 +27,7 @@ mod value;
 
 pub use error::{CosmosError, Result};
 pub use ids::{GroupId, LinkId, NodeId, ProfileId, QueryId, SubscriberId};
+pub use punctuation::Punctuation;
 pub use schema::{AttrType, Field, Schema, SchemaId};
 pub use time::{TimeDelta, Timestamp};
 pub use tuple::{StreamName, Tuple};

@@ -82,6 +82,10 @@ pub mod codes {
     /// state (`cosmos_bound::check_query` error) — it should have been
     /// rejected at admission.
     pub const UNBOUNDED_REP_STATE: &str = "V0604";
+    /// V7: a router still holds routing state (an interest entry or a
+    /// local-profile entry) for a stream its final watermark closed —
+    /// the watermark-driven pruning leaked.
+    pub const CLOSED_LEAK: &str = "V0701";
 }
 
 /// Whether a verification result contains any `Error`-level violation.
@@ -102,8 +106,59 @@ pub fn verify_snapshot(snap: &NetworkSnapshot) -> Vec<Diagnostic> {
         check_delivery_paths(snap, forest, &mut diags);
         check_path_abstractions(snap, forest, &mut diags);
     }
+    check_closed_streams(snap, &mut diags);
     check_groups(snap, &mut diags);
     diags
+}
+
+// ---------------------------------------------------------------------
+// V7: stream-closure pruning completeness
+// ---------------------------------------------------------------------
+
+/// A closed stream (final watermark disseminated) must have no routing
+/// state left anywhere: the driver prunes every interest entry when the
+/// `+∞` punctuation passes, so a survivor proves the pruning leaked.
+/// The delivery-path families (V1/V2/V6) deliberately skip closed
+/// streams — there is nothing left to walk, and a leak is *this*
+/// finding, not a black hole.
+fn check_closed_streams(snap: &NetworkSnapshot, diags: &mut Vec<Diagnostic>) {
+    for stream in &snap.closed_streams {
+        if snap.advertisement(stream).is_none() {
+            diags.push(Diagnostic::warning(
+                codes::CLOSED_LEAK,
+                format!("closed stream '{stream}' is not advertised (stale closure record)"),
+                None,
+            ));
+        }
+        for r in &snap.routers {
+            for (down, profile) in &r.neighbor_interests {
+                if profile.entry(stream).is_some() {
+                    diags.push(Diagnostic::error(
+                        codes::CLOSED_LEAK,
+                        format!(
+                            "{} still holds an interest from {down} for closed stream \
+                             '{stream}' — watermark-driven pruning leaked",
+                            r.node
+                        ),
+                        None,
+                    ));
+                }
+            }
+            for sub in &r.local_subscribers {
+                if sub.profile.entry(stream).is_some() {
+                    diags.push(Diagnostic::error(
+                        codes::CLOSED_LEAK,
+                        format!(
+                            "subscriber {} at {} still subscribes to closed stream \
+                             '{stream}' — watermark-driven pruning leaked",
+                            sub.id, r.node
+                        ),
+                        None,
+                    ));
+                }
+            }
+        }
+    }
 }
 
 /// The router table must cover every overlay node, in node order — the
@@ -337,6 +392,9 @@ fn check_forwarding_edges(snap: &NetworkSnapshot, forest: &Forest, diags: &mut V
     for r in &snap.routers {
         for (down, profile) in &r.neighbor_interests {
             for (stream, _) in profile.iter() {
+                if snap.closed_streams.contains(stream) {
+                    continue; // V7 reports the leak
+                }
                 let Some(adv) = snap.advertisement(stream) else {
                     diags.push(Diagnostic::warning(
                         codes::MISROUTED_EDGE,
@@ -410,6 +468,9 @@ fn check_delivery_paths(snap: &NetworkSnapshot, forest: &Forest, diags: &mut Vec
     for r in &snap.routers {
         for sub in &r.local_subscribers {
             for (stream, entry) in sub.profile.iter() {
+                if snap.closed_streams.contains(stream) {
+                    continue; // V7 reports the leak
+                }
                 check_one_path(snap, forest, r.node, sub, stream, entry, diags);
             }
         }
@@ -522,6 +583,9 @@ fn check_path_abstractions(snap: &NetworkSnapshot, forest: &Forest, diags: &mut 
     for r in &snap.routers {
         for sub in &r.local_subscribers {
             for (stream, entry) in sub.profile.iter() {
+                if snap.closed_streams.contains(stream) {
+                    continue; // V7 reports the leak
+                }
                 let who = format!("subscriber {} at {}", sub.id, r.node);
                 let sub_abs = match absint::filters_abstraction(&entry.filters) {
                     Some(a) => a,

@@ -1,0 +1,93 @@
+//! V7 integration tests: stream-closure pruning completeness. A closed
+//! stream must leave no routing state behind, and a snapshot where it
+//! did (simulated tampering) must be flagged as a leak — not as a
+//! confusing black hole on a stream that will never publish again.
+
+use cosmos::{Cosmos, CosmosConfig, DisorderRuntime, LatePolicy};
+use cosmos_query::{AttrStats, StreamStats};
+use cosmos_types::{AttrType, NodeId, Schema, StreamName, TimeDelta, Timestamp, Tuple, Value};
+use cosmos_verify::{codes, has_violations, verify_snapshot};
+
+fn system() -> Cosmos {
+    let cfg = CosmosConfig {
+        nodes: 8,
+        seed: 11,
+        ..CosmosConfig::default()
+    };
+    let mut sys = Cosmos::new(cfg).unwrap();
+    sys.register_stream(
+        "S",
+        Schema::of(&[
+            ("k", AttrType::Int),
+            ("x", AttrType::Float),
+            ("timestamp", AttrType::Int),
+        ]),
+        StreamStats::with_rate(1.0)
+            .attr("k", AttrStats::categorical(10.0))
+            .attr("x", AttrStats::numeric(0.0, 100.0, 100.0)),
+        NodeId(0),
+    )
+    .unwrap();
+    sys
+}
+
+fn s_tuple(ts: i64, k: i64) -> Tuple {
+    Tuple::new(
+        "S",
+        Timestamp(ts),
+        vec![Value::Int(k), Value::Float(k as f64), Value::Int(ts)],
+    )
+}
+
+fn disorder() -> DisorderRuntime {
+    DisorderRuntime {
+        bound: TimeDelta::from_millis(1_000),
+        policy: LatePolicy::Revise {
+            grace: TimeDelta::from_millis(1_000),
+        },
+    }
+}
+
+#[test]
+fn closed_deployment_verifies_clean() {
+    let mut sys = system();
+    sys.submit_query("SELECT k, x FROM S [Now] WHERE x > 2.0", NodeId(5))
+        .unwrap();
+    sys.set_disorder(Some(disorder()));
+    for ts in [2_000i64, 1_000, 3_000, 5_000, 4_000] {
+        sys.publish(&s_tuple(ts, ts / 1_000)).unwrap();
+    }
+    sys.close_streams();
+    let snap = sys.snapshot().unwrap();
+    assert_eq!(snap.closed_streams, vec![StreamName::from("S")]);
+    let diags = verify_snapshot(&snap);
+    assert!(!has_violations(&diags), "closed deployment: {diags:?}");
+    assert!(
+        diags.iter().all(|d| d.code != codes::CLOSED_LEAK),
+        "pruning is complete: {diags:?}"
+    );
+}
+
+#[test]
+fn leaked_closure_is_flagged_not_black_holed() {
+    let mut sys = system();
+    sys.submit_query("SELECT k, x FROM S [Now] WHERE x > 2.0", NodeId(5))
+        .unwrap();
+    // Mark 'S' closed *without* closing it: the live interest entries
+    // for 'S' now simulate a pruning leak.
+    let mut snap = sys.snapshot().unwrap();
+    assert!(snap.closed_streams.is_empty());
+    snap.closed_streams = vec![StreamName::from("S")];
+    let diags = verify_snapshot(&snap);
+    assert!(has_violations(&diags));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == codes::CLOSED_LEAK && d.message.contains("'S'")),
+        "leak flagged: {diags:?}"
+    );
+    assert!(
+        diags.iter().all(|d| d.code != codes::BLACK_HOLE),
+        "closed streams are skipped by the path checks: {diags:?}"
+    );
+}

@@ -1,0 +1,171 @@
+//! Seeded disorder injection: bounded timestamp skew, straggler delay,
+//! and duplicate injection over a generated publish sequence.
+//!
+//! The sensor-network setting the paper targets is exactly where
+//! disorder is the norm: datagrams from independent deployments race
+//! each other through the overlay, a slow link turns a tuple into a
+//! straggler, and retransmission duplicates it. [`DisorderSpec`] models
+//! all three as a deterministic, seeded transform over an in-order
+//! merged publish sequence:
+//!
+//! * every tuple's *arrival position* is perturbed by a uniform skew in
+//!   `[0, skew_ms]`;
+//! * with probability `straggler_prob` a tuple is additionally delayed
+//!   by a uniform draw in `[1, straggler_ms]`;
+//! * with probability `duplicate_prob` an exact copy of the tuple is
+//!   re-injected behind the original by a uniform draw in
+//!   `[1, straggler_ms]`.
+//!
+//! Application timestamps are never rewritten — only the order tuples
+//! are *published* in changes — so the disordered sequence converges to
+//! the same answers as the in-order one once every watermark has
+//! passed. The total displacement of any non-duplicate tuple is at most
+//! `skew_ms + straggler_ms`, which is why [`DisorderSpec::bound`]
+//! (one more than that) is a sound watermark lag: see DESIGN.md §13.
+
+use cosmos_types::{TimeDelta, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A seeded disorder transform, recorded verbatim in the scenario JSON
+/// so replays stay bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisorderSpec {
+    /// Seed of the transform's own RNG (independent of the scenario
+    /// seed so shrinking one does not reshuffle the other).
+    pub seed: u64,
+    /// Maximum uniform per-tuple arrival skew, in milliseconds.
+    pub skew_ms: i64,
+    /// Maximum additional straggler delay, in milliseconds.
+    pub straggler_ms: i64,
+    /// Probability a tuple becomes a straggler.
+    pub straggler_prob: f64,
+    /// Probability a tuple is duplicated behind itself.
+    pub duplicate_prob: f64,
+}
+
+impl DisorderSpec {
+    /// The watermark lag this disorder is covered by: a tuple published
+    /// at virtual time `t` arrives at most `skew_ms + straggler_ms`
+    /// late, so a watermark of `high_water − bound()` never overtakes a
+    /// non-duplicate tuple (the `+ 1` keeps the boundary strict).
+    pub fn bound(&self) -> TimeDelta {
+        TimeDelta::from_millis(self.skew_ms + self.straggler_ms + 1)
+    }
+
+    /// Apply the transform to an in-order publish sequence.
+    ///
+    /// Each tuple is assigned an arrival key `timestamp + skew
+    /// (+ straggler)`; duplicates get the original's key plus a strictly
+    /// positive offset. The result is the input stably sorted by
+    /// `(arrival key, original index)` — deterministic for a given
+    /// `seed`, timestamps untouched.
+    pub fn apply(&self, tuples: &[Tuple]) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD150_4DE5);
+        let mut keyed: Vec<(i64, usize, Tuple)> = Vec::with_capacity(tuples.len());
+        for (i, t) in tuples.iter().enumerate() {
+            let mut key = t.timestamp.millis() + rng.gen_range(0..=self.skew_ms.max(0));
+            if self.straggler_ms > 0 && rng.gen_bool(self.straggler_prob.clamp(0.0, 1.0)) {
+                key += rng.gen_range(1..=self.straggler_ms);
+            }
+            keyed.push((key, i, t.clone()));
+            if self.straggler_ms > 0 && rng.gen_bool(self.duplicate_prob.clamp(0.0, 1.0)) {
+                let dup_key = key + rng.gen_range(1..=self.straggler_ms);
+                keyed.push((dup_key, i, t.clone()));
+            }
+        }
+        keyed.sort_by_key(|(key, i, _)| (*key, *i));
+        keyed.into_iter().map(|(_, _, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cosmos_types::{Timestamp, Value};
+
+    fn seq(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| Tuple::new("S", Timestamp(i * 100), vec![Value::Int(i)]))
+            .collect()
+    }
+
+    fn spec() -> DisorderSpec {
+        DisorderSpec {
+            seed: 7,
+            skew_ms: 250,
+            straggler_ms: 1_000,
+            straggler_prob: 0.3,
+            duplicate_prob: 0.2,
+        }
+    }
+
+    #[test]
+    fn apply_is_deterministic_and_preserves_timestamps() {
+        let input = seq(200);
+        let a = spec().apply(&input);
+        let b = spec().apply(&input);
+        assert_eq!(a, b);
+        // Every original tuple survives (duplicates only add).
+        assert!(a.len() >= input.len());
+        let mut sorted: Vec<&Tuple> = a.iter().collect();
+        sorted.sort_by_key(|t| t.timestamp);
+        sorted.dedup_by_key(|t| t.timestamp);
+        assert_eq!(sorted.len(), input.len());
+    }
+
+    #[test]
+    fn displacement_is_bounded_without_duplicates() {
+        let mut s = spec();
+        s.duplicate_prob = 0.0;
+        let input = seq(500);
+        let out = s.apply(&input);
+        let bound = s.bound().millis();
+        // A tuple can only be overtaken by tuples whose timestamp is
+        // within the displacement bound: whenever t precedes u in the
+        // disordered order, u.ts > t.ts − bound. (Only duplicates may
+        // trail further — they are deduplicated at the executor.)
+        let mut min_seen = i64::MAX;
+        for t in out.iter().rev() {
+            min_seen = min_seen.min(t.timestamp.millis());
+            assert!(t.timestamp.millis() < min_seen + bound);
+        }
+    }
+
+    #[test]
+    fn duplicates_trail_their_original() {
+        let input = seq(300);
+        let out = spec().apply(&input);
+        assert!(out.len() > input.len(), "expected injected duplicates");
+        // Exactly-equal copies: the first occurrence is the original,
+        // every further occurrence arrives strictly later in the order.
+        let mut last = std::collections::HashMap::new();
+        for (pos, t) in out.iter().enumerate() {
+            if let Some(prev) = last.insert(t.timestamp, pos) {
+                assert!(pos > prev);
+                assert_eq!(out[prev], *t);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_disorder_is_identity() {
+        let input = seq(50);
+        let id = DisorderSpec {
+            seed: 1,
+            skew_ms: 0,
+            straggler_ms: 0,
+            straggler_prob: 0.0,
+            duplicate_prob: 0.0,
+        };
+        assert_eq!(id.apply(&input), input);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<DisorderSpec>(&json).unwrap(), s);
+    }
+}

@@ -18,10 +18,12 @@
 //! All generators are seeded and fully deterministic.
 
 pub mod auction;
+pub mod disorder;
 pub mod dist;
 pub mod querygen;
 pub mod sensor;
 
+pub use disorder::DisorderSpec;
 pub use dist::Popularity;
 pub use querygen::{QueryGenConfig, QueryGenerator};
 pub use sensor::{sensor_catalog, SensorGenerator, SENSOR_STREAMS};
