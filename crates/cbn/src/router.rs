@@ -14,10 +14,26 @@
 //! is orchestrated by the `cosmos` system crate; the router exposes
 //! [`Router::aggregated_interest`] to compute the profile a node must
 //! forward upstream.
+//!
+//! # Shard-per-core routing
+//!
+//! The immutable half of a router — interests and the match engine — is
+//! an [`Arc`]'d core shared copy-on-write between the router and any
+//! number of worker threads ([`Router::shared`]). The mutable half — the
+//! projection-plan cache ([`PlanStore`]) and the counters
+//! ([`RouterCounters`]) — is *owned by the caller* on the threaded path:
+//! each routing shard keeps its own store and counter block, so the hot
+//! path takes no lock whatsoever, and shard state is folded back into
+//! the router ([`Router::absorb_counters`]) on the driver thread.
+//! Interest mutations go through [`Arc::make_mut`] (cheap when no
+//! snapshot is outstanding) and bump [`Router::interest_generation`];
+//! shards watch the sum of generations and drop their plan stores when
+//! it moves — the same blunt "any mutation clears everything"
+//! invalidation contract the serial cache always had.
 
 use crate::matcher::{CountingMatcher, MatchEngine};
 use crate::profile::{Profile, ProfileEntry};
-use cosmos_types::{FxHashMap, NodeId, Schema, SchemaId, StreamName, SubscriberId, Tuple};
+use cosmos_types::{NodeId, Schema, SchemaId, StreamName, SubscriberId, Tuple};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -103,159 +119,114 @@ impl ProjectionPlan {
     }
 }
 
-/// Per-destination compiled plans for one (schema, stream) pair.
-type PlanMap = FxHashMap<Destination, Option<Arc<ProjectionPlan>>>;
+/// The router's throughput and plan-cache counters, one block instead of
+/// five loose cells so per-shard counters fold into snapshots with a
+/// single [`RouterCounters::merge`] and cannot drift field-by-field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterCounters {
+    /// Datagrams that produced at least one forwarding decision.
+    pub tuples_routed: u64,
+    /// Datagrams that matched no interest and were dropped.
+    pub tuples_dropped: u64,
+    /// Projection-plan cache hits.
+    pub plan_hits: u64,
+    /// Projection-plan cache misses (each one compiled a plan).
+    pub plan_misses: u64,
+    /// Narrowing projections actually materialized.
+    pub projections_built: u64,
+}
 
-/// The routing state of one CBN node.
+impl RouterCounters {
+    /// Fold another counter block into this one (shard → router, or
+    /// router → deployment totals).
+    pub fn merge(&mut self, other: &RouterCounters) {
+        self.tuples_routed += other.tuples_routed;
+        self.tuples_dropped += other.tuples_dropped;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.projections_built += other.projections_built;
+    }
+}
+
+/// Per-destination compiled plans for one (schema, stream) pair. A
+/// linear-scan small-map: a node forwards to a handful of destinations,
+/// and `Destination` compares as two integers — cheaper per tuple than
+/// hashing into a `HashMap` ever was.
+type PlanMap = Vec<(Destination, Option<Arc<ProjectionPlan>>)>;
+
+/// Compiled projection plans of one routing shard, keyed by (incoming
+/// schema, stream) and then destination.
+///
+/// Also a linear-scan structure: the first key component is an interned
+/// [`SchemaId`] (an integer compare) and the second an `Arc<str>` whose
+/// pointer identity short-circuits the string compare on the hot path.
+/// A shard only ever sees the few (schema, stream) pairs routed through
+/// it, so the scan beats hashing the stream name per tuple — switching
+/// the serial single-tuple path to this store is what put it back ahead
+/// of the seed path (see `BENCH_routing.json`).
+#[derive(Debug, Clone, Default)]
+pub struct PlanStore {
+    entries: Vec<PlanEntry>,
+}
+
 #[derive(Debug, Clone)]
-pub struct Router {
+struct PlanEntry {
+    schema: SchemaId,
+    stream: StreamName,
+    plans: PlanMap,
+}
+
+impl PlanStore {
+    /// An empty store.
+    pub fn new() -> PlanStore {
+        PlanStore::default()
+    }
+
+    /// Drop every compiled plan (the shard-side half of the invalidation
+    /// contract: called whenever the interest generation moves).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of compiled plans currently cached.
+    pub fn plan_count(&self) -> usize {
+        self.entries.iter().map(|e| e.plans.len()).sum()
+    }
+
+    /// The plan map for one (schema, stream) pair, created empty on
+    /// first use.
+    fn map_mut(&mut self, schema: SchemaId, stream: &StreamName) -> &mut PlanMap {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.schema == schema && e.stream == *stream);
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                self.entries.push(PlanEntry {
+                    schema,
+                    stream: stream.clone(),
+                    plans: Vec::new(),
+                });
+                self.entries.len() - 1
+            }
+        };
+        &mut self.entries[pos].plans
+    }
+}
+
+/// The immutable half of a router: the installed interests and the match
+/// engine built from them. Shared copy-on-write between the owning
+/// [`Router`] and worker-thread snapshots ([`SharedRouter`]).
+#[derive(Debug, Clone)]
+struct RouterCore {
     node: NodeId,
     neighbor_interest: BTreeMap<NodeId, Profile>,
     local_interest: BTreeMap<SubscriberId, Profile>,
     engine: CountingMatcher<Destination>,
-    /// Compiled projection plans, keyed by (incoming schema, stream) and
-    /// then destination. Cleared whenever the installed interests change
-    /// (see [`Router::interest_generation`]).
-    plans: RefCell<FxHashMap<(SchemaId, StreamName), PlanMap>>,
-    /// Bumped on every interest mutation; plan caches keyed off a stale
-    /// generation are unreachable because the cache is cleared in the
-    /// same call.
-    interest_gen: u64,
-    plan_caching: bool,
-    tuples_routed: Cell<u64>,
-    tuples_dropped: Cell<u64>,
-    plan_hits: Cell<u64>,
-    plan_misses: Cell<u64>,
-    projections_built: Cell<u64>,
 }
 
-impl Router {
-    /// A router for the given node with no interests installed.
-    pub fn new(node: NodeId) -> Router {
-        Router {
-            node,
-            neighbor_interest: BTreeMap::new(),
-            local_interest: BTreeMap::new(),
-            engine: CountingMatcher::new(),
-            plans: RefCell::new(FxHashMap::default()),
-            interest_gen: 0,
-            plan_caching: true,
-            tuples_routed: Cell::new(0),
-            tuples_dropped: Cell::new(0),
-            plan_hits: Cell::new(0),
-            plan_misses: Cell::new(0),
-            projections_built: Cell::new(0),
-        }
-    }
-
-    /// Drop every compiled plan and stamp a new interest generation.
-    /// Called by every interest mutator — the invalidation contract is
-    /// "any change to any installed profile clears the whole cache".
-    fn invalidate_plans(&mut self) {
-        self.interest_gen += 1;
-        self.plans.get_mut().clear();
-    }
-
-    /// The node this router belongs to.
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// Replace the merged interest of the subtree behind `neighbor`.
-    pub fn set_neighbor_interest(&mut self, neighbor: NodeId, profile: Profile) {
-        self.invalidate_plans();
-        if profile.is_empty() {
-            self.neighbor_interest.remove(&neighbor);
-            self.engine.remove(&Destination::Neighbor(neighbor));
-        } else {
-            self.engine
-                .insert(Destination::Neighbor(neighbor), profile.clone());
-            self.neighbor_interest.insert(neighbor, profile);
-        }
-    }
-
-    /// Union a new profile into the interest of `neighbor` (what happens
-    /// when one more subscription propagates up through that link).
-    pub fn merge_neighbor_interest(&mut self, neighbor: NodeId, profile: &Profile) {
-        let merged = match self.neighbor_interest.get(&neighbor) {
-            Some(existing) => existing.union(profile),
-            None => profile.clone(),
-        };
-        self.set_neighbor_interest(neighbor, merged);
-    }
-
-    /// Drop every neighbor interest (local subscribers stay). Used when
-    /// the dissemination tree is reorganized and subscriptions are
-    /// re-propagated along the new paths.
-    pub fn clear_neighbor_interests(&mut self) {
-        self.invalidate_plans();
-        let neighbors: Vec<NodeId> = self.neighbor_interest.keys().copied().collect();
-        for n in neighbors {
-            self.engine.remove(&Destination::Neighbor(n));
-        }
-        self.neighbor_interest.clear();
-    }
-
-    /// Interest of the subtree behind `neighbor`, if any.
-    pub fn neighbor_interest(&self, neighbor: NodeId) -> Option<&Profile> {
-        self.neighbor_interest.get(&neighbor)
-    }
-
-    /// All neighbor interests, in neighbor order (introspection for
-    /// whole-network snapshots — see `cosmos-verify`).
-    pub fn neighbor_interests(&self) -> impl Iterator<Item = (NodeId, &Profile)> {
-        self.neighbor_interest.iter().map(|(n, p)| (*n, p))
-    }
-
-    /// Install the profile of a locally attached subscriber.
-    pub fn add_local_subscriber(&mut self, sub: SubscriberId, profile: Profile) {
-        self.invalidate_plans();
-        self.engine.insert(Destination::Local(sub), profile.clone());
-        self.local_interest.insert(sub, profile);
-    }
-
-    /// Remove a locally attached subscriber.
-    pub fn remove_local_subscriber(&mut self, sub: SubscriberId) {
-        self.invalidate_plans();
-        self.local_interest.remove(&sub);
-        self.engine.remove(&Destination::Local(sub));
-    }
-
-    /// The profile of a local subscriber, if installed.
-    pub fn local_interest(&self, sub: SubscriberId) -> Option<&Profile> {
-        self.local_interest.get(&sub)
-    }
-
-    /// Iterate over the locally attached subscribers and their profiles.
-    pub fn local_subscribers(&self) -> impl Iterator<Item = (SubscriberId, &Profile)> {
-        self.local_interest.iter().map(|(s, p)| (*s, p))
-    }
-
-    /// Number of installed interests (neighbors plus locals).
-    pub fn interest_count(&self) -> usize {
-        self.neighbor_interest.len() + self.local_interest.len()
-    }
-
-    /// The union of every interest at this node except the one behind
-    /// `exclude` — the profile this node must propagate towards a stream
-    /// origin reachable through `exclude` (reverse-path subscription).
-    ///
-    /// The result is [normalized](Profile::normalized): projections are
-    /// widened to the filters' attributes so this node still receives
-    /// everything its local filtering needs.
-    pub fn aggregated_interest(&self, exclude: Option<NodeId>) -> Profile {
-        let mut out = Profile::new();
-        for (n, p) in &self.neighbor_interest {
-            if Some(*n) != exclude {
-                out = out.union(p);
-            }
-        }
-        for p in self.local_interest.values() {
-            out = out.union(p);
-        }
-        out.normalized()
-    }
-
+impl RouterCore {
     /// The profile installed for a destination, if any.
     fn profile_of(&self, dest: Destination) -> Option<&Profile> {
         match dest {
@@ -270,20 +241,21 @@ impl Router {
     fn lookup_plan(
         &self,
         map: &mut PlanMap,
+        counters: &mut RouterCounters,
         dest: Destination,
         stream: &StreamName,
         schema: &Schema,
     ) -> Option<Arc<ProjectionPlan>> {
-        if let Some(cached) = map.get(&dest) {
-            self.plan_hits.set(self.plan_hits.get() + 1);
+        if let Some((_, cached)) = map.iter().find(|(d, _)| *d == dest) {
+            counters.plan_hits += 1;
             return cached.clone();
         }
-        self.plan_misses.set(self.plan_misses.get() + 1);
+        counters.plan_misses += 1;
         let plan = self
             .profile_of(dest)
             .and_then(|p| p.entry(stream))
             .map(|entry| Arc::new(ProjectionPlan::compile(entry, schema)));
-        map.insert(dest, plan.clone());
+        map.push((dest, plan.clone()));
         plan
     }
 
@@ -291,10 +263,10 @@ impl Router {
     /// every destination of this fan-out whose plan produces the same
     /// layout (`memo` lives for one incoming tuple).
     fn apply_plan(
-        &self,
         plan: &ProjectionPlan,
         tuple: &Tuple,
         memo: &mut Vec<(SchemaId, Tuple)>,
+        counters: &mut RouterCounters,
     ) -> Tuple {
         if plan.is_identity() {
             return tuple.clone();
@@ -310,30 +282,25 @@ impl Router {
                     .expect("non-identity plan has indices"),
             )
             .expect("plan indices are in bounds for the compiled schema");
-        self.projections_built.set(self.projections_built.get() + 1);
+        counters.projections_built += 1;
         memo.push((out_id, projected.clone()));
         projected
     }
 
-    /// Route an incoming datagram.
-    ///
-    /// `from` is the neighbor the datagram arrived from (`None` when it
-    /// was published locally); it is excluded from the forwarding set.
-    /// Each decision carries the tuple projected onto that destination's
-    /// attribute set and the projected schema.
-    pub fn route(
+    /// Route one datagram against caller-owned shard state.
+    fn route_with(
         &self,
+        store: &mut PlanStore,
+        counters: &mut RouterCounters,
+        plan_caching: bool,
         tuple: &Tuple,
         schema: &Schema,
         from: Option<NodeId>,
     ) -> Vec<ForwardDecision> {
         let matched = self.engine.matches(tuple, schema);
         let mut out = Vec::with_capacity(matched.len());
-        if self.plan_caching {
-            let mut plans = self.plans.borrow_mut();
-            let map = plans
-                .entry((schema.id(), tuple.stream.clone()))
-                .or_default();
+        if plan_caching {
+            let map = store.map_mut(schema.id(), &tuple.stream);
             let mut memo: Vec<(SchemaId, Tuple)> = Vec::new();
             for dest in matched {
                 if let Destination::Neighbor(n) = dest {
@@ -341,10 +308,11 @@ impl Router {
                         continue;
                     }
                 }
-                let Some(plan) = self.lookup_plan(map, dest, &tuple.stream, schema) else {
+                let Some(plan) = self.lookup_plan(map, counters, dest, &tuple.stream, schema)
+                else {
                     continue;
                 };
-                let t = self.apply_plan(&plan, tuple, &mut memo);
+                let t = Self::apply_plan(&plan, tuple, &mut memo, counters);
                 out.push(ForwardDecision {
                     dest,
                     tuple: t,
@@ -371,10 +339,330 @@ impl Router {
             }
         }
         if out.is_empty() {
-            self.tuples_dropped.set(self.tuples_dropped.get() + 1);
+            counters.tuples_dropped += 1;
         } else {
-            self.tuples_routed.set(self.tuples_routed.get() + 1);
+            counters.tuples_routed += 1;
         }
+        out
+    }
+
+    /// Route a stream-homogeneous batch against caller-owned shard
+    /// state, honoring the plan-caching switch: the off position routes
+    /// tuple-by-tuple through the seed path and groups by destination,
+    /// so A/B runs compare the same shaped work.
+    fn route_batch_any(
+        &self,
+        store: &mut PlanStore,
+        counters: &mut RouterCounters,
+        plan_caching: bool,
+        tuples: &[Tuple],
+        schema: &Schema,
+        from: Option<NodeId>,
+    ) -> Vec<BatchForward> {
+        if plan_caching {
+            return self.route_batch_with(store, counters, tuples, schema, from);
+        }
+        let mut by_dest: BTreeMap<Destination, BatchForward> = BTreeMap::new();
+        for t in tuples {
+            for d in self.route_with(store, counters, false, t, schema, from) {
+                by_dest
+                    .entry(d.dest)
+                    .or_insert_with(|| BatchForward {
+                        dest: d.dest,
+                        tuples: Vec::new(),
+                        schema: d.schema.clone(),
+                    })
+                    .tuples
+                    .push(d.tuple);
+            }
+        }
+        by_dest.into_values().collect()
+    }
+
+    /// Route a stream-homogeneous batch against caller-owned shard state.
+    fn route_batch_with(
+        &self,
+        store: &mut PlanStore,
+        counters: &mut RouterCounters,
+        tuples: &[Tuple],
+        schema: &Schema,
+        from: Option<NodeId>,
+    ) -> Vec<BatchForward> {
+        let Some(first) = tuples.first() else {
+            return Vec::new();
+        };
+        debug_assert!(
+            tuples.iter().all(|t| t.stream == first.stream),
+            "route_batch requires a stream-homogeneous batch"
+        );
+        let matched = self.engine.matches_batch(tuples, schema);
+        let map = store.map_mut(schema.id(), &first.stream);
+        let mut by_dest: BTreeMap<Destination, BatchForward> = BTreeMap::new();
+        let mut memo: Vec<(SchemaId, Tuple)> = Vec::new();
+        for (tuple, dests) in tuples.iter().zip(&matched) {
+            memo.clear();
+            let mut forwarded = false;
+            for &dest in dests {
+                if let Destination::Neighbor(n) = dest {
+                    if Some(n) == from {
+                        continue;
+                    }
+                }
+                let Some(plan) = self.lookup_plan(map, counters, dest, &first.stream, schema)
+                else {
+                    continue;
+                };
+                let t = Self::apply_plan(&plan, tuple, &mut memo, counters);
+                by_dest
+                    .entry(dest)
+                    .or_insert_with(|| BatchForward {
+                        dest,
+                        tuples: Vec::new(),
+                        schema: plan.out_schema.clone(),
+                    })
+                    .tuples
+                    .push(t);
+                forwarded = true;
+            }
+            if forwarded {
+                counters.tuples_routed += 1;
+            } else {
+                counters.tuples_dropped += 1;
+            }
+        }
+        by_dest.into_values().collect()
+    }
+}
+
+/// A thread-shareable snapshot of one router's interest state, taken
+/// with [`Router::shared`]. Routing through a snapshot uses shard-owned
+/// [`PlanStore`] and [`RouterCounters`] state — no lock, no interior
+/// mutability — and is observably identical to routing through the
+/// router itself at the same interest generation.
+#[derive(Debug, Clone)]
+pub struct SharedRouter {
+    core: Arc<RouterCore>,
+    generation: u64,
+    plan_caching: bool,
+}
+
+impl SharedRouter {
+    /// The node the snapshot was taken from.
+    pub fn node(&self) -> NodeId {
+        self.core.node
+    }
+
+    /// The interest generation the snapshot was taken at. A shard whose
+    /// store was filled at a different generation must
+    /// [clear](PlanStore::clear) it before routing through this
+    /// snapshot.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Route a stream-homogeneous batch against shard-owned state.
+    /// Identical decisions, counter movements, and plan-store churn as
+    /// [`Router::route_batch`] on the snapshotted router.
+    pub fn route_batch_with(
+        &self,
+        store: &mut PlanStore,
+        counters: &mut RouterCounters,
+        tuples: &[Tuple],
+        schema: &Schema,
+        from: Option<NodeId>,
+    ) -> Vec<BatchForward> {
+        self.core
+            .route_batch_any(store, counters, self.plan_caching, tuples, schema, from)
+    }
+}
+
+/// The routing state of one CBN node.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// Interests + match engine, shared copy-on-write with worker
+    /// snapshots; mutated through [`Arc::make_mut`].
+    core: Arc<RouterCore>,
+    /// Compiled projection plans of the router's own (serial) shard.
+    /// Cleared whenever the installed interests change (see
+    /// [`Router::interest_generation`]).
+    plans: RefCell<PlanStore>,
+    /// Bumped on every interest mutation; plan caches keyed off a stale
+    /// generation are unreachable because the cache is cleared in the
+    /// same call (and threaded shards clear theirs when the generation
+    /// sum they watch moves).
+    interest_gen: u64,
+    plan_caching: bool,
+    counters: Cell<RouterCounters>,
+}
+
+impl Router {
+    /// A router for the given node with no interests installed.
+    pub fn new(node: NodeId) -> Router {
+        Router {
+            core: Arc::new(RouterCore {
+                node,
+                neighbor_interest: BTreeMap::new(),
+                local_interest: BTreeMap::new(),
+                engine: CountingMatcher::new(),
+            }),
+            plans: RefCell::new(PlanStore::new()),
+            interest_gen: 0,
+            plan_caching: true,
+            counters: Cell::new(RouterCounters::default()),
+        }
+    }
+
+    /// The mutable core (copy-on-write: clones only while a
+    /// [`SharedRouter`] snapshot is outstanding).
+    fn core_mut(&mut self) -> &mut RouterCore {
+        Arc::make_mut(&mut self.core)
+    }
+
+    /// Drop every compiled plan and stamp a new interest generation.
+    /// Called by every interest mutator — the invalidation contract is
+    /// "any change to any installed profile clears the whole cache".
+    fn invalidate_plans(&mut self) {
+        self.interest_gen += 1;
+        self.plans.get_mut().clear();
+    }
+
+    /// A copy-on-write snapshot of this router's interest state for a
+    /// worker thread. Cheap (two refcount bumps) unless an interest
+    /// mutation follows while the snapshot is alive.
+    pub fn shared(&self) -> SharedRouter {
+        SharedRouter {
+            core: Arc::clone(&self.core),
+            generation: self.interest_gen,
+            plan_caching: self.plan_caching,
+        }
+    }
+
+    /// The node this router belongs to.
+    pub fn node(&self) -> NodeId {
+        self.core.node
+    }
+
+    /// Replace the merged interest of the subtree behind `neighbor`.
+    pub fn set_neighbor_interest(&mut self, neighbor: NodeId, profile: Profile) {
+        self.invalidate_plans();
+        let core = self.core_mut();
+        if profile.is_empty() {
+            core.neighbor_interest.remove(&neighbor);
+            core.engine.remove(&Destination::Neighbor(neighbor));
+        } else {
+            core.engine
+                .insert(Destination::Neighbor(neighbor), profile.clone());
+            core.neighbor_interest.insert(neighbor, profile);
+        }
+    }
+
+    /// Union a new profile into the interest of `neighbor` (what happens
+    /// when one more subscription propagates up through that link).
+    pub fn merge_neighbor_interest(&mut self, neighbor: NodeId, profile: &Profile) {
+        let merged = match self.core.neighbor_interest.get(&neighbor) {
+            Some(existing) => existing.union(profile),
+            None => profile.clone(),
+        };
+        self.set_neighbor_interest(neighbor, merged);
+    }
+
+    /// Drop every neighbor interest (local subscribers stay). Used when
+    /// the dissemination tree is reorganized and subscriptions are
+    /// re-propagated along the new paths.
+    pub fn clear_neighbor_interests(&mut self) {
+        self.invalidate_plans();
+        let core = self.core_mut();
+        let neighbors: Vec<NodeId> = core.neighbor_interest.keys().copied().collect();
+        for n in neighbors {
+            core.engine.remove(&Destination::Neighbor(n));
+        }
+        core.neighbor_interest.clear();
+    }
+
+    /// Interest of the subtree behind `neighbor`, if any.
+    pub fn neighbor_interest(&self, neighbor: NodeId) -> Option<&Profile> {
+        self.core.neighbor_interest.get(&neighbor)
+    }
+
+    /// All neighbor interests, in neighbor order (introspection for
+    /// whole-network snapshots — see `cosmos-verify`).
+    pub fn neighbor_interests(&self) -> impl Iterator<Item = (NodeId, &Profile)> {
+        self.core.neighbor_interest.iter().map(|(n, p)| (*n, p))
+    }
+
+    /// Install the profile of a locally attached subscriber.
+    pub fn add_local_subscriber(&mut self, sub: SubscriberId, profile: Profile) {
+        self.invalidate_plans();
+        let core = self.core_mut();
+        core.engine.insert(Destination::Local(sub), profile.clone());
+        core.local_interest.insert(sub, profile);
+    }
+
+    /// Remove a locally attached subscriber.
+    pub fn remove_local_subscriber(&mut self, sub: SubscriberId) {
+        self.invalidate_plans();
+        let core = self.core_mut();
+        core.local_interest.remove(&sub);
+        core.engine.remove(&Destination::Local(sub));
+    }
+
+    /// The profile of a local subscriber, if installed.
+    pub fn local_interest(&self, sub: SubscriberId) -> Option<&Profile> {
+        self.core.local_interest.get(&sub)
+    }
+
+    /// Iterate over the locally attached subscribers and their profiles.
+    pub fn local_subscribers(&self) -> impl Iterator<Item = (SubscriberId, &Profile)> {
+        self.core.local_interest.iter().map(|(s, p)| (*s, p))
+    }
+
+    /// Number of installed interests (neighbors plus locals).
+    pub fn interest_count(&self) -> usize {
+        self.core.neighbor_interest.len() + self.core.local_interest.len()
+    }
+
+    /// The union of every interest at this node except the one behind
+    /// `exclude` — the profile this node must propagate towards a stream
+    /// origin reachable through `exclude` (reverse-path subscription).
+    ///
+    /// The result is [normalized](Profile::normalized): projections are
+    /// widened to the filters' attributes so this node still receives
+    /// everything its local filtering needs.
+    pub fn aggregated_interest(&self, exclude: Option<NodeId>) -> Profile {
+        let mut out = Profile::new();
+        for (n, p) in &self.core.neighbor_interest {
+            if Some(*n) != exclude {
+                out = out.union(p);
+            }
+        }
+        for p in self.core.local_interest.values() {
+            out = out.union(p);
+        }
+        out.normalized()
+    }
+
+    /// Route an incoming datagram.
+    ///
+    /// `from` is the neighbor the datagram arrived from (`None` when it
+    /// was published locally); it is excluded from the forwarding set.
+    /// Each decision carries the tuple projected onto that destination's
+    /// attribute set and the projected schema.
+    pub fn route(
+        &self,
+        tuple: &Tuple,
+        schema: &Schema,
+        from: Option<NodeId>,
+    ) -> Vec<ForwardDecision> {
+        let mut counters = self.counters.get();
+        let out = self.core.route_with(
+            &mut self.plans.borrow_mut(),
+            &mut counters,
+            self.plan_caching,
+            tuple,
+            schema,
+            from,
+        );
+        self.counters.set(counters);
         out
     }
 
@@ -391,55 +679,17 @@ impl Router {
         schema: &Schema,
         from: Option<NodeId>,
     ) -> Vec<BatchForward> {
-        let Some(first) = tuples.first() else {
-            return Vec::new();
-        };
-        debug_assert!(
-            tuples.iter().all(|t| t.stream == first.stream),
-            "route_batch requires a stream-homogeneous batch"
+        let mut counters = self.counters.get();
+        let out = self.core.route_batch_any(
+            &mut self.plans.borrow_mut(),
+            &mut counters,
+            self.plan_caching,
+            tuples,
+            schema,
+            from,
         );
-        let matched = self.engine.matches_batch(tuples, schema);
-        let mut plans = self.plans.borrow_mut();
-        let map = plans
-            .entry((schema.id(), first.stream.clone()))
-            .or_default();
-        let mut by_dest: BTreeMap<Destination, BatchForward> = BTreeMap::new();
-        let mut memo: Vec<(SchemaId, Tuple)> = Vec::new();
-        let mut routed = 0u64;
-        let mut dropped = 0u64;
-        for (tuple, dests) in tuples.iter().zip(&matched) {
-            memo.clear();
-            let mut forwarded = false;
-            for &dest in dests {
-                if let Destination::Neighbor(n) = dest {
-                    if Some(n) == from {
-                        continue;
-                    }
-                }
-                let Some(plan) = self.lookup_plan(map, dest, &first.stream, schema) else {
-                    continue;
-                };
-                let t = self.apply_plan(&plan, tuple, &mut memo);
-                by_dest
-                    .entry(dest)
-                    .or_insert_with(|| BatchForward {
-                        dest,
-                        tuples: Vec::new(),
-                        schema: plan.out_schema.clone(),
-                    })
-                    .tuples
-                    .push(t);
-                forwarded = true;
-            }
-            if forwarded {
-                routed += 1;
-            } else {
-                dropped += 1;
-            }
-        }
-        self.tuples_routed.set(self.tuples_routed.get() + routed);
-        self.tuples_dropped.set(self.tuples_dropped.get() + dropped);
-        by_dest.into_values().collect()
+        self.counters.set(counters);
+        out
     }
 
     /// Route a punctuation (watermark datagram) for `stream`.
@@ -453,12 +703,12 @@ impl Router {
     /// neighbors-then-locals order.
     pub fn route_punctuation(&self, stream: &StreamName, from: Option<NodeId>) -> Vec<Destination> {
         let mut out = Vec::new();
-        for (n, p) in &self.neighbor_interest {
+        for (n, p) in &self.core.neighbor_interest {
             if Some(*n) != from && p.entry(stream).is_some() {
                 out.push(Destination::Neighbor(*n));
             }
         }
-        for (s, p) in &self.local_interest {
+        for (s, p) in &self.core.local_interest {
             if p.entry(stream).is_some() {
                 out.push(Destination::Local(*s));
             }
@@ -473,24 +723,26 @@ impl Router {
     /// Destinations whose whole profile becomes empty are removed.
     pub fn prune_stream(&mut self, stream: &StreamName) {
         let neighbors: Vec<NodeId> = self
+            .core
             .neighbor_interest
             .iter()
             .filter(|(_, p)| p.entry(stream).is_some())
             .map(|(n, _)| *n)
             .collect();
         for n in neighbors {
-            let mut p = self.neighbor_interest[&n].clone();
+            let mut p = self.core.neighbor_interest[&n].clone();
             p.remove_entry(stream);
             self.set_neighbor_interest(n, p);
         }
         let locals: Vec<SubscriberId> = self
+            .core
             .local_interest
             .iter()
             .filter(|(_, p)| p.entry(stream).is_some())
             .map(|(s, _)| *s)
             .collect();
         for s in locals {
-            let mut p = self.local_interest[&s].clone();
+            let mut p = self.core.local_interest[&s].clone();
             p.remove_entry(stream);
             if p.is_empty() {
                 self.remove_local_subscriber(s);
@@ -515,30 +767,47 @@ impl Router {
         self.interest_gen
     }
 
-    /// Number of compiled plans currently cached.
+    /// Number of compiled plans currently cached in the router's own
+    /// (serial) store. Threaded shards own their stores; the driver
+    /// accounts them separately.
     pub fn cached_plan_count(&self) -> usize {
-        self.plans.borrow().values().map(|m| m.len()).sum()
+        self.plans.borrow().plan_count()
+    }
+
+    /// The counter block (throughput + plan-cache counters).
+    pub fn counters(&self) -> RouterCounters {
+        self.counters.get()
+    }
+
+    /// Fold a shard's counter delta into this router — how per-shard
+    /// counters from worker threads re-enter the deployment totals
+    /// without field-by-field drift.
+    pub fn absorb_counters(&self, delta: &RouterCounters) {
+        let mut c = self.counters.get();
+        c.merge(delta);
+        self.counters.set(c);
     }
 
     /// `(hits, misses)` of the projection-plan cache.
     pub fn plan_cache_stats(&self) -> (u64, u64) {
-        (self.plan_hits.get(), self.plan_misses.get())
+        let c = self.counters.get();
+        (c.plan_hits, c.plan_misses)
     }
 
     /// Narrowing projections actually materialized (fan-out sharing and
     /// plan identity both avoid builds this counter would otherwise see).
     pub fn projections_built(&self) -> u64 {
-        self.projections_built.get()
+        self.counters.get().projections_built
     }
 
     /// Datagrams that produced at least one forwarding decision.
     pub fn tuples_routed(&self) -> u64 {
-        self.tuples_routed.get()
+        self.counters.get().tuples_routed
     }
 
     /// Datagrams that matched no interest and were dropped here.
     pub fn tuples_dropped(&self) -> u64 {
-        self.tuples_dropped.get()
+        self.counters.get().tuples_dropped
     }
 }
 
@@ -821,5 +1090,141 @@ mod tests {
         r.set_neighbor_interest(NodeId(1), Profile::new());
         assert!(r.neighbor_interest(NodeId(1)).is_none());
         assert_eq!(r.route(&tup(5, 0.0), &schema(), None).len(), 0);
+    }
+
+    #[test]
+    fn router_counters_merge_folds_every_field() {
+        let mut a = RouterCounters {
+            tuples_routed: 1,
+            tuples_dropped: 2,
+            plan_hits: 3,
+            plan_misses: 4,
+            projections_built: 5,
+        };
+        let b = RouterCounters {
+            tuples_routed: 10,
+            tuples_dropped: 20,
+            plan_hits: 30,
+            plan_misses: 40,
+            projections_built: 50,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            RouterCounters {
+                tuples_routed: 11,
+                tuples_dropped: 22,
+                plan_hits: 33,
+                plan_misses: 44,
+                projections_built: 55,
+            }
+        );
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &[]));
+        r.route(&tup(5, 1.0), &schema(), None);
+        r.absorb_counters(&b);
+        assert_eq!(r.tuples_routed(), 11);
+        assert_eq!(r.plan_cache_stats(), (30, 41));
+    }
+
+    #[test]
+    fn shared_snapshot_routes_identically_with_shard_state() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &["id"]));
+        r.add_local_subscriber(SubscriberId(7), interest(0, 30, &[]));
+        let s = schema();
+        let batch: Vec<Tuple> = (0..20).map(|i| tup(i % 15, i as f64)).collect();
+
+        let shared = r.shared();
+        let mut store = PlanStore::new();
+        let mut counters = RouterCounters::default();
+        let via_shard = shared.route_batch_with(&mut store, &mut counters, &batch, &s, None);
+        let via_router = r.route_batch(&batch, &s, None);
+        assert_eq!(via_shard, via_router);
+        assert_eq!(counters, r.counters());
+        assert_eq!(store.plan_count(), r.cached_plan_count());
+    }
+
+    /// The cross-thread half of the invalidation contract: a shard that
+    /// keeps routing through a stale plan store after an interest
+    /// mutation on another shard serves stale plans; the generation
+    /// stamp makes the staleness observable on the other thread, and
+    /// clearing the store (what the driver's epoch watch does) restores
+    /// agreement with the mutated router.
+    #[test]
+    fn interest_mutation_is_visible_across_threads_via_generation() {
+        let mut r = Router::new(NodeId(0));
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &["id"]));
+        let s = schema();
+
+        // Shard thread A: route through a snapshot, fill its own store.
+        let snap_a = r.shared();
+        let schema_a = s.clone();
+        let (store, counters, narrow) = std::thread::spawn(move || {
+            let mut store = PlanStore::new();
+            let mut counters = RouterCounters::default();
+            let fwd =
+                snap_a.route_batch_with(&mut store, &mut counters, &[tup(5, 1.0)], &schema_a, None);
+            (store, counters, fwd[0].tuples[0].values().to_vec())
+        })
+        .join()
+        .unwrap();
+        assert_eq!(narrow, vec![Value::Int(5)], "plan projects onto [id]");
+        assert_eq!(counters.plan_misses, 1);
+
+        // Driver thread: mutate the interest (widen the projection).
+        // The snapshot the shard held is copy-on-write — the mutation
+        // lands in a fresh core and bumps the generation.
+        let gen_before = r.interest_generation();
+        r.set_neighbor_interest(NodeId(1), interest(0, 10, &["id", "price"]));
+        assert!(r.interest_generation() > gen_before);
+
+        // Shard thread B at the new generation. Routing with the STALE
+        // store serves the stale narrow plan — exactly the bug the
+        // generation watch exists to prevent...
+        let snap_b = r.shared();
+        assert!(snap_b.generation() > gen_before);
+        let schema_b = s.clone();
+        let (mut store, stale, fresh) = std::thread::spawn(move || {
+            let mut stale_store = store;
+            let mut c = RouterCounters::default();
+            let stale =
+                snap_b.route_batch_with(&mut stale_store, &mut c, &[tup(5, 2.5)], &schema_b, None);
+            // ...so a shard observing the generation move must clear.
+            stale_store.clear();
+            let fresh =
+                snap_b.route_batch_with(&mut stale_store, &mut c, &[tup(5, 2.5)], &schema_b, None);
+            (stale_store, stale, fresh)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(
+            stale[0].tuples[0].values(),
+            &[Value::Int(5)],
+            "stale store still serves the pre-mutation plan"
+        );
+        assert_eq!(
+            fresh[0].tuples[0].values(),
+            &[Value::Int(5), Value::Float(2.5)],
+            "cleared store recompiles against the mutated interest"
+        );
+        // And the shard's post-clear state agrees with the router's own.
+        store.clear();
+        let mut c = RouterCounters::default();
+        let shard = r
+            .shared()
+            .route_batch_with(&mut store, &mut c, &[tup(5, 2.5)], &s, None);
+        let own = r.route_batch(&[tup(5, 2.5)], &s, None);
+        assert_eq!(shard, own);
+    }
+
+    /// `SharedRouter` and its shard state are Send + Sync by
+    /// construction — the compile-time guarantee the worker pool needs.
+    #[test]
+    fn shared_router_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedRouter>();
+        assert_send_sync::<PlanStore>();
+        assert_send_sync::<RouterCounters>();
     }
 }

@@ -30,6 +30,7 @@
 pub mod autotune;
 pub mod experiment;
 pub mod fault;
+mod parallel;
 pub mod snapshot;
 pub mod system;
 

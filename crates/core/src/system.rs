@@ -2,6 +2,7 @@
 //! discrete-event driver.
 
 use crate::autotune::{AutotuneOptions, AutotuneReport};
+use crate::parallel::{PreForward, RoutingPool};
 use cosmos_cbn::{BatchForward, Destination, Profile, RegistryMode, Router, SchemaRegistry};
 use cosmos_metrics::{relative_drift, MetricsConfig, MetricsHub, MetricsSnapshot, RouterTotals};
 use cosmos_overlay::{generate, minimum_spanning_tree, Graph, TopologyKind, Tree};
@@ -205,6 +206,9 @@ pub struct Cosmos {
     /// Source streams closed by their final watermark
     /// ([`Cosmos::close_streams`]); their routing state is pruned.
     closed_streams: BTreeSet<StreamName>,
+    /// Shard-per-core routing workers (`None` = serial driver; see
+    /// [`Cosmos::set_parallelism`]).
+    parallel: Option<RoutingPool>,
 }
 
 impl Cosmos {
@@ -273,6 +277,7 @@ impl Cosmos {
             published_streams: BTreeSet::new(),
             retired_disorder: DisorderStats::default(),
             closed_streams: BTreeSet::new(),
+            parallel: None,
             graph,
         })
     }
@@ -968,10 +973,24 @@ impl Cosmos {
         if self.disorder.is_some() {
             self.published_streams.insert(first.stream.clone());
         }
-        if tuples.len() > 1 && self.has_cascading_reps() {
+        let cascading = self.has_cascading_reps();
+        if tuples.len() > 1 && cascading {
             for t in tuples {
                 self.drive(origin, t, &schema);
             }
+            self.after_publish(tuples);
+            return Ok(());
+        }
+        // Cascading-rep topologies keep all source routing on the main
+        // routers (store-placement consistency with the fallback above);
+        // otherwise route through the worker pool when one is armed.
+        if self.parallel.is_some() && !cascading {
+            let mut pool = self.parallel.take().expect("checked above");
+            pool.ensure_snapshot(&self.routers);
+            let seq = pool.dispatch(origin, tuples.to_vec(), schema);
+            let routed = pool.wait_for(seq);
+            self.replay_routed(routed);
+            self.parallel = Some(pool);
             self.after_publish(tuples);
             return Ok(());
         }
@@ -985,6 +1004,74 @@ impl Cosmos {
         }
         self.after_publish(tuples);
         Ok(())
+    }
+
+    /// Replay one worker-routed batch on the driver thread, reproducing
+    /// the serial BFS effect order exactly: precomputed source-derived
+    /// hops are replayed FIFO, and SPE result streams route *live* on
+    /// the main routers, interleaved at the precise queue positions the
+    /// serial driver would give them. Counter deltas from the worker
+    /// shard fold back into the routers first — the same totals, in one
+    /// merge instead of per-tuple cell bumps.
+    fn replay_routed(&mut self, routed: crate::parallel::RoutedBatch) {
+        for (node, delta) in &routed.counters {
+            self.routers[node.index()].absorb_counters(delta);
+        }
+        enum Entry {
+            /// Index into the precomputed source-derived hops.
+            Pre(usize),
+            /// A live hop carrying SPE result tuples.
+            Live(Hop),
+        }
+        let mut hops: Vec<Option<crate::parallel::PreHop>> =
+            routed.hops.into_iter().map(Some).collect();
+        let mut queue: VecDeque<Entry> = VecDeque::new();
+        if !hops.is_empty() {
+            queue.push_back(Entry::Pre(0));
+        }
+        while let Some(entry) = queue.pop_front() {
+            match entry {
+                Entry::Pre(i) => {
+                    let pre = hops[i].take().expect("each pre-hop replays once");
+                    let at = pre.at;
+                    for f in pre.forwards {
+                        match f {
+                            PreForward::Neighbor {
+                                to,
+                                child,
+                                tuples_len,
+                                bytes,
+                            } => {
+                                self.account_link(at, to, bytes);
+                                self.metrics.on_link(at, to, tuples_len, bytes);
+                                queue.push_back(Entry::Pre(child));
+                            }
+                            PreForward::Local {
+                                sub,
+                                tuples,
+                                schema,
+                            } => {
+                                if let Some(hop) = self.deliver_local(at, sub, tuples, &schema) {
+                                    queue.push_back(Entry::Live(hop));
+                                }
+                            }
+                        }
+                    }
+                }
+                Entry::Live(hop) => {
+                    let forwards = self.routers[hop.at.index()].route_batch(
+                        &hop.tuples,
+                        &hop.schema,
+                        hop.from,
+                    );
+                    let mut tmp: VecDeque<Hop> = VecDeque::new();
+                    self.process_forwards(hop.at, forwards, &mut tmp);
+                    for h in tmp {
+                        queue.push_back(Entry::Live(h));
+                    }
+                }
+            }
+        }
     }
 
     /// Drive one already-validated tuple through the network (the
@@ -1025,34 +1112,53 @@ impl Cosmos {
                     });
                 }
                 Destination::Local(sub) => {
-                    if let Some(stream) = self.spe_subs.get(&sub) {
-                        let stream = stream.clone();
-                        let site = self.reps.get_mut(&stream).expect("rep site exists");
-                        debug_assert_eq!(site.processor, at);
-                        let outputs = site.executor.push_projected_batch(&f.tuples, &f.schema);
-                        let rep_schema = site.executor.result_schema().clone();
-                        self.metrics.on_spe_intake(at, &f.tuples);
-                        if !outputs.is_empty() {
-                            // Result datagrams enter the CBN here; observe
-                            // them like any other published stream.
-                            self.metrics.on_publish(&stream, &rep_schema, &outputs);
-                            queue.push_back(Hop {
-                                from: None,
-                                at,
-                                tuples: outputs,
-                                schema: rep_schema,
-                            });
-                        }
-                    } else if let Some(&qid) = self.user_subs.get(&sub) {
-                        self.metrics.on_delivery(qid, at, &f.tuples);
-                        self.delivered
-                            .get_mut(&qid)
-                            .expect("delivery buffer")
-                            .extend(f.tuples);
+                    if let Some(hop) = self.deliver_local(at, sub, f.tuples, &f.schema) {
+                        queue.push_back(hop);
                     }
                 }
             }
         }
+    }
+
+    /// Deliver a projected batch to one locally attached subscriber: an
+    /// SPE input gets the batch pushed through its executor (returning
+    /// the result datagrams re-entering the network as a new hop, if
+    /// any), a user subscription gets the tuples appended to its
+    /// delivery buffer. Shared verbatim by the serial BFS and the
+    /// parallel replay so the two paths cannot drift.
+    fn deliver_local(
+        &mut self,
+        at: NodeId,
+        sub: SubscriberId,
+        tuples: Vec<Tuple>,
+        schema: &Schema,
+    ) -> Option<Hop> {
+        if let Some(stream) = self.spe_subs.get(&sub) {
+            let stream = stream.clone();
+            let site = self.reps.get_mut(&stream).expect("rep site exists");
+            debug_assert_eq!(site.processor, at);
+            let outputs = site.executor.push_projected_batch(&tuples, schema);
+            let rep_schema = site.executor.result_schema().clone();
+            self.metrics.on_spe_intake(at, &tuples);
+            if !outputs.is_empty() {
+                // Result datagrams enter the CBN here; observe them
+                // like any other published stream.
+                self.metrics.on_publish(&stream, &rep_schema, &outputs);
+                return Some(Hop {
+                    from: None,
+                    at,
+                    tuples: outputs,
+                    schema: rep_schema,
+                });
+            }
+        } else if let Some(&qid) = self.user_subs.get(&sub) {
+            self.metrics.on_delivery(qid, at, &tuples);
+            self.delivered
+                .get_mut(&qid)
+                .expect("delivery buffer")
+                .extend(tuples);
+        }
+        None
     }
 
     /// Switch the deployment into (or out of) out-of-order operation.
@@ -1304,7 +1410,16 @@ impl Cosmos {
 
     /// Publish a timestamp-ordered input sequence, batching maximal
     /// consecutive same-stream runs through [`Cosmos::publish_batch`].
+    ///
+    /// With [`Cosmos::set_parallelism`] armed (and no cascading
+    /// representatives), batches are pipelined through the routing
+    /// pool: while the driver replays batch `k`'s effects, workers
+    /// route batches `k+1..` of other streams. Delivery is bit-for-bit
+    /// identical either way.
     pub fn run_batched<I: IntoIterator<Item = Tuple>>(&mut self, inputs: I) -> Result<()> {
+        if self.parallel.is_some() && !self.has_cascading_reps() {
+            return self.run_batched_parallel(inputs);
+        }
         let mut pending: Vec<Tuple> = Vec::new();
         for t in inputs {
             if pending.last().is_some_and(|p| p.stream != t.stream) {
@@ -1317,6 +1432,107 @@ impl Cosmos {
             self.publish_batch(&pending)?;
         }
         Ok(())
+    }
+
+    /// The pipelined variant of [`Cosmos::run_batched`]: cut maximal
+    /// same-stream runs, dispatch each to its stream's shard up to a
+    /// bounded in-flight window, and replay routed outputs strictly in
+    /// dispatch order — the deterministic (virtual-time, stream, seq)
+    /// merge. Per batch, the serial prologue (publish accounting,
+    /// metrics observation) runs immediately before its replay and the
+    /// watermark epilogue immediately after, exactly as the serial
+    /// driver interleaves them.
+    ///
+    /// Batch validation happens at dispatch time; this is equivalent to
+    /// the serial driver's validate-at-publish because registration
+    /// state cannot change while a run is in progress. On a validation
+    /// error, every batch dispatched before the bad one is still
+    /// replayed (matching serial partial progress) and the error is
+    /// then returned.
+    fn run_batched_parallel<I: IntoIterator<Item = Tuple>>(&mut self, inputs: I) -> Result<()> {
+        let mut pool = self.parallel.take().expect("caller checked");
+        pool.ensure_snapshot(&self.routers);
+        let window = 2 * pool.parallelism();
+        // Dispatched batches awaiting replay: (seq, tuples, schema).
+        let mut awaiting: VecDeque<(u64, Vec<Tuple>, Schema)> = VecDeque::new();
+        let mut error: Option<CosmosError> = None;
+
+        let replay_front =
+            |sys: &mut Cosmos, pool: &mut RoutingPool, awaiting: &mut VecDeque<_>| {
+                let (seq, tuples, schema): (u64, Vec<Tuple>, Schema) =
+                    awaiting.pop_front().expect("caller checked non-empty");
+                let stream = &tuples.first().expect("batches are non-empty").stream;
+                sys.tuples_published += tuples.len() as u64;
+                sys.metrics.on_publish(stream, &schema, &tuples);
+                if sys.disorder.is_some() {
+                    sys.published_streams.insert(stream.clone());
+                }
+                let routed = pool.wait_for(seq);
+                sys.replay_routed(routed);
+                sys.after_publish(&tuples);
+            };
+
+        let dispatch = |sys: &mut Cosmos,
+                        pool: &mut RoutingPool,
+                        awaiting: &mut VecDeque<(u64, Vec<Tuple>, Schema)>,
+                        batch: Vec<Tuple>|
+         -> Result<()> {
+            let first = batch.first().expect("batches are non-empty");
+            let reg = sys.registry.peek(&first.stream).ok_or_else(|| {
+                CosmosError::System(format!("stream '{}' is not advertised", first.stream))
+            })?;
+            let (origin, schema) = (reg.origin, reg.schema.clone());
+            while awaiting.len() >= window {
+                replay_front(sys, pool, awaiting);
+            }
+            let seq = pool.dispatch(origin, batch.clone(), schema.clone());
+            awaiting.push_back((seq, batch, schema));
+            Ok(())
+        };
+
+        let mut pending: Vec<Tuple> = Vec::new();
+        for t in inputs {
+            if pending.last().is_some_and(|p| p.stream != t.stream) {
+                let batch = std::mem::take(&mut pending);
+                if let Err(e) = dispatch(self, &mut pool, &mut awaiting, batch) {
+                    error = Some(e);
+                    break;
+                }
+            }
+            pending.push(t);
+        }
+        if error.is_none() && !pending.is_empty() {
+            if let Err(e) = dispatch(self, &mut pool, &mut awaiting, pending) {
+                error = Some(e);
+            }
+        }
+        while !awaiting.is_empty() {
+            replay_front(self, &mut pool, &mut awaiting);
+        }
+        self.parallel = Some(pool);
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Arm (or disarm) shard-per-core parallel routing with a fixed
+    /// pool of `n` std worker threads. `n <= 1` restores the serial
+    /// driver (joining any existing workers). Routing through the pool
+    /// is observably identical to the serial driver — same deliveries,
+    /// same byte and cost accounting, same metrics, same digests — at
+    /// any `n`; only wall-clock time changes.
+    pub fn set_parallelism(&mut self, n: usize) {
+        if n <= 1 {
+            self.parallel = None;
+        } else if self.parallel.as_ref().map(RoutingPool::parallelism) != Some(n) {
+            self.parallel = Some(RoutingPool::new(n));
+        }
+    }
+
+    /// Number of routing workers (1 = serial driver).
+    pub fn parallelism(&self) -> usize {
+        self.parallel.as_ref().map_or(1, RoutingPool::parallelism)
     }
 
     /// Enable or disable projection-plan caching (and fan-out sharing)
@@ -1429,13 +1645,15 @@ impl Cosmos {
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut router = RouterTotals::default();
         for r in &self.routers {
-            let (hits, misses) = r.plan_cache_stats();
-            router.plan_hits += hits;
-            router.plan_misses += misses;
-            router.projections_built += r.projections_built();
-            router.tuples_routed += r.tuples_routed();
-            router.tuples_dropped += r.tuples_dropped();
-            router.cached_plans += r.cached_plan_count() as u64;
+            router.fold_counters(&r.counters(), r.cached_plan_count() as u64);
+        }
+        if let Some(pool) = &self.parallel {
+            // Worker shards own the plan stores of the streams they
+            // route; count them here (current-generation stores only)
+            // so the gauge equals the serial driver's, where every plan
+            // lives in the routers' own stores.
+            router.cached_plans +=
+                pool.cached_plans(|n| self.routers[n.index()].interest_generation());
         }
         self.metrics.snapshot(router)
     }
@@ -1936,6 +2154,117 @@ mod tests {
         sys.run_batched(inputs).unwrap();
         assert_eq!(sys.results(q).len(), 12);
         assert_eq!(sys.tuples_published(), 16);
+    }
+
+    /// The tentpole guarantee: the shard-per-core driver is observably
+    /// identical to the serial one — deliveries, link-byte accounting,
+    /// f64 cost accumulation (bit-for-bit), the full metrics snapshot
+    /// (including the plan-cache gauge, whose plans live in worker
+    /// shards), and the routing digest — across interest mutations
+    /// between runs.
+    #[test]
+    fn parallel_routing_is_bit_identical_to_serial() {
+        let mut inputs = Vec::new();
+        for i in 0..30i64 {
+            inputs.push(s_tuple(i * 1000, i % 7, (i * 11 % 100) as f64));
+            if i % 3 == 0 {
+                inputs.push(Tuple::new(
+                    "T",
+                    Timestamp(i * 1000 + 1),
+                    vec![Value::Int(i % 5), Value::Int(i * 1000 + 1)],
+                ));
+            }
+        }
+        let extra: Vec<Tuple> = (30..45i64)
+            .map(|i| s_tuple(i * 1000, i % 7, (i * 13 % 100) as f64))
+            .collect();
+
+        let run = |parallelism: usize| {
+            let mut sys = line_system(true);
+            sys.register_stream(
+                "T",
+                Schema::of(&[("k", AttrType::Int), ("timestamp", AttrType::Int)]),
+                StreamStats::with_rate(1.0).attr("k", AttrStats::categorical(10.0)),
+                NodeId(1),
+            )
+            .unwrap();
+            sys.set_parallelism(parallelism);
+            assert_eq!(sys.parallelism(), parallelism.max(1));
+            let q1 = sys
+                .submit_query("SELECT k, x FROM S [Now] WHERE x > 30.0", NodeId(3))
+                .unwrap();
+            let q2 = sys
+                .submit_query("SELECT k FROM T [Range 5 Second] WHERE k = 3", NodeId(2))
+                .unwrap();
+            sys.run_batched(inputs.iter().cloned()).unwrap();
+            // Interest mutation between runs: the copy-on-write
+            // snapshot must refresh and stale shard plans must not
+            // survive (serial invalidates its plan caches here too).
+            let q3 = sys
+                .submit_query("SELECT k, x FROM S [Now] WHERE x > 60.0", NodeId(1))
+                .unwrap();
+            sys.run_batched(extra.iter().cloned()).unwrap();
+            let delivered: Vec<Vec<Tuple>> = [q1, q2, q3]
+                .iter()
+                .map(|q| sys.results(*q).to_vec())
+                .collect();
+            (
+                delivered,
+                sys.tuples_published(),
+                sys.total_bytes(),
+                sys.weighted_cost().to_bits(),
+                sys.metrics(),
+                sys.routing_digest(),
+            )
+        };
+
+        let serial = run(1);
+        for p in [2, 4] {
+            let parallel = run(p);
+            assert_eq!(serial.0, parallel.0, "deliveries differ at p={p}");
+            assert_eq!(serial.1, parallel.1, "published counts differ at p={p}");
+            assert_eq!(serial.2, parallel.2, "link bytes differ at p={p}");
+            assert_eq!(serial.3, parallel.3, "weighted cost bits differ at p={p}");
+            assert_eq!(serial.4, parallel.4, "metrics snapshots differ at p={p}");
+            assert_eq!(serial.5, parallel.5, "routing digests differ at p={p}");
+        }
+        assert!(!serial.0[0].is_empty(), "q1 must actually deliver");
+        assert!(!serial.0[2].is_empty(), "q3 must actually deliver");
+    }
+
+    /// Single-batch publishes also route through the pool (correctness
+    /// coverage for the non-pipelined entry point), and validation
+    /// errors behave exactly like the serial driver's.
+    #[test]
+    fn parallel_publish_batch_and_error_paths_match_serial() {
+        let run = |parallelism: usize| {
+            let mut sys = line_system(true);
+            sys.set_parallelism(parallelism);
+            let q = sys
+                .submit_query("SELECT k, x FROM S [Now] WHERE x > 30.0", NodeId(3))
+                .unwrap();
+            for i in 0..10i64 {
+                sys.publish(&s_tuple(i * 1000, i, (i * 12) as f64)).unwrap();
+            }
+            // Unadvertised stream mid-run: earlier batches must have
+            // fully taken effect, the bad one must change nothing.
+            let bad = vec![Tuple::new("Nope", Timestamp(99), vec![Value::Int(1)])];
+            let mixed: Vec<Tuple> = (10..14i64)
+                .map(|i| s_tuple(i * 1000, i, (i * 12) as f64))
+                .chain(bad)
+                .collect();
+            assert!(sys.run_batched(mixed).is_err());
+            (
+                sys.results(q).to_vec(),
+                sys.tuples_published(),
+                sys.total_bytes(),
+                sys.metrics(),
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.1, 14, "the four good tuples before the error count");
     }
 
     #[test]

@@ -123,6 +123,23 @@ pub struct RouterTotals {
     pub cached_plans: u64,
 }
 
+impl RouterTotals {
+    /// Fold one router's counter block (plus its current plan-store
+    /// occupancy) into the deployment totals. Works the same whether
+    /// the block came from a router's own serial state or from a
+    /// per-shard worker delta already absorbed into it — totals are
+    /// sums of [`cosmos_cbn::RouterCounters::merge`]-compatible blocks,
+    /// never reconstructed field by field.
+    pub fn fold_counters(&mut self, c: &cosmos_cbn::RouterCounters, cached_plans: u64) {
+        self.tuples_routed += c.tuples_routed;
+        self.tuples_dropped += c.tuples_dropped;
+        self.plan_hits += c.plan_hits;
+        self.plan_misses += c.plan_misses;
+        self.projections_built += c.projections_built;
+        self.cached_plans += cached_plans;
+    }
+}
+
 /// A deterministic point-in-time view of every metric the system keeps.
 ///
 /// `Serialize`/`Deserialize` are written by hand (the vendored derive

@@ -55,10 +55,11 @@ use std::process::ExitCode;
 fn usage(msg: &str) -> ExitCode {
     eprintln!("cosmos-sim: {msg}");
     eprintln!(
-        "usage: cosmos-sim run --seed S [--disorder] [--no-bounds] [--no-shrink] [--out FILE]\n\
+        "usage: cosmos-sim run --seed S [--disorder] [--no-bounds] [--parallelism N] \
+         [--no-shrink] [--out FILE]\n\
          \u{20}      cosmos-sim replay FILE\n\
          \u{20}      cosmos-sim sweep --seeds N [--start S0] [--disorder] [--no-bounds] \
-         [--no-shrink] [--out-dir DIR]\n\
+         [--parallelism N] [--no-shrink] [--out-dir DIR]\n\
          \u{20}      cosmos-sim snapshot --seed S [--baseline] [--disorder] [--out FILE]\n\
          \u{20}      cosmos-sim metrics --seed S [--baseline] [--disorder] [--out FILE]\n\
          \u{20}      cosmos-sim bounds --seed S [--baseline] [--disorder] [--out FILE]\n\
@@ -75,6 +76,7 @@ struct Opts {
     no_bounds: bool,
     baseline: bool,
     disorder: bool,
+    parallelism: usize,
     out: Option<String>,
     out_dir: String,
     files: Vec<String>,
@@ -104,6 +106,7 @@ fn main() -> ExitCode {
         no_bounds: false,
         baseline: false,
         disorder: false,
+        parallelism: 1,
         out: None,
         out_dir: "cosmos-sim-failures".into(),
         files: Vec::new(),
@@ -128,6 +131,10 @@ fn main() -> ExitCode {
             },
             "--no-shrink" => o.no_shrink = true,
             "--no-bounds" => o.no_bounds = true,
+            "--parallelism" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => o.parallelism = v,
+                _ => return usage("--parallelism needs an integer >= 1"),
+            },
             "--baseline" => o.baseline = true,
             "--disorder" => o.disorder = true,
             "--out" => match args.next() {
@@ -404,6 +411,11 @@ fn run_one(seed: u64, o: &Opts) -> bool {
     let scenario = o.expand(seed);
     let copts = CheckOptions {
         bound_soundness: !o.no_bounds,
+        parallelism: o.parallelism,
+        // At --parallelism > 1 every oracle run is already the parallel
+        // driver; CI compares the sweep's digests against a serial
+        // sweep instead of paying for a redundant in-process replay.
+        metamorphic_parallel: o.parallelism <= 1,
         ..CheckOptions::default()
     };
     match check_scenario_opts(&scenario, &copts) {

@@ -53,8 +53,8 @@ use cosmos_types::{QueryId, Timestamp, Tuple, Value};
 pub struct Failure {
     /// Which oracle fired (`differential (merged)` — `convergence
     /// (merged)` on disordered scenarios —, `metamorphic-merge`,
-    /// `metamorphic-tree`, `metamorphic-batch`, `determinism`,
-    /// `static-verify (…)`, `metrics-conservation (…)`,
+    /// `metamorphic-tree`, `metamorphic-batch`, `metamorphic-parallel`,
+    /// `determinism`, `static-verify (…)`, `metrics-conservation (…)`,
     /// `bound-soundness (…)`, `run-error`).
     pub oracle: String,
     /// The offending query's scenario label, when attributable.
@@ -116,6 +116,16 @@ pub struct CheckOptions {
     /// `cosmos-bound` bounds after every event, in merged, baseline,
     /// and batched modes.
     pub bound_soundness: bool,
+    /// Routing workers for every run ([`RunOptions::parallelism`]);
+    /// 1 = serial driver. All oracles must hold unchanged at any value.
+    pub parallelism: usize,
+    /// Parallel-vs-serial equality: re-run the merged scenario with
+    /// 4 routing workers and demand an identical digest, identical
+    /// per-event routing digests, and a byte-identical metrics
+    /// snapshot. Redundant (and skipped by `cosmos-sim`) when
+    /// `parallelism` is already > 1 — the whole sweep then *is* the
+    /// parallel side, compared against a serial sweep in CI.
+    pub metamorphic_parallel: bool,
 }
 
 impl Default for CheckOptions {
@@ -129,6 +139,8 @@ impl Default for CheckOptions {
             static_verify: true,
             metrics_conservation: true,
             bound_soundness: true,
+            parallelism: 1,
+            metamorphic_parallel: true,
         }
     }
 }
@@ -150,6 +162,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         &RunOptions {
             static_verify: opts.static_verify,
             bound_checks: opts.bound_soundness,
+            parallelism: opts.parallelism,
             ..RunOptions::default()
         },
     )
@@ -168,6 +181,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             &RunOptions {
                 static_verify: false,
                 bound_checks: false,
+                parallelism: opts.parallelism,
                 ..RunOptions::default()
             },
         )
@@ -191,6 +205,39 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         }
     }
 
+    if opts.metamorphic_parallel && opts.parallelism <= 1 {
+        // The shard-per-core driver must be observably identical to the
+        // serial one: same digest (delivery order included), same
+        // per-event routing digests, byte-identical metrics snapshot.
+        let parallel = run_scenario(
+            scenario,
+            &RunOptions {
+                static_verify: false,
+                bound_checks: false,
+                parallelism: 4,
+                ..RunOptions::default()
+            },
+        )
+        .map_err(run_err)?;
+        if parallel.digest != merged.digest || parallel.routing_digests != merged.routing_digests {
+            return Err(Failure {
+                oracle: "metamorphic-parallel".into(),
+                label: None,
+                detail: format!(
+                    "4-worker run diverged from serial: digest {:016x} vs {:016x}",
+                    parallel.digest, merged.digest
+                ),
+            });
+        }
+        if opts.metrics_conservation && parallel.metrics_json != merged.metrics_json {
+            return Err(Failure {
+                oracle: "metamorphic-parallel".into(),
+                label: None,
+                detail: "4-worker run produced a different metrics snapshot than serial".into(),
+            });
+        }
+    }
+
     if opts.differential {
         differential(&merged, "merged")?;
     }
@@ -201,6 +248,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             merging: false,
             static_verify: opts.static_verify,
             bound_checks: opts.bound_soundness,
+            parallelism: opts.parallelism,
             ..RunOptions::default()
         },
     )
@@ -227,6 +275,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
                 optimize_every_event: true,
                 static_verify: false,
                 bound_checks: false,
+                parallelism: opts.parallelism,
                 ..RunOptions::default()
             },
         )
@@ -244,6 +293,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
                 batched: true,
                 static_verify: false,
                 bound_checks: opts.bound_soundness,
+                parallelism: opts.parallelism,
                 ..RunOptions::default()
             },
         )

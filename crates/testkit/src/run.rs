@@ -55,6 +55,11 @@ pub struct RunOptions {
     /// trace envelope. Violations are collected in
     /// [`RunOutcome::bound_violations`].
     pub bound_checks: bool,
+    /// Routing workers ([`cosmos::Cosmos::set_parallelism`]); 1 runs
+    /// the serial driver. Every outcome — digests included — must be
+    /// identical at any value (the shard-per-core driver is observably
+    /// deterministic), which the metamorphic-parallel oracle enforces.
+    pub parallelism: usize,
 }
 
 impl Default for RunOptions {
@@ -65,6 +70,7 @@ impl Default for RunOptions {
             batched: false,
             static_verify: true,
             bound_checks: true,
+            parallelism: 1,
         }
     }
 }
@@ -199,6 +205,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
             bound,
             policy: LatePolicy::Revise { grace: bound },
         }));
+    }
+    if opts.parallelism > 1 {
+        sys.set_parallelism(opts.parallelism);
     }
     let sensors = sensor_catalog();
 

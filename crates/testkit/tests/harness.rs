@@ -71,6 +71,8 @@ fn injected_merge_bug_is_caught_by_metamorphic_oracle() {
         static_verify: false,
         metrics_conservation: false,
         bound_soundness: false,
+        parallelism: 1,
+        metamorphic_parallel: false,
     };
     for seed in [1u64, 6] {
         let scenario = gen::generate(seed);
@@ -102,6 +104,8 @@ fn injected_merge_bug_is_caught_statically_before_any_publish() {
         static_verify: true,
         metrics_conservation: false,
         bound_soundness: false,
+        parallelism: 1,
+        metamorphic_parallel: false,
     };
     for seed in [1u64, 6] {
         let mut scenario = gen::generate(seed);
