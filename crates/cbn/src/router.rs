@@ -521,6 +521,11 @@ impl Router {
     /// Drop every compiled plan and stamp a new interest generation.
     /// Called by every interest mutator — the invalidation contract is
     /// "any change to any installed profile clears the whole cache".
+    ///
+    /// `cosmos-det check` model-checks this contract as the `Mutate`
+    /// action (`cosmos_det::model`): eliding the generation bump is the
+    /// `--inject-skip-bump` canary, caught by the `stale-core` property;
+    /// eliding the clear is `--inject-skip-invalidate`.
     fn invalidate_plans(&mut self) {
         self.interest_gen += 1;
         self.plans.get_mut().clear();

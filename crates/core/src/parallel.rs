@@ -37,6 +37,17 @@
 //! timestamp-ordered per stream, so seq order *is* the virtual-time
 //! order the serial driver would process, with seq breaking cross-stream
 //! ties exactly as serial interleaving does.
+//!
+//! # Model checking
+//!
+//! The concurrency skeleton of this file — CoW core publication,
+//! generation bump, per-shard lazy invalidation, seq-ordered replay
+//! merge, counter fold — is model-checked exhaustively by `cosmos-det
+//! check` (`cosmos_det::model`), which enumerates every interleaving at
+//! small bounds and proves no stale-core routing, replay linearization
+//! to dispatch order, and counter conservation. Comments below anchor
+//! the correspondence at each protocol step; keep them in sync when the
+//! protocol changes, and mirror the change in the model.
 
 use cosmos_cbn::{Destination, PlanStore, Router, RouterCounters, SharedRouter};
 use cosmos_types::{NodeId, Schema, SubscriberId, Tuple};
@@ -149,6 +160,9 @@ fn worker_loop(worker: usize, jobs: Receiver<Job>, results: Sender<(u64, RoutedB
             // filled at an older interest generation is cleared before
             // use, mirroring the serial router's eager clear (counters
             // only move while routing, so lazy clearing is unobservable).
+            // Model: the `Route` action's store check; eliding the clear
+            // is `cosmos-det check --inject-skip-invalidate`, caught by
+            // the `stale-core` property.
             if gens[idx] != shared.generation() {
                 stores[idx].clear();
                 gens[idx] = shared.generation();
@@ -288,6 +302,12 @@ impl RoutingPool {
     /// interests changed since it was built. O(nodes) when nothing
     /// changed (a sum of generation counters); two refcount bumps per
     /// router when something did.
+    ///
+    /// Model: the refresh-on-generation-change guard of `Dispatch`; the
+    /// `stale-core` property proves every job routes against the core
+    /// current at its dispatch. `--inject-skip-bump` (a mutator that
+    /// forgets to move the generation, so this epoch sum never changes)
+    /// is the CI canary that property must catch.
     pub fn ensure_snapshot(&mut self, routers: &[Router]) {
         let epoch = routers
             .iter()
@@ -335,6 +355,12 @@ impl RoutingPool {
 
     /// Block until the routed output of `seq` is available. Results
     /// arriving out of seq order are buffered.
+    ///
+    /// Model: the `Receive`/`Replay` actions and the `replay-order`
+    /// property — replaying the arrival order instead of seq order
+    /// (`--inject-replay-arrival`) breaks linearization to serial
+    /// submission order; dropping a batch's counter fold
+    /// (`--inject-skip-fold`) breaks `counter-conservation`.
     pub fn wait_for(&mut self, seq: u64) -> RoutedBatch {
         loop {
             if let Some(r) = self.pending.remove(&seq) {

@@ -9,12 +9,12 @@ use cosmos_overlay::{generate, minimum_spanning_tree, Graph, TopologyKind, Tree}
 use cosmos_query::{retighten_profile, GroupManager, StatsCatalog, StreamStats};
 use cosmos_spe::{AnalyzedQuery, DisorderStats, Executor, LatePolicy, StateSize};
 use cosmos_types::{
-    CosmosError, FxHashMap, NodeId, Punctuation, QueryId, Result, Schema, StreamName, SubscriberId,
-    TimeDelta, Timestamp, Tuple,
+    CosmosError, FxHashMap, NeumaierSum, NodeId, Punctuation, QueryId, Result, Schema, StreamName,
+    SubscriberId, TimeDelta, Timestamp, Tuple,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// What a server contributes to the system (Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,23 +153,23 @@ pub struct Cosmos {
     tree: Tree,
     /// Per-origin shortest-path dissemination trees (lazily built when
     /// `per_source_trees` is enabled).
-    source_trees: FxHashMap<NodeId, Tree>,
+    source_trees: BTreeMap<NodeId, Tree>,
     roles: Vec<NodeRole>,
     processors: Vec<NodeId>,
     registry: SchemaRegistry,
     catalog: StatsCatalog,
     routers: Vec<Router>,
     /// Query-layer state per processor.
-    managers: FxHashMap<NodeId, GroupManager>,
+    managers: BTreeMap<NodeId, GroupManager>,
     /// Representative executors, keyed by result-stream name.
-    reps: FxHashMap<StreamName, RepSite>,
+    reps: BTreeMap<StreamName, RepSite>,
     /// SPE-input subscriptions: subscriber → result stream it feeds.
-    spe_subs: FxHashMap<SubscriberId, StreamName>,
+    spe_subs: BTreeMap<SubscriberId, StreamName>,
     /// User subscriptions: subscriber → query it serves.
     user_subs: FxHashMap<SubscriberId, QueryId>,
     user_sub_of_query: FxHashMap<QueryId, SubscriberId>,
     /// Baseline (non-merging) mode: each query's private result stream.
-    baseline_streams: FxHashMap<QueryId, StreamName>,
+    baseline_streams: BTreeMap<QueryId, StreamName>,
     delivered: FxHashMap<QueryId, Vec<Tuple>>,
     query_user: FxHashMap<QueryId, NodeId>,
     query_processor: FxHashMap<QueryId, NodeId>,
@@ -177,8 +177,12 @@ pub struct Cosmos {
     /// Warning-level lint findings per accepted query (error-level
     /// findings reject the query at submission instead).
     lint_warnings: FxHashMap<QueryId, Vec<String>>,
-    link_bytes: FxHashMap<(NodeId, NodeId), u64>,
-    weighted_cost: f64,
+    link_bytes: BTreeMap<(NodeId, NodeId), u64>,
+    /// Compensated so the readout is association-order insensitive (the
+    /// serial driver and the shard pool replay hops in the same order
+    /// today, but D0501 holds every oracle-feeding accumulation to the
+    /// same standard).
+    weighted_cost: NeumaierSum,
     tuples_published: u64,
     next_sub: u64,
     next_query: u64,
@@ -196,7 +200,7 @@ pub struct Cosmos {
     high_water: Option<Timestamp>,
     /// Last watermark emitted per stream (sources and, via executor
     /// frontier propagation, result streams).
-    emitted_watermarks: FxHashMap<StreamName, Timestamp>,
+    emitted_watermarks: BTreeMap<StreamName, Timestamp>,
     /// Source streams that have published at least once in disorder
     /// mode — the streams watermarks are emitted for.
     published_streams: BTreeSet<StreamName>,
@@ -245,25 +249,25 @@ impl Cosmos {
         Ok(Cosmos {
             cfg,
             tree,
-            source_trees: FxHashMap::default(),
+            source_trees: BTreeMap::new(),
             roles,
             processors,
             registry,
             catalog: StatsCatalog::new(),
             routers,
-            managers: FxHashMap::default(),
-            reps: FxHashMap::default(),
-            spe_subs: FxHashMap::default(),
+            managers: BTreeMap::new(),
+            reps: BTreeMap::new(),
+            spe_subs: BTreeMap::new(),
             user_subs: FxHashMap::default(),
             user_sub_of_query: FxHashMap::default(),
-            baseline_streams: FxHashMap::default(),
+            baseline_streams: BTreeMap::new(),
             delivered: FxHashMap::default(),
             query_user: FxHashMap::default(),
             query_processor: FxHashMap::default(),
             processor_load: FxHashMap::default(),
             lint_warnings: FxHashMap::default(),
-            link_bytes: FxHashMap::default(),
-            weighted_cost: 0.0,
+            link_bytes: BTreeMap::new(),
+            weighted_cost: NeumaierSum::new(),
             tuples_published: 0,
             next_sub: 0,
             next_query: 0,
@@ -273,7 +277,7 @@ impl Cosmos {
             metrics: MetricsHub::new(MetricsConfig::default()),
             disorder: None,
             high_water: None,
-            emitted_watermarks: FxHashMap::default(),
+            emitted_watermarks: BTreeMap::new(),
             published_streams: BTreeSet::new(),
             retired_disorder: DisorderStats::default(),
             closed_streams: BTreeSet::new(),
@@ -298,7 +302,7 @@ impl Cosmos {
     }
 
     /// Per-source trees by origin (fault module).
-    pub(crate) fn source_trees(&self) -> &FxHashMap<NodeId, Tree> {
+    pub(crate) fn source_trees(&self) -> &BTreeMap<NodeId, Tree> {
         &self.source_trees
     }
 
@@ -918,7 +922,7 @@ impl Cosmos {
             debug_assert!(false, "traffic accounted on downed link {a}-{b}");
             self.graph.distance(a, b).max(f64::EPSILON)
         });
-        self.weighted_cost += bytes as f64 * delay;
+        self.weighted_cost.add(bytes as f64 * delay);
     }
 
     /// Publish one source datagram at its stream's origin node and drive
@@ -1606,7 +1610,7 @@ impl Cosmos {
 
     /// Total delay-weighted communication cost (`Σ bytes × link delay`).
     pub fn weighted_cost(&self) -> f64 {
-        self.weighted_cost
+        self.weighted_cost.total()
     }
 
     /// Number of source datagrams published.

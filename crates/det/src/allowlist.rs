@@ -1,0 +1,243 @@
+//! The determinism allowlist: justified suppressions with stale checks.
+//!
+//! `det-allowlist.toml` is an array of `[[allow]]` tables. Each entry
+//! names a code, a path suffix, an optional line-text `pattern`, and a
+//! mandatory `reason` — a suppression without a justification is a
+//! parse error, not a style nit. The file format is the tiny TOML
+//! subset those four keys need (string values, `#` comments), parsed by
+//! hand because the workspace deliberately takes no TOML dependency.
+//!
+//! Stale checking closes the classic suppression-rot loophole: after a
+//! lint run, any entry that suppressed zero findings is reported (fatal
+//! under `--check-allowlist`), so a fixed site cannot leave its
+//! suppression behind to silently swallow a future regression.
+
+use crate::lints::Finding;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// D-code this entry suppresses (e.g. `D0201`).
+    pub code: String,
+    /// Path suffix the finding's file must end with.
+    pub path: String,
+    /// Optional substring the finding's source line must contain;
+    /// narrows the suppression to a specific site within the file.
+    pub pattern: Option<String>,
+    /// Why the suppression is sound. Mandatory and non-empty.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header, for stale reports.
+    pub line: usize,
+}
+
+impl AllowEntry {
+    /// Does this entry suppress `f`?
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.code == f.diag.code
+            && f.path.ends_with(&self.path)
+            && self
+                .pattern
+                .as_ref()
+                .is_none_or(|p| f.line_text.contains(p.as_str()))
+    }
+}
+
+/// Parse `det-allowlist.toml`. Errors carry the offending line number.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = current.take() {
+                finish(e, &mut entries)?;
+            }
+            current = Some(AllowEntry {
+                code: String::new(),
+                path: String::new(),
+                pattern: None,
+                reason: String::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {lineno}: unsupported table `{line}` (only [[allow]] entries)"
+            ));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = \"value\"`"));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "line {lineno}: `{}` outside any [[allow]] entry",
+                key.trim()
+            ));
+        };
+        let value = parse_string(value.trim())
+            .ok_or_else(|| format!("line {lineno}: value must be a \"double-quoted string\""))?;
+        match key.trim() {
+            "code" => entry.code = value,
+            "path" => entry.path = value,
+            "pattern" => entry.pattern = Some(value),
+            "reason" => entry.reason = value,
+            other => return Err(format!("line {lineno}: unknown key `{other}`")),
+        }
+    }
+    if let Some(e) = current.take() {
+        finish(e, &mut entries)?;
+    }
+    Ok(entries)
+}
+
+fn finish(e: AllowEntry, entries: &mut Vec<AllowEntry>) -> Result<(), String> {
+    if e.code.is_empty() {
+        return Err(format!("line {}: [[allow]] entry missing `code`", e.line));
+    }
+    if e.path.is_empty() {
+        return Err(format!("line {}: [[allow]] entry missing `path`", e.line));
+    }
+    if e.reason.trim().is_empty() {
+        return Err(format!(
+            "line {}: [[allow]] entry for {} missing `reason` — every suppression must be justified",
+            e.line, e.code
+        ));
+    }
+    entries.push(e);
+    Ok(())
+}
+
+/// Strip a `#` comment, honouring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Parse a TOML basic string (`"…"` with `\"`/`\\` escapes).
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None;
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Split findings into (unsuppressed, per-entry hit counts). An entry
+/// with zero hits is stale.
+pub fn apply_allowlist(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, Vec<(&AllowEntry, usize)>) {
+    let mut hits = vec![0usize; entries.len()];
+    let mut kept = Vec::new();
+    'next: for f in findings {
+        for (i, e) in entries.iter().enumerate() {
+            if e.matches(&f) {
+                hits[i] += 1;
+                continue 'next;
+            }
+        }
+        kept.push(f);
+    }
+    let counts = entries.iter().zip(hits).collect();
+    (kept, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::lint_file;
+
+    const SAMPLE: &str = r#"
+# Determinism allowlist.
+[[allow]]
+code = "D0201"
+path = "crates/x/src/a.rs"
+pattern = "Instant::now"
+reason = "bench timing only; never feeds a digest"
+
+[[allow]]
+code = "D0301"
+path = "crates/y/src/b.rs"
+reason = "seeded at the CLI boundary"
+"#;
+
+    #[test]
+    fn parses_entries_with_all_keys() {
+        let entries = parse_allowlist(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].code, "D0201");
+        assert_eq!(entries[0].pattern.as_deref(), Some("Instant::now"));
+        assert_eq!(entries[1].pattern, None);
+        assert_eq!(entries[1].line, 9);
+    }
+
+    #[test]
+    fn missing_reason_is_a_parse_error() {
+        let text = "[[allow]]\ncode = \"D0201\"\npath = \"a.rs\"\n";
+        let err = parse_allowlist(text).unwrap_err();
+        assert!(err.contains("missing `reason`"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_quoted_hashes() {
+        let text = "[[allow]]\ncode = \"D0201\" # why not\npath = \"a#b.rs\"\nreason = \"ok\"\n";
+        let entries = parse_allowlist(text).unwrap();
+        assert_eq!(entries[0].path, "a#b.rs");
+    }
+
+    #[test]
+    fn suppression_and_stale_detection() {
+        let src = "fn f() { let _ = Instant::now(); }";
+        let findings = lint_file("crates/x/src/a.rs", src);
+        assert_eq!(findings.len(), 1);
+        let entries = parse_allowlist(SAMPLE).unwrap();
+        let (kept, counts) = apply_allowlist(findings, &entries);
+        assert!(kept.is_empty(), "entry 0 suppresses the finding");
+        assert_eq!(counts[0].1, 1);
+        // Entry 1 matched nothing: stale.
+        assert_eq!(counts[1].1, 0);
+    }
+
+    #[test]
+    fn pattern_narrows_the_match() {
+        let entries = parse_allowlist(
+            "[[allow]]\ncode = \"D0201\"\npath = \"a.rs\"\npattern = \"no such text\"\nreason = \"r\"\n",
+        )
+        .unwrap();
+        let findings = lint_file("crates/x/src/a.rs", "fn f() { let _ = Instant::now(); }");
+        let (kept, counts) = apply_allowlist(findings, &entries);
+        assert_eq!(kept.len(), 1, "pattern mismatch keeps the finding");
+        assert_eq!(counts[0].1, 0);
+    }
+}

@@ -1,0 +1,173 @@
+#![forbid(unsafe_code)]
+//! `cosmos-detlint` CLI: the workspace determinism lint.
+//!
+//! ```text
+//! cosmos-detlint [ROOT] [--allowlist FILE] [--check-allowlist] [--json]
+//! ```
+//!
+//! Walks every `crates/*/src` and `crates/*/benches` Rust file under
+//! ROOT (default: the current directory), runs the `D`-code determinism
+//! lints (see `cosmos_det::lints`), and subtracts the justified
+//! suppressions in `det-allowlist.toml` (default: `ROOT/det-allowlist.toml`,
+//! used only if present). `--check-allowlist` additionally fails the
+//! run when any allowlist entry suppressed nothing — a stale
+//! suppression is reported as `D0002` so fixed sites cannot leave
+//! silent holes behind. `--json` emits one JSON array in the
+//! `JsonDiagnostic` shape shared with `cosmos-lint`/`cosmos-verify`/
+//! `cosmos-bound`, wrapped with `file`/`line` context. Exit status: 0
+//! clean, 1 unsuppressed errors (or stale entries under
+//! `--check-allowlist`), 2 usage/IO problems.
+
+use cosmos_det::allowlist::{apply_allowlist, parse_allowlist};
+use cosmos_det::lint_workspace;
+use cosmos_lint::{codes, Diagnostic, JsonDiagnostic};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut check_allowlist = false;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist_path = Some(PathBuf::from(p)),
+                None => return usage("--allowlist needs a file argument"),
+            },
+            "--check-allowlist" => check_allowlist = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag '{other}'"));
+            }
+            path if root.is_none() => root = Some(PathBuf::from(path)),
+            _ => return usage("at most one ROOT directory"),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "cosmos-detlint: {} has no crates/ directory (pass the workspace root)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("det-allowlist.toml"));
+    let entries = if allowlist_path.is_file() {
+        let text = match std::fs::read_to_string(&allowlist_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cosmos-detlint: {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match parse_allowlist(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("cosmos-detlint: {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cosmos-detlint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let total = findings.len();
+    let (kept, counts) = apply_allowlist(findings, &entries);
+    let suppressed = total - kept.len();
+
+    // Stale entries become findings of their own, so they flow through
+    // the same rendering/JSON paths as everything else.
+    let mut all = kept;
+    let mut stale = 0usize;
+    if check_allowlist {
+        for (entry, hits) in &counts {
+            if *hits == 0 {
+                stale += 1;
+                all.push(cosmos_det::lints::Finding {
+                    diag: Diagnostic::error(
+                        codes::DET_STALE_ALLOW,
+                        format!(
+                            "stale allowlist entry (line {}): {} at {}{} suppressed nothing — \
+                             delete it or fix its path/pattern",
+                            entry.line,
+                            entry.code,
+                            entry.path,
+                            entry
+                                .pattern
+                                .as_deref()
+                                .map(|p| format!(" matching {p:?}"))
+                                .unwrap_or_default(),
+                        ),
+                        None,
+                    ),
+                    path: allowlist_path.to_string_lossy().into_owned(),
+                    line: entry.line,
+                    line_text: String::new(),
+                });
+            }
+        }
+    }
+
+    if json {
+        let out: Vec<serde_json::Value> = all
+            .iter()
+            .map(|f| {
+                serde_json::json!({
+                    "file": f.path,
+                    "line": f.line,
+                    "diagnostic": JsonDiagnostic::from(&f.diag),
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string(&out).expect("findings always serialize")
+        );
+    } else {
+        for f in &all {
+            println!("{}:{}: {}", f.path, f.line, f.diag.headline());
+            if !f.line_text.is_empty() {
+                println!("   | {}", f.line_text.trim_end());
+            }
+        }
+        println!(
+            "cosmos-detlint: {} finding{}, {suppressed} suppressed, {} allowlist entr{}{}",
+            all.len(),
+            if all.len() == 1 { "" } else { "s" },
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" },
+            if check_allowlist {
+                format!(" ({stale} stale)")
+            } else {
+                String::new()
+            },
+        );
+    }
+
+    if all.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+const USAGE: &str = "usage: cosmos-detlint [ROOT] [--allowlist FILE] [--check-allowlist] [--json]";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cosmos-detlint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,458 @@
+//! A lexer-lite scanner for Rust source.
+//!
+//! `cosmos-detlint` needs just enough of Rust's lexical structure to
+//! walk token streams without being fooled by comments, strings, char
+//! literals, or lifetimes — the same hand-rolled, dependency-free style
+//! as the CQL lexer (`cosmos_cql::lexer`). It is deliberately *not* a
+//! parser: the determinism lints match small token patterns (`name .
+//! iter (`, `Instant :: now`, `x += …`) plus a brace-matched notion of
+//! `#[cfg(test)]` regions, which is all the D-code heuristics require.
+//! The scanner never fails — unknown bytes become punctuation tokens and
+//! unterminated literals run to end of file — so the lint can always
+//! report on a file it could read.
+
+/// What a token is, as far as the determinism lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (never inspected, only skipped).
+    Num,
+    /// String, raw-string, byte-string, or char literal.
+    Lit,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation. `::` and `+=`/`-=` are emitted as single tokens;
+    /// everything else is one byte.
+    Punct,
+}
+
+/// One token: kind plus byte span into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenize Rust source. Comments and whitespace are dropped; every
+/// remaining lexeme becomes exactly one [`Tok`].
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(src.len() / 6);
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                // Nested block comments, as Rust defines them.
+                let mut depth = 1usize;
+                pos += 2;
+                while pos < bytes.len() && depth > 0 {
+                    if bytes[pos] == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+                        depth += 1;
+                        pos += 2;
+                    } else if bytes[pos] == b'*' && bytes.get(pos + 1) == Some(&b'/') {
+                        depth -= 1;
+                        pos += 2;
+                    } else {
+                        pos += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start = pos;
+                pos = skip_string(bytes, pos + 1);
+                out.push(Tok {
+                    kind: TokKind::Lit,
+                    start,
+                    end: pos,
+                });
+            }
+            b'r' | b'b' if raw_string_hashes(bytes, pos).is_some() => {
+                let start = pos;
+                let (body, hashes) = raw_string_hashes(bytes, pos).expect("checked");
+                pos = skip_raw_string(bytes, body, hashes);
+                out.push(Tok {
+                    kind: TokKind::Lit,
+                    start,
+                    end: pos,
+                });
+            }
+            b'b' if bytes.get(pos + 1) == Some(&b'"') => {
+                let start = pos;
+                pos = skip_string(bytes, pos + 2);
+                out.push(Tok {
+                    kind: TokKind::Lit,
+                    start,
+                    end: pos,
+                });
+            }
+            b'\'' => {
+                let start = pos;
+                let (kind, end) = char_or_lifetime(src, pos);
+                pos = end;
+                out.push(Tok { kind, start, end });
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                pos += 1;
+                // Digits, underscores, radix/exponent letters, and a
+                // fractional point when followed by a digit (so `0..10`
+                // stays three tokens).
+                while pos < bytes.len() {
+                    let c = bytes[pos];
+                    let fraction = c == b'.' && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit);
+                    if c.is_ascii_alphanumeric() || c == b'_' || fraction {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Num,
+                    start,
+                    end: pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let start = pos;
+                while pos < bytes.len() && {
+                    let c = bytes[pos];
+                    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+                } {
+                    pos += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    start,
+                    end: pos,
+                });
+            }
+            b':' if bytes.get(pos + 1) == Some(&b':') => {
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    start: pos,
+                    end: pos + 2,
+                });
+                pos += 2;
+            }
+            b'+' | b'-' if bytes.get(pos + 1) == Some(&b'=') => {
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    start: pos,
+                    end: pos + 2,
+                });
+                pos += 2;
+            }
+            _ => {
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    start: pos,
+                    end: pos + 1,
+                });
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip past a `"`-delimited string body starting *after* the opening
+/// quote; returns the position after the closing quote (or EOF).
+fn skip_string(bytes: &[u8], mut pos: usize) -> usize {
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            b'"' => return pos + 1,
+            _ => pos += 1,
+        }
+    }
+    pos.min(bytes.len())
+}
+
+/// If `pos` starts a raw (byte) string — `r"`, `r#`, `br"`, `br#` —
+/// return (position of the opening `"`, number of `#`s).
+fn raw_string_hashes(bytes: &[u8], pos: usize) -> Option<(usize, usize)> {
+    let mut p = pos;
+    if bytes[p] == b'b' {
+        p += 1;
+    }
+    if bytes.get(p) != Some(&b'r') {
+        return None;
+    }
+    p += 1;
+    let mut hashes = 0usize;
+    while bytes.get(p) == Some(&b'#') {
+        hashes += 1;
+        p += 1;
+    }
+    if bytes.get(p) == Some(&b'"') {
+        Some((p + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Skip a raw-string body starting after the opening quote; returns the
+/// position after the closing `"###…` run (or EOF).
+fn skip_raw_string(bytes: &[u8], mut pos: usize, hashes: usize) -> usize {
+    while pos < bytes.len() {
+        if bytes[pos] == b'"' {
+            let mut h = 0usize;
+            while h < hashes && bytes.get(pos + 1 + h) == Some(&b'#') {
+                h += 1;
+            }
+            if h == hashes {
+                return pos + 1 + hashes;
+            }
+        }
+        pos += 1;
+    }
+    pos
+}
+
+/// Disambiguate `'a` (lifetime) from `'x'` / `'\n'` (char literal) at a
+/// `'` byte. Returns the token kind and end position.
+fn char_or_lifetime(src: &str, pos: usize) -> (TokKind, usize) {
+    let bytes = src.as_bytes();
+    let next = bytes.get(pos + 1).copied();
+    // `'\…'` is always a char literal.
+    if next == Some(b'\\') {
+        let mut p = pos + 2;
+        // Escape body runs to the closing quote (covers \n, \x7f, \u{…}).
+        while p < bytes.len() && bytes[p] != b'\'' {
+            p += 1;
+        }
+        return (TokKind::Lit, (p + 1).min(bytes.len()));
+    }
+    // A lifetime is `'` + ident run NOT followed by a closing `'`.
+    if next.is_some_and(|c| c.is_ascii_alphabetic() || c == b'_') {
+        let mut p = pos + 1;
+        while p < bytes.len() && {
+            let c = bytes[p];
+            c.is_ascii_alphanumeric() || c == b'_'
+        } {
+            p += 1;
+        }
+        if bytes.get(p) != Some(&b'\'') {
+            return (TokKind::Lifetime, p);
+        }
+        return (TokKind::Lit, p + 1);
+    }
+    // `'∀'` and other multibyte char literals: step one char, expect `'`.
+    let mut iter = src[pos + 1..].char_indices();
+    if let Some((_, c)) = iter.next() {
+        let after = pos + 1 + c.len_utf8();
+        if bytes.get(after) == Some(&b'\'') {
+            return (TokKind::Lit, after + 1);
+        }
+    }
+    (TokKind::Punct, pos + 1)
+}
+
+/// Byte ranges of `#[cfg(test)] mod … { … }` bodies and `#[test] fn`
+/// bodies: the lints skip findings inside them, because the determinism
+/// contract binds production code (tests are free to spawn threads and
+/// build hand-rolled interleavings — the router's own concurrency tests
+/// do exactly that).
+pub fn test_regions(src: &str, toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text(src) == "#" && i + 1 < toks.len() && toks[i + 1].text(src) == "[" {
+            if let Some((is_test_cfg, after_attr)) = parse_attr(src, toks, i + 1) {
+                if is_test_cfg {
+                    if let Some(end) = skip_item_body(src, toks, after_attr) {
+                        out.push((toks[i].start, end));
+                        // Findings inside are span-filtered; keep
+                        // scanning *after* the region.
+                        while i < toks.len() && toks[i].start < end {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                }
+                i = after_attr;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse an attribute starting at its `[` token. Returns whether it is a
+/// test gate (`cfg(test)` at any nesting depth, or bare `test`) and the
+/// token index just past the closing `]`.
+fn parse_attr(src: &str, toks: &[Tok], lbracket: usize) -> Option<(bool, usize)> {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut bare_test = false;
+    let mut j = lbracket;
+    while j < toks.len() {
+        match toks[j].text(src) {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(((saw_cfg && saw_test) || bare_test, j + 1));
+                }
+            }
+            "cfg" => saw_cfg = true,
+            "test" => {
+                saw_test = true;
+                // `#[test]` exactly: the only token between brackets.
+                if depth == 1 && j == lbracket + 1 && toks.get(j + 1)?.text(src) == "]" {
+                    bare_test = true;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// From the token just past a test attribute, skip any further
+/// attributes and doc comments, and if the item is a `mod`/`fn` with a
+/// braced body, return the byte offset just past its closing `}`.
+fn skip_item_body(src: &str, toks: &[Tok], mut i: usize) -> Option<usize> {
+    // Further attributes (e.g. `#[cfg(test)] #[allow(…)] mod t {…}`).
+    while i + 1 < toks.len() && toks[i].text(src) == "#" && toks[i + 1].text(src) == "[" {
+        let (_, after) = parse_attr(src, toks, i + 1)?;
+        i = after;
+    }
+    match toks.get(i)?.text(src) {
+        "mod" | "fn" | "pub" => {}
+        // `#[cfg(test)] use …;` and friends gate no body.
+        _ => return None,
+    }
+    // Walk to the opening brace of the item (skipping the signature; a
+    // semicolon first means a bodyless declaration).
+    let mut j = i;
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match toks[j].text(src) {
+            "{" if depth == 0 => {
+                // Brace-match the body.
+                let mut d = 1usize;
+                let mut k = j + 1;
+                while k < toks.len() && d > 0 {
+                    match toks[k].text(src) {
+                        "{" => d += 1,
+                        "}" => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return Some(toks.get(k - 1).map_or(src.len(), |t| t.end));
+            }
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<&str> {
+        tokenize(src).iter().map(|t| t.text(src)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = concat!(
+            "// HashMap in a comment\n",
+            "/* Instant::now() /* nested */ still comment */\n",
+            "let s = \"thread_rng()\"; let r = r#\"spawn\"#; let c = '\"';\n",
+        );
+        let toks = texts(src);
+        assert!(!toks.contains(&"HashMap"));
+        assert!(!toks.contains(&"Instant"));
+        assert!(!toks.contains(&"thread_rng"));
+        assert!(!toks.contains(&"spawn"));
+        assert!(toks.contains(&"let"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }";
+        let toks = tokenize(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 3);
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lits, 1, "'x' is the one char literal");
+    }
+
+    #[test]
+    fn compound_tokens_are_single() {
+        let src = "a += b; c::d; e -= 1;";
+        let toks = texts(src);
+        assert!(toks.contains(&"+="));
+        assert!(toks.contains(&"::"));
+        assert!(toks.contains(&"-="));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 0..10 { let x = 1.5e3; let y = 0xff_u8; }";
+        let toks = texts(src);
+        assert!(toks.contains(&"0"));
+        assert!(toks.contains(&"10"));
+        assert!(toks.contains(&"1.5e3"));
+        assert!(toks.contains(&"0xff_u8"));
+    }
+
+    #[test]
+    fn cfg_test_mod_bodies_are_regions() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { spawn(); }\n}\nfn after() {}";
+        let toks = tokenize(src);
+        let regions = test_regions(src, &toks);
+        assert_eq!(regions.len(), 1);
+        let (s, e) = regions[0];
+        let spawn_at = src.find("spawn").unwrap();
+        assert!(s < spawn_at && spawn_at < e);
+        let after_at = src.find("fn after").unwrap();
+        assert!(after_at >= e);
+    }
+
+    #[test]
+    fn bare_test_fn_bodies_are_regions_and_cfg_test_use_is_not() {
+        let src = "#[cfg(test)]\nuse foo::bar;\n#[test]\nfn t() { thread_rng(); }\nfn live() {}";
+        let toks = tokenize(src);
+        let regions = test_regions(src, &toks);
+        assert_eq!(regions.len(), 1);
+        let rng_at = src.find("thread_rng").unwrap();
+        assert!(regions[0].0 < rng_at && rng_at < regions[0].1);
+        let live_at = src.find("fn live").unwrap();
+        assert!(live_at >= regions[0].1);
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_gate() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod m { fn f() { spawn(); } }";
+        let toks = tokenize(src);
+        assert_eq!(test_regions(src, &toks).len(), 1);
+    }
+}

@@ -16,8 +16,7 @@ use crate::snapshot::{
 use crate::window::RateWindow;
 use cosmos_query::{StatsCatalog, StreamStats};
 use cosmos_types::{NodeId, QueryId, Schema, StreamName, TimeDelta, Timestamp, Tuple};
-use rustc_hash::FxHashMap;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Knobs for the metrics layer.
 #[derive(Debug, Clone)]
@@ -78,14 +77,17 @@ struct QueryObservation {
 pub struct MetricsHub {
     cfg: MetricsConfig,
     now_ms: i64,
-    links: FxHashMap<(NodeId, NodeId), RateWindow>,
-    node_tx: FxHashMap<NodeId, RateWindow>,
-    node_rx: FxHashMap<NodeId, RateWindow>,
+    // Every map below is iterated while assembling `MetricsSnapshot`,
+    // so they are BTreeMaps (D0101): key order is the emission order,
+    // making the snapshot deterministic with no sort-before-emit step.
+    links: BTreeMap<(NodeId, NodeId), RateWindow>,
+    node_tx: BTreeMap<NodeId, RateWindow>,
+    node_rx: BTreeMap<NodeId, RateWindow>,
     /// Bytes consumed *at* a node: user deliveries plus SPE intake.
     /// This is the measured analogue of the optimizer's per-node demand.
-    consumed: FxHashMap<NodeId, RateWindow>,
-    streams: FxHashMap<StreamName, StreamObservation>,
-    queries: FxHashMap<QueryId, QueryObservation>,
+    consumed: BTreeMap<NodeId, RateWindow>,
+    streams: BTreeMap<StreamName, StreamObservation>,
+    queries: BTreeMap<QueryId, QueryObservation>,
     /// Watermark punctuation datagrams disseminated (disorder mode).
     punctuations: u64,
     /// Link bytes spent on punctuations (also counted by `on_link`).
@@ -98,12 +100,12 @@ impl MetricsHub {
         MetricsHub {
             cfg,
             now_ms: 0,
-            links: FxHashMap::default(),
-            node_tx: FxHashMap::default(),
-            node_rx: FxHashMap::default(),
-            consumed: FxHashMap::default(),
-            streams: FxHashMap::default(),
-            queries: FxHashMap::default(),
+            links: BTreeMap::new(),
+            node_tx: BTreeMap::new(),
+            node_rx: BTreeMap::new(),
+            consumed: BTreeMap::new(),
+            streams: BTreeMap::new(),
+            queries: BTreeMap::new(),
             punctuations: 0,
             punctuation_bytes: 0,
         }
@@ -312,7 +314,7 @@ impl MetricsHub {
     /// are aggregated by the caller (the driver owns the routers).
     pub fn snapshot(&self, router: RouterTotals) -> MetricsSnapshot {
         let now = self.now_ms;
-        let mut links: Vec<LinkMetrics> = self
+        let links: Vec<LinkMetrics> = self
             .links
             .iter()
             .map(|(&(a, b), w)| LinkMetrics {
@@ -324,7 +326,6 @@ impl MetricsHub {
                 byte_rate: w.byte_rate(now),
             })
             .collect();
-        links.sort_by_key(|l| (l.a, l.b));
 
         let mut node_ids: BTreeSet<NodeId> = BTreeSet::new();
         node_ids.extend(self.node_tx.keys());
@@ -352,7 +353,7 @@ impl MetricsHub {
             })
             .collect();
 
-        let mut streams: Vec<StreamMetrics> = self
+        let streams: Vec<StreamMetrics> = self
             .streams
             .iter()
             .map(|(name, obs)| {
@@ -379,9 +380,8 @@ impl MetricsHub {
                 }
             })
             .collect();
-        streams.sort_by(|x, y| x.stream.cmp(&y.stream));
 
-        let mut queries: Vec<QueryMetrics> = self
+        let queries: Vec<QueryMetrics> = self
             .queries
             .iter()
             .map(|(&qid, obs)| {
@@ -400,7 +400,6 @@ impl MetricsHub {
                 }
             })
             .collect();
-        queries.sort_by_key(|q| q.query);
 
         MetricsSnapshot {
             version: METRICS_VERSION,

@@ -18,8 +18,8 @@
 use crate::analyze::{AnalyzedQuery, OutputColumn, QAttr};
 use cosmos_cql::AggFunc;
 use cosmos_types::{
-    AttrType, CosmosError, FxHashMap, FxHashSet, Result, Schema, StreamName, TimeDelta, Timestamp,
-    Tuple, Value,
+    AttrType, CosmosError, FxHashMap, FxHashSet, NeumaierSum, Result, Schema, StreamName,
+    TimeDelta, Timestamp, Tuple, Value,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -823,46 +823,32 @@ struct AggregateState {
 
 /// One incremental accumulator supporting insert and remove.
 ///
-/// The running SUM/AVG uses Kahan–Neumaier compensated summation:
-/// window evictions subtract, so a plain f64 accumulator drifts from a
-/// from-scratch recomputation by growing rounding residue (the testkit
-/// sweep caught this as seeds whose AVG disagreed in the last ulps).
-/// Carrying the compensation term keeps every readout within an ulp or
-/// two of the exact sum of the window's current contents.
+/// The running SUM/AVG uses Kahan–Neumaier compensated summation
+/// ([`NeumaierSum`]): window evictions subtract, so a plain f64
+/// accumulator drifts from a from-scratch recomputation by growing
+/// rounding residue (the testkit sweep caught this as seeds whose AVG
+/// disagreed in the last ulps). Carrying the compensation term keeps
+/// every readout within an ulp or two of the exact sum of the window's
+/// current contents.
 #[derive(Debug, Clone, Default)]
 struct Accumulator {
     count: i64,
-    sum: f64,
-    /// Kahan–Neumaier compensation: accumulated low-order bits lost by
-    /// `sum` updates; the exposed sum is `sum + comp`.
-    comp: f64,
+    sum: NeumaierSum,
     /// Multiset of values for MIN/MAX under sliding windows.
     values: BTreeMap<Value, usize>,
 }
 
 impl Accumulator {
-    /// Compensated `sum += x` (Neumaier's variant, correct whichever of
-    /// the addends is larger).
-    fn add(&mut self, x: f64) {
-        let t = self.sum + x;
-        if self.sum.abs() >= x.abs() {
-            self.comp += (self.sum - t) + x;
-        } else {
-            self.comp += (x - t) + self.sum;
-        }
-        self.sum = t;
-    }
-
     /// The compensated running sum.
     fn total(&self) -> f64 {
-        self.sum + self.comp
+        self.sum.total()
     }
 
     fn insert(&mut self, v: Option<&Value>) {
         self.count += 1;
         if let Some(v) = v {
             if let Some(x) = v.as_f64() {
-                self.add(x);
+                self.sum.add(x);
             }
             *self.values.entry(v.clone()).or_insert(0) += 1;
         }
@@ -872,7 +858,7 @@ impl Accumulator {
         self.count -= 1;
         if let Some(v) = v {
             if let Some(x) = v.as_f64() {
-                self.add(-x);
+                self.sum.add(-x);
             }
             if let Some(c) = self.values.get_mut(v) {
                 *c -= 1;

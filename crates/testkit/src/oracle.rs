@@ -172,6 +172,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         metrics_conservation_failure(&merged, "merged")?;
     }
     bound_soundness_failure(&merged, "merged")?;
+    runtime_determinism_failure(&merged, "merged")?;
 
     if opts.determinism {
         // The verifier and bound tracker only read state, so skipping
@@ -258,6 +259,7 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
         metrics_conservation_failure(&baseline, "baseline")?;
     }
     bound_soundness_failure(&baseline, "baseline")?;
+    runtime_determinism_failure(&baseline, "baseline")?;
     if opts.differential {
         differential(&baseline, "baseline")?;
     }
@@ -327,6 +329,27 @@ fn bound_soundness_failure(run: &RunOutcome, mode: &str) -> Result<(), Failure> 
         detail: format!(
             "after event #{ev_idx}: {detail}{}",
             match run.bound_violations.len() {
+                1 => String::new(),
+                n => format!(" (+{} more violations)", n - 1),
+            }
+        ),
+    })
+}
+
+/// Surface a run's runtime-determinism violations as an oracle failure
+/// — the dynamic twin of `cosmos-detlint`'s D0201/D0301: the metrics
+/// hub's virtual clock stayed within the tuple-timestamp ceiling and
+/// never regressed. Always on: the probe is O(1) per event.
+fn runtime_determinism_failure(run: &RunOutcome, mode: &str) -> Result<(), Failure> {
+    let Some((ev_idx, detail)) = run.runtime_violations.first() else {
+        return Ok(());
+    };
+    Err(Failure {
+        oracle: format!("runtime-determinism ({mode})"),
+        label: None,
+        detail: format!(
+            "after event #{ev_idx}: {detail}{}",
+            match run.runtime_violations.len() {
                 1 => String::new(),
                 n => format!(" (+{} more violations)", n - 1),
             }

@@ -155,6 +155,14 @@ pub struct RunOutcome {
     /// [`RunOptions::bound_checks`] is off). Excluded from `digest`
     /// (like `static_violations`).
     pub bound_violations: Vec<(usize, String)>,
+    /// Runtime-determinism violations, as `(event index, detail)` —
+    /// the dynamic twin of `cosmos-detlint`'s D0201/D0301: the metrics
+    /// hub's virtual clock must be driven only by tuple timestamps, so
+    /// it may never run ahead of the largest published timestamp nor go
+    /// backward. A wall-clock or ambient-randomness leak into the
+    /// metrics path shows up here at the first event it perturbs.
+    /// Excluded from `digest` (like `static_violations`).
+    pub runtime_violations: Vec<(usize, String)>,
     /// The final measured-vs-bound comparison, entry per subject —
     /// the `cosmos-sim bounds` report.
     pub bound_report: Vec<crate::bound::BoundReportEntry>,
@@ -227,6 +235,12 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
     let mut first_violation_snapshot: Option<String> = None;
     let mut metrics_violations: Vec<(usize, String)> = Vec::new();
     let mut bound_violations: Vec<(usize, String)> = Vec::new();
+    let mut runtime_violations: Vec<(usize, String)> = Vec::new();
+    // Runtime-determinism probe state: the largest timestamp among
+    // accepted publishes (the only legitimate clock source) and the
+    // hub's reading at the previous event boundary.
+    let mut max_published_ms: i64 = 0;
+    let mut last_now_ms: i64 = 0;
     let mut tracker = opts
         .bound_checks
         .then(|| crate::bound::BoundTracker::new(nodes));
@@ -296,6 +310,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                                 if let Some(tr) = tracker.as_mut() {
                                     run.iter().for_each(|t| tr.on_publish(t));
                                 }
+                                for t in run {
+                                    max_published_ms = max_published_ms.max(t.timestamp.millis());
+                                }
                                 published.extend(run.iter().cloned());
                             }
                             Err(_) => skipped_publishes += run.len(),
@@ -308,6 +325,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                                 if let Some(tr) = tracker.as_mut() {
                                     tr.on_publish(t);
                                 }
+                                max_published_ms = max_published_ms.max(t.timestamp.millis());
                                 published.push(t.clone());
                             }
                             Err(_) => skipped_publishes += 1,
@@ -398,6 +416,30 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                 ));
             }
         }
+        // Runtime-determinism probe (the dynamic twin of detlint's
+        // D0201/D0301): the hub is clocked by tuple timestamps alone.
+        // Operator outputs are stamped with their completing arrival's
+        // timestamp τ, so every legitimate advance is bounded by the
+        // largest accepted publish; a wall clock leaking into the
+        // metrics path would push virtual time past that ceiling, and
+        // any regress would corrupt the rate windows.
+        let now_ms = hub.now_ms();
+        if now_ms > max_published_ms {
+            runtime_violations.push((
+                ev_idx,
+                format!(
+                    "virtual clock ran ahead of the data: hub at {now_ms} ms but the \
+                     largest published tuple timestamp is {max_published_ms} ms"
+                ),
+            ));
+        }
+        if now_ms < last_now_ms {
+            runtime_violations.push((
+                ev_idx,
+                format!("virtual clock went backward: {last_now_ms} ms -> {now_ms} ms"),
+            ));
+        }
+        last_now_ms = now_ms;
         // Bound-soundness oracle: every measured metric must stay under
         // the static bound instantiated with the trace observed so far.
         // Bounds are monotone in the envelope and the measurements are
@@ -457,6 +499,20 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                     "link byte conservation broken after closure: metrics {} vs accounted {}",
                     hub.link_bytes_total(),
                     sys.total_bytes()
+                ),
+            ));
+        }
+        // Closure drains staged tuples and disseminates +∞ watermark
+        // punctuations; punctuations carry no timestamp and drained
+        // tuples were already published, so the virtual-clock ceiling
+        // still holds here.
+        if hub.now_ms() > max_published_ms {
+            runtime_violations.push((
+                ev_idx,
+                format!(
+                    "virtual clock ran ahead of the data after closure: hub at {} ms but \
+                     the largest published tuple timestamp is {max_published_ms} ms",
+                    hub.now_ms()
                 ),
             ));
         }
@@ -548,6 +604,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         metrics_violations,
         metrics_json,
         bound_violations,
+        runtime_violations,
         bound_report,
         digest,
         disorder_totals,

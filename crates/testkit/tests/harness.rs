@@ -157,6 +157,30 @@ fn shrinker_minimizes_failing_scenarios() {
     );
 }
 
+/// Runtime-determinism probe — the dynamic twin of `cosmos-detlint`'s
+/// D0201/D0301 lints: a full scenario run never pushes the metrics
+/// hub's virtual clock past the largest published tuple timestamp, and
+/// the clock never regresses. A wall-clock or ambient-randomness leak
+/// into the metrics path would trip this at runtime even if the lint's
+/// static heuristics (or an allowlist entry) missed the site.
+#[test]
+fn full_run_makes_zero_runtime_determinism_violations() {
+    let _g = lock();
+    for seed in [1u64, 3, 6, 7] {
+        let run = run_scenario(&gen::generate(seed), &RunOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            run.runtime_violations.is_empty(),
+            "seed {seed}: {:?}",
+            run.runtime_violations
+        );
+        assert!(
+            !run.published.is_empty(),
+            "seed {seed}: no publishes — the probe never saw a clock advance"
+        );
+    }
+}
+
 /// Failure files replay: JSON round-trips losslessly and version
 /// mismatches are rejected instead of silently misinterpreted.
 #[test]

@@ -19,6 +19,7 @@
 
 mod error;
 mod ids;
+mod num;
 mod punctuation;
 mod schema;
 mod time;
@@ -27,6 +28,7 @@ mod value;
 
 pub use error::{CosmosError, Result};
 pub use ids::{GroupId, LinkId, NodeId, ProfileId, QueryId, SubscriberId};
+pub use num::NeumaierSum;
 pub use punctuation::Punctuation;
 pub use schema::{AttrType, Field, Schema, SchemaId};
 pub use time::{TimeDelta, Timestamp};
