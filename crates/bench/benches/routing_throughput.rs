@@ -412,7 +412,7 @@ fn write_json(
         "  \"metrics_overhead_pct\": {metrics_overhead_pct:.2},\n"
     ));
     s.push_str("  \"scaling\": {\n");
-    s.push_str(&format!("    \"available_cores\": {available},\n"));
+    s.push_str(&format!("    \"hardware_threads\": {available},\n"));
     s.push_str(&format!(
         "    \"min_scaling_gate\": {{\"required\": {}, \"status\": \"{gate_status}\"}},\n",
         cfg.min_scaling
@@ -490,6 +490,18 @@ fn main() {
     let mut gate_failed = false;
     let gate_status = match (cfg.min_scaling, four) {
         (None, _) => "not requested".to_string(),
+        (Some(_), _) if available < 2 => {
+            // A single hardware thread cannot exhibit parallel speedup
+            // at all — every multi-worker point measures scheduling
+            // overhead, not scaling. Distinct from the < 4 case so the
+            // JSON records *why* nothing was provable on this host.
+            let s = format!(
+                "skipped: {available} hardware thread(s) — parallel scaling is \
+                 unmeasurable on this host"
+            );
+            println!("min-scaling gate {s}");
+            s
+        }
         (Some(_), _) if available < 4 => {
             let s = format!("skipped: only {available} hardware threads available, need 4");
             println!("min-scaling gate {s}");

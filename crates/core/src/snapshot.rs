@@ -99,12 +99,32 @@ pub struct GroupSnapshot {
     pub members: Vec<MemberSnapshot>,
 }
 
+/// One query's overload-conservation ledger, as captured from the
+/// armed [`crate::overload::OverloadController`]. The verifier checks
+/// the identity `offered = delivered + shed + staged` (tuples and
+/// bytes) and that a query with ledger traffic still has its user
+/// subscription installed — shedding must never black-hole a retained
+/// query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadLedgerSnapshot {
+    pub query: QueryId,
+    pub offered_tuples: u64,
+    pub offered_bytes: u64,
+    pub delivered_tuples: u64,
+    pub delivered_bytes: u64,
+    pub shed_tuples: u64,
+    pub shed_bytes: u64,
+    pub staged_tuples: u64,
+    pub staged_bytes: u64,
+}
+
 /// The whole-network snapshot `cosmos-verify` analyzes.
 ///
 /// `Serialize`/`Deserialize` are written by hand (the vendored derive
-/// supports no field attributes): `closed_streams` is omitted from JSON
-/// when empty and defaults to empty when absent, so in-order snapshots
-/// keep their exact pre-disorder byte shape and old documents parse.
+/// supports no field attributes): `closed_streams` and `overload` are
+/// omitted from JSON when empty and default to empty when absent, so
+/// in-order/unbudgeted snapshots keep their exact earlier byte shape
+/// and old documents parse.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSnapshot {
     pub version: u32,
@@ -126,6 +146,9 @@ pub struct NetworkSnapshot {
     /// path invariants are not checkable for them. Sorted; empty for
     /// in-order deployments.
     pub closed_streams: Vec<StreamName>,
+    /// Per-query overload ledgers (query order); empty when no
+    /// overload controller is armed.
+    pub overload: Vec<OverloadLedgerSnapshot>,
 }
 
 impl Serialize for NetworkSnapshot {
@@ -142,6 +165,9 @@ impl Serialize for NetworkSnapshot {
         ];
         if !self.closed_streams.is_empty() {
             entries.push(("closed_streams", self.closed_streams.to_content()));
+        }
+        if !self.overload.is_empty() {
+            entries.push(("overload", self.overload.to_content()));
         }
         serde::Content::Map(
             entries
@@ -164,6 +190,10 @@ impl Deserialize for NetworkSnapshot {
             routers: Deserialize::from_content(serde::map_get(c, "routers")?)?,
             groups: Deserialize::from_content(serde::map_get(c, "groups")?)?,
             closed_streams: match serde::map_get(c, "closed_streams") {
+                Ok(v) => Deserialize::from_content(v)?,
+                Err(_) => Vec::new(),
+            },
+            overload: match serde::map_get(c, "overload") {
                 Ok(v) => Deserialize::from_content(v)?,
                 Err(_) => Vec::new(),
             },

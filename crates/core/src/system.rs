@@ -1,7 +1,8 @@
 //! The deployed COSMOS system: nodes, routing, query management, and the
 //! discrete-event driver.
 
-use crate::autotune::{AutotuneOptions, AutotuneReport};
+use crate::autotune::{AutotuneOptions, AutotunePass, AutotunePolicy, AutotuneReport};
+use crate::overload::{Action, OverloadConfig, OverloadController};
 use crate::parallel::{PreForward, RoutingPool};
 use cosmos_cbn::{BatchForward, Destination, Profile, RegistryMode, Router, SchemaRegistry};
 use cosmos_metrics::{relative_drift, MetricsConfig, MetricsHub, MetricsSnapshot, RouterTotals};
@@ -9,8 +10,8 @@ use cosmos_overlay::{generate, minimum_spanning_tree, Graph, TopologyKind, Tree}
 use cosmos_query::{retighten_profile, GroupManager, StatsCatalog, StreamStats};
 use cosmos_spe::{AnalyzedQuery, DisorderStats, Executor, LatePolicy, StateSize};
 use cosmos_types::{
-    CosmosError, FxHashMap, NeumaierSum, NodeId, Punctuation, QueryId, Result, Schema, StreamName,
-    SubscriberId, TimeDelta, Timestamp, Tuple,
+    CosmosError, FxHashMap, NeumaierSum, NodeId, Punctuation, QueryId, RateLimit, Result, Schema,
+    StreamName, SubscriberId, TimeDelta, Timestamp, Tuple,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,6 +90,23 @@ pub struct DisorderRuntime {
     pub bound: TimeDelta,
     /// What executors do with tuples behind their watermark frontier.
     pub policy: LatePolicy,
+}
+
+/// Book-keeping of an armed [`AutotunePolicy`]: when the last pass
+/// ran, how many consecutive rate windows exceeded the drift
+/// threshold, and the lifetime pass/rollback counters.
+#[derive(Debug)]
+struct AutotuneSched {
+    policy: AutotunePolicy,
+    /// Virtual time of the last scheduled pass.
+    last_run_ms: i64,
+    /// Last rate-window ordinal the drift trigger evaluated.
+    last_window: i64,
+    /// Consecutive windows with drift above the threshold so far.
+    over_windows: u32,
+    runs: u64,
+    rollbacks: u64,
+    last: Option<AutotuneReport>,
 }
 
 /// One result-stream production site: the representative executor
@@ -213,6 +231,12 @@ pub struct Cosmos {
     /// Shard-per-core routing workers (`None` = serial driver; see
     /// [`Cosmos::set_parallelism`]).
     parallel: Option<RoutingPool>,
+    /// Per-node overload controller (`None` = unbounded delivery; see
+    /// [`Cosmos::set_overload`]).
+    overload: Option<OverloadController>,
+    /// Armed self-tuning scheduler (`None` = manual
+    /// [`Cosmos::autotune`] calls only; see [`Cosmos::set_autotune`]).
+    autotune_sched: Option<AutotuneSched>,
 }
 
 impl Cosmos {
@@ -282,6 +306,8 @@ impl Cosmos {
             retired_disorder: DisorderStats::default(),
             closed_streams: BTreeSet::new(),
             parallel: None,
+            overload: None,
+            autotune_sched: None,
             graph,
         })
     }
@@ -983,6 +1009,7 @@ impl Cosmos {
                 self.drive(origin, t, &schema);
             }
             self.after_publish(tuples);
+            self.autotune_tick();
             return Ok(());
         }
         // Cascading-rep topologies keep all source routing on the main
@@ -996,6 +1023,7 @@ impl Cosmos {
             self.replay_routed(routed);
             self.parallel = Some(pool);
             self.after_publish(tuples);
+            self.autotune_tick();
             return Ok(());
         }
         let mut queue: VecDeque<Hop> = VecDeque::new();
@@ -1007,6 +1035,7 @@ impl Cosmos {
             self.process_forwards(hop.at, forwards, &mut queue);
         }
         self.after_publish(tuples);
+        self.autotune_tick();
         Ok(())
     }
 
@@ -1156,13 +1185,117 @@ impl Cosmos {
                 });
             }
         } else if let Some(&qid) = self.user_subs.get(&sub) {
-            self.metrics.on_delivery(qid, at, &tuples);
-            self.delivered
-                .get_mut(&qid)
-                .expect("delivery buffer")
-                .extend(tuples);
+            if self.overload.is_some() && self.metrics.enabled() {
+                self.overload_deliver(at, qid, tuples);
+            } else {
+                self.metrics.on_delivery(qid, at, &tuples);
+                self.delivered
+                    .get_mut(&qid)
+                    .expect("delivery buffer")
+                    .extend(tuples);
+            }
         }
         None
+    }
+
+    /// The overload-controlled user delivery path: consult the
+    /// controller with the node's measured in-window intake, then map
+    /// its verdict onto delivery-buffer and metrics effects. Budget
+    /// decisions read only virtual-time state, so a replay of the same
+    /// scenario reproduces identical shed decisions.
+    fn overload_deliver(&mut self, at: NodeId, qid: QueryId, tuples: Vec<Tuple>) {
+        let in_window = self.metrics.consumed_in_window(at);
+        let window_index = self.metrics.now_ms().div_euclid(self.metrics.window_ms());
+        let mut ctl = self.overload.take().expect("caller checked");
+        let action = ctl.admit(at, qid, tuples, in_window, window_index);
+        self.overload = Some(ctl);
+        match action {
+            Action::Deliver { tuples, .. } => {
+                self.metrics.on_delivery(qid, at, &tuples);
+                self.delivered
+                    .get_mut(&qid)
+                    .expect("delivery buffer")
+                    .extend(tuples);
+            }
+            Action::Stage { coalesced } => {
+                if coalesced {
+                    self.metrics.on_coalesce();
+                }
+            }
+            Action::Shed { tuples, bytes } => self.metrics.on_shed(tuples, bytes),
+            Action::Throttle {
+                tuples,
+                bytes,
+                limit,
+            } => {
+                self.metrics.on_shed(tuples, bytes);
+                if let Some(limit) = limit {
+                    self.send_rate_limit(at, limit);
+                }
+            }
+        }
+    }
+
+    /// Route one [`RateLimit`] datagram from the overloaded consumer
+    /// reverse along the throttled stream's dissemination tree to the
+    /// stream's origin, accounting every link crossing in bytes exactly
+    /// like a watermark punctuation. The notice is recorded at the
+    /// origin (advisory in this build — sources are simulation-driven).
+    fn send_rate_limit(&mut self, at: NodeId, limit: RateLimit) {
+        let datagram_bytes = limit.size_bytes();
+        let mut link_bytes = 0usize;
+        if let Some(origin) = self.registry.origin(&limit.stream) {
+            let path = self.tree_path(at, origin);
+            for w in path.windows(2) {
+                self.account_link(w[0], w[1], datagram_bytes);
+                self.metrics.on_link(w[0], w[1], 0, datagram_bytes);
+                link_bytes += datagram_bytes;
+            }
+        }
+        self.metrics.on_throttle(link_bytes);
+        if let Some(ctl) = self.overload.as_mut() {
+            ctl.record_received(limit);
+        }
+    }
+
+    /// The hop sequence between two nodes on the dissemination tree
+    /// rooted for `to` (per-source mode uses `to`'s tree when one
+    /// exists): up the parent chain from `from` to the lowest common
+    /// ancestor, then down to `to`.
+    fn tree_path(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let tree = if self.cfg.per_source_trees {
+            self.source_trees.get(&to).unwrap_or(&self.tree)
+        } else {
+            &self.tree
+        };
+        let ancestors = |mut n: NodeId| {
+            let mut v = vec![n];
+            while let Some(p) = tree.parent(n) {
+                v.push(p);
+                n = p;
+            }
+            v
+        };
+        let up = ancestors(from);
+        let down = ancestors(to);
+        let on_down: BTreeSet<NodeId> = down.iter().copied().collect();
+        let mut path = Vec::new();
+        let mut lca = *up.last().expect("chain includes the node itself");
+        for n in &up {
+            path.push(*n);
+            if on_down.contains(n) {
+                lca = *n;
+                break;
+            }
+        }
+        let pos = down
+            .iter()
+            .position(|n| *n == lca)
+            .expect("LCA lies on both chains");
+        for n in down[..pos].iter().rev() {
+            path.push(*n);
+        }
+        path
     }
 
     /// Switch the deployment into (or out of) out-of-order operation.
@@ -1359,8 +1492,13 @@ impl Cosmos {
     /// routing state — interest entries, filters, and the plan-cache
     /// lines they pinned — since no datagram of a closed stream can ever
     /// arrive again. Records the closed set for the network snapshot.
-    /// Idempotent; a no-op in in-order operation.
+    /// Also drains any batches the overload controller was coalescing.
+    /// Idempotent; apart from the overload drain, a no-op in in-order
+    /// operation.
     pub fn close_streams(&mut self) {
+        // Nothing more can arrive: release any coalesced batches the
+        // overload controller is still holding.
+        self.drain_overload_staged();
         if self.disorder.is_none() {
             return;
         }
@@ -1514,6 +1652,10 @@ impl Cosmos {
             replay_front(self, &mut pool, &mut awaiting);
         }
         self.parallel = Some(pool);
+        // One deferred tick for the whole run: inside the loop a pass
+        // could rebuild routes while later batches are still in flight
+        // against the workers' router snapshots.
+        self.autotune_tick();
         match error {
             Some(e) => Err(e),
             None => Ok(()),
@@ -1537,6 +1679,46 @@ impl Cosmos {
     /// Number of routing workers (1 = serial driver).
     pub fn parallelism(&self) -> usize {
         self.parallel.as_ref().map_or(1, RoutingPool::parallelism)
+    }
+
+    /// Arm (or disarm) the per-node overload controller. With a
+    /// configuration set, every user delivery is admission-checked
+    /// against the node's intake budget per metrics rate window and
+    /// over-budget batches are shed, coalesced, or throttled per the
+    /// per-query policy — ledger-accounted so that
+    /// `offered == delivered + shed + staged` holds tuple- and
+    /// byte-exact per query at any instant (cosmos-testkit checks the
+    /// identity after every event).
+    ///
+    /// Budgets are measured against the metrics hub's virtual-time
+    /// windows; the controller is inert while metrics recording is
+    /// disabled. Disarming (or replacing) a controller first drains its
+    /// pending coalesced batches into the delivery buffers.
+    pub fn set_overload(&mut self, cfg: Option<OverloadConfig>) {
+        self.drain_overload_staged();
+        self.overload = cfg.map(OverloadController::new);
+    }
+
+    /// The armed overload controller (ledgers, high-water marks,
+    /// received rate-limit notices), if any.
+    pub fn overload(&self) -> Option<&OverloadController> {
+        self.overload.as_ref()
+    }
+
+    /// Deliver every pending coalesced batch to its query's buffer
+    /// (stream closure, controller disarm). The ledger moves the mass
+    /// from `staged` to `delivered`, keeping the identity exact.
+    fn drain_overload_staged(&mut self) {
+        let Some(ctl) = self.overload.as_mut() else {
+            return;
+        };
+        for (qid, tuples) in ctl.drain_all() {
+            let node = self.query_user.get(&qid).copied();
+            if let (Some(node), Some(buf)) = (node, self.delivered.get_mut(&qid)) {
+                self.metrics.on_delivery(qid, node, &tuples);
+                buf.extend(tuples);
+            }
+        }
     }
 
     /// Enable or disable projection-plan caching (and fan-out sharing)
@@ -1726,12 +1908,33 @@ impl Cosmos {
     /// and dissemination-tree reorganization with *measured* per-node
     /// demand ([`Cosmos::optimize_tree_with_demand`]).
     ///
-    /// Below the threshold this is read-only and returns a report with
-    /// `triggered: false`.
+    /// Below the threshold this is read-only and returns a pass with
+    /// `triggered: false`. With metrics recording disabled the pass
+    /// returns [`AutotuneReport::MetricsDisabled`] immediately — every
+    /// measured rate would read zero, so computing the full group-cost
+    /// drift against it would be both wasted work and misleading.
     pub fn autotune(&mut self, opts: &AutotuneOptions) -> Result<AutotuneReport> {
+        // A direct call runs without a hysteresis band: the optimizer
+        // only reports strict improvements, so nothing rolls back.
+        self.autotune_gated(opts, 0.0)
+    }
+
+    /// [`Cosmos::autotune`] with a hysteresis band: a tree
+    /// re-organization whose fractional improvement does not *exceed*
+    /// `hysteresis` is rolled back (tree restored, routes rebuilt) and
+    /// reported with `tree_rolled_back: true`, so near-equal plans
+    /// cannot oscillate across scheduled passes.
+    fn autotune_gated(
+        &mut self,
+        opts: &AutotuneOptions,
+        hysteresis: f64,
+    ) -> Result<AutotuneReport> {
+        if !self.metrics.enabled() {
+            return Ok(AutotuneReport::MetricsDisabled);
+        }
         let (stream_drift, group_drift) = self.measured_drift();
         let drift = stream_drift.max(group_drift);
-        let mut report = AutotuneReport {
+        let mut pass = AutotunePass {
             stream_drift,
             group_drift,
             drift,
@@ -1740,16 +1943,115 @@ impl Cosmos {
             adopted_streams: 0,
             groups_improved: 0,
             tree: None,
+            tree_rolled_back: false,
         };
         if !drift.is_finite() || drift <= opts.drift_threshold {
-            return Ok(report);
+            return Ok(AutotuneReport::Measured(pass));
         }
-        report.triggered = true;
-        report.adopted_streams = self.adopt_measured_stats();
-        report.groups_improved = self.reoptimize_groups()?;
+        pass.triggered = true;
+        pass.adopted_streams = self.adopt_measured_stats();
+        pass.groups_improved = self.reoptimize_groups()?;
         let demand = self.measured_demand();
-        report.tree = Some(self.optimize_tree_with_demand(opts.optimizer, &demand));
-        Ok(report)
+        let saved = (hysteresis > 0.0).then(|| self.tree.clone());
+        let report = self.optimize_tree_with_demand(opts.optimizer, &demand);
+        if let Some(saved) = saved {
+            if report.moves > 0 && report.improvement() <= hysteresis {
+                self.tree = saved;
+                self.rebuild_routes();
+                pass.tree_rolled_back = true;
+            }
+        }
+        pass.tree = Some(report);
+        Ok(AutotuneReport::Measured(pass))
+    }
+
+    /// Arm (or disarm) the self-tuning scheduler. With a policy set,
+    /// the publish driver evaluates the policy's triggers after every
+    /// publish (in virtual time — wall clocks never participate) and
+    /// runs a hysteresis-gated autotune pass when one fires; see
+    /// [`AutotunePolicy`] for the trigger semantics. A pass that fails
+    /// (e.g. a regrouping error) is skipped, never propagated into the
+    /// publish path. Arming resets the scheduler's phase to "a pass
+    /// just ran now".
+    pub fn set_autotune(&mut self, policy: Option<AutotunePolicy>) {
+        self.autotune_sched = policy.map(|policy| AutotuneSched {
+            policy,
+            last_run_ms: self.metrics.now_ms(),
+            last_window: self.metrics.now_ms().div_euclid(self.metrics.window_ms()),
+            over_windows: 0,
+            runs: 0,
+            rollbacks: 0,
+            last: None,
+        });
+    }
+
+    /// The armed self-tuning policy, if any.
+    pub fn autotune_policy(&self) -> Option<AutotunePolicy> {
+        self.autotune_sched.as_ref().map(|s| s.policy)
+    }
+
+    /// Scheduled autotune passes run since the policy was armed.
+    pub fn autotune_runs(&self) -> u64 {
+        self.autotune_sched.as_ref().map_or(0, |s| s.runs)
+    }
+
+    /// Scheduled passes whose tree re-organization was rolled back by
+    /// the hysteresis band.
+    pub fn autotune_rollbacks(&self) -> u64 {
+        self.autotune_sched.as_ref().map_or(0, |s| s.rollbacks)
+    }
+
+    /// The report of the most recent scheduled pass, if any ran.
+    pub fn last_autotune(&self) -> Option<&AutotuneReport> {
+        self.autotune_sched.as_ref().and_then(|s| s.last.as_ref())
+    }
+
+    /// Evaluate the armed scheduling policy at the current virtual
+    /// time. Called by the publish driver after each publish completes
+    /// (never mid-replay: a tree rebuild would invalidate in-flight
+    /// worker router snapshots).
+    fn autotune_tick(&mut self) {
+        let Some(mut sched) = self.autotune_sched.take() else {
+            return;
+        };
+        if self.metrics.enabled() {
+            let now = self.metrics.now_ms();
+            let mut due = false;
+            let period = sched.policy.period_virtual.millis();
+            if period > 0 && now - sched.last_run_ms >= period {
+                due = true;
+            }
+            if sched.policy.trigger_after_k_windows > 0 {
+                let win = now.div_euclid(self.metrics.window_ms());
+                if win > sched.last_window {
+                    // Evaluate drift once per rate window, on entry.
+                    sched.last_window = win;
+                    let (sd, gd) = self.measured_drift();
+                    if sd.max(gd) > sched.policy.options.drift_threshold {
+                        sched.over_windows += 1;
+                    } else {
+                        sched.over_windows = 0;
+                    }
+                    if sched.over_windows >= sched.policy.trigger_after_k_windows {
+                        due = true;
+                    }
+                }
+            }
+            if due {
+                if let Ok(report) =
+                    self.autotune_gated(&sched.policy.options, sched.policy.hysteresis)
+                {
+                    sched.runs += 1;
+                    if report.pass().is_some_and(|p| p.tree_rolled_back) {
+                        sched.rollbacks += 1;
+                    }
+                    sched.last = Some(report);
+                }
+                sched.last_run_ms = now;
+                sched.over_windows = 0;
+            }
+        }
+        self.autotune_sched = Some(sched);
     }
 
     /// Grouping state of one processor (if it hosts any queries).
@@ -1958,6 +2260,27 @@ impl Cosmos {
         }
         groups.sort_by(|a, b| a.result_stream.cmp(&b.result_stream));
 
+        let overload = self
+            .overload
+            .as_ref()
+            .map(|ctl| {
+                ctl.ledgers()
+                    .iter()
+                    .map(|(qid, l)| OverloadLedgerSnapshot {
+                        query: *qid,
+                        offered_tuples: l.offered_tuples,
+                        offered_bytes: l.offered_bytes,
+                        delivered_tuples: l.delivered_tuples,
+                        delivered_bytes: l.delivered_bytes,
+                        shed_tuples: l.shed_tuples,
+                        shed_bytes: l.shed_bytes,
+                        staged_tuples: l.staged_tuples,
+                        staged_bytes: l.staged_bytes,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
         Ok(NetworkSnapshot {
             version: SNAPSHOT_VERSION,
             merging_enabled: self.cfg.merging_enabled,
@@ -1968,6 +2291,7 @@ impl Cosmos {
             routers,
             groups,
             closed_streams: self.closed_streams.iter().cloned().collect(),
+            overload,
         })
     }
 }

@@ -1,0 +1,236 @@
+//! Adaptive overload control, end to end: a consumer budgeted far
+//! below its inbound rate keeps its delivery buffer bounded, every
+//! dropped byte is ledger-accounted (offered = delivered + shed +
+//! staged, byte-exact), coalescing delivers everything eventually, and
+//! throttling notifies the origin along accounted tree links. All of
+//! it replays bit-for-bit.
+
+use cosmos::{Budget, Cosmos, CosmosConfig, MetricsConfig, OverloadConfig, OverloadPolicy};
+use cosmos_overlay::Graph;
+use cosmos_query::{AttrStats, StreamStats};
+use cosmos_types::{AttrType, NodeId, QueryId, Schema, TimeDelta, Timestamp, Tuple, Value};
+
+/// The 3-node chain 0 — 1 — 2: stream `S` at node 0, one consumer
+/// query at node 2, an 8 s metrics window.
+fn chain_system() -> (Cosmos, QueryId) {
+    let mut g = Graph::new(3);
+    g.set_position(NodeId(0), 0.0, 0.0);
+    g.set_position(NodeId(1), 0.3, 0.4);
+    g.set_position(NodeId(2), 0.6, 0.0);
+    g.add_edge_by_distance(NodeId(0), NodeId(1)).unwrap();
+    g.add_edge_by_distance(NodeId(1), NodeId(2)).unwrap();
+    let mut sys = Cosmos::with_graph(
+        CosmosConfig {
+            nodes: 3,
+            processor_fraction: 0.34,
+            ..CosmosConfig::default()
+        },
+        g,
+    )
+    .unwrap();
+    sys.set_metrics_config(MetricsConfig {
+        window: TimeDelta::from_secs(8),
+        ..MetricsConfig::default()
+    });
+    sys.register_stream(
+        "S",
+        Schema::of(&[("k", AttrType::Int), ("timestamp", AttrType::Int)]),
+        StreamStats::with_rate(10.0).attr("k", AttrStats::categorical(10.0)),
+        NodeId(0),
+    )
+    .unwrap();
+    let q = sys
+        .submit_query("SELECT k FROM S [Now]", NodeId(2))
+        .unwrap();
+    (sys, q)
+}
+
+/// 200 tuples at 10/s of virtual time (t = 0..20 s).
+fn feed(sys: &mut Cosmos) {
+    for i in 0..200i64 {
+        sys.publish(&Tuple::new(
+            "S",
+            Timestamp(i * 100),
+            vec![Value::Int(i % 7), Value::Int(i * 100)],
+        ))
+        .unwrap();
+    }
+}
+
+/// The consumer's inbound bytes per 8 s metrics window, measured on an
+/// unbudgeted probe run (the window is saturated well before the feed
+/// ends).
+fn inbound_window_bytes() -> u64 {
+    let (mut probe, _) = chain_system();
+    feed(&mut probe);
+    let (_tuples, bytes) = probe.metrics_hub().consumed_in_window(NodeId(2));
+    assert!(bytes > 0, "probe must observe deliveries");
+    bytes
+}
+
+#[test]
+fn budgeted_consumer_sheds_boundedly_with_exact_conservation() {
+    let budget = inbound_window_bytes() / 4; // 25% of the inbound rate
+    let (mut sys, q) = chain_system();
+    sys.set_overload(Some(OverloadConfig::uniform_bytes(budget)));
+    feed(&mut sys);
+    sys.close_streams();
+
+    let ctl = sys.overload().expect("armed");
+    let ledger = ctl.ledger(q);
+    assert!(ledger.conserved(), "identity broken: {ledger:?}");
+    assert!(ledger.shed_tuples > 0, "a 4x overload must shed");
+    assert!(ledger.delivered_tuples > 0, "under-budget windows deliver");
+    assert_eq!(ledger.staged_tuples, 0, "Shed policy never stages");
+    assert_eq!(ledger.offered_tuples, 200, "every tuple was offered");
+    assert_eq!(
+        ledger.delivered_tuples as usize,
+        sys.results(q).len(),
+        "ledger agrees with the delivery buffer"
+    );
+    // The bounded-buffer guarantee: no admitted delivery ever left the
+    // consumer's in-window intake above its budget.
+    let hw = ctl.high_water(NodeId(2));
+    assert!(hw > 0 && hw <= budget, "high water {hw} vs budget {budget}");
+    // Shed mass is visible in the metrics snapshot, never silent.
+    let snap = sys.metrics();
+    assert_eq!(snap.shed_tuples, ledger.shed_tuples);
+    assert_eq!(snap.shed_bytes, ledger.shed_bytes);
+}
+
+#[test]
+fn coalesce_holds_overflow_and_delivers_everything_in_order() {
+    let budget = inbound_window_bytes() / 4;
+    let (mut sys, q) = chain_system();
+    sys.set_overload(Some(OverloadConfig {
+        budget: Budget::Bytes(budget),
+        policy: OverloadPolicy::Coalesce,
+        ..OverloadConfig::default()
+    }));
+    feed(&mut sys);
+    let mid = sys.overload().expect("armed").ledger(q);
+    assert!(mid.conserved(), "identity holds mid-run: {mid:?}");
+    assert!(mid.staged_tuples > 0, "overflow is pending, not dropped");
+    assert_eq!(mid.shed_tuples, 0, "Coalesce never sheds");
+
+    // Closure drains the pending batch: everything reaches the user.
+    sys.close_streams();
+    let ledger = sys.overload().expect("armed").ledger(q);
+    assert!(ledger.conserved());
+    assert_eq!(ledger.staged_tuples, 0);
+    assert_eq!(ledger.delivered_tuples, 200);
+    assert_eq!(sys.results(q).len(), 200);
+    let ts: Vec<i64> = sys.results(q).iter().map(|t| t.timestamp.0).collect();
+    let mut sorted = ts.clone();
+    sorted.sort_unstable();
+    assert_eq!(ts, sorted, "coalesced delivery preserves arrival order");
+}
+
+#[test]
+fn throttle_notifies_the_origin_along_accounted_links() {
+    let budget = inbound_window_bytes() / 4;
+    let (mut sys, q) = chain_system();
+    sys.set_overload(Some(OverloadConfig {
+        budget: Budget::Bytes(budget),
+        policy: OverloadPolicy::Throttle,
+        ..OverloadConfig::default()
+    }));
+    feed(&mut sys);
+    sys.close_streams();
+
+    let ctl = sys.overload().expect("armed");
+    assert!(ctl.ledger(q).conserved());
+    assert!(ctl.ledger(q).shed_tuples > 0, "Throttle sheds like Shed");
+    let received = ctl.received();
+    assert!(!received.is_empty(), "the origin heard about the overload");
+    assert!(received.iter().all(|l| l.from == NodeId(2)));
+    assert!(received.iter().all(|l| l.budget_bytes == budget));
+    // At most one notice per (node, stream) per rate window: 20 s of
+    // feed crosses three 8 s windows.
+    assert!(received.len() <= 3, "{} notices", received.len());
+    let snap = sys.metrics();
+    assert_eq!(snap.throttles, received.len() as u64);
+    assert!(snap.throttle_bytes > 0, "notices crossed accounted links");
+    // Rate-limit link traffic is accounted exactly like data: the
+    // metrics ledger and the driver's byte ledger must still agree.
+    assert_eq!(snap.link_bytes_total(), sys.total_bytes());
+}
+
+#[test]
+fn shed_decisions_replay_bit_for_bit() {
+    let budget = inbound_window_bytes() / 4;
+    let run = || {
+        let (mut sys, q) = chain_system();
+        sys.set_overload(Some(OverloadConfig::uniform_bytes(budget)));
+        feed(&mut sys);
+        sys.close_streams();
+        let ledger = sys.overload().unwrap().ledger(q);
+        let results: Vec<Tuple> = sys.results(q).to_vec();
+        (ledger, results, sys.metrics().to_json().unwrap())
+    };
+    let (ledger_a, results_a, json_a) = run();
+    let (ledger_b, results_b, json_b) = run();
+    assert_eq!(ledger_a, ledger_b, "identical ledgers");
+    assert_eq!(results_a, results_b, "identical deliveries");
+    assert_eq!(json_a, json_b, "byte-identical metrics documents");
+}
+
+#[test]
+fn above_peak_budget_never_interferes() {
+    let (mut plain, q_plain) = chain_system();
+    feed(&mut plain);
+    plain.close_streams();
+
+    let (mut budgeted, q) = chain_system();
+    // Twice the observed peak: the controller must be a pure witness.
+    budgeted.set_overload(Some(OverloadConfig::uniform_bytes(
+        inbound_window_bytes() * 2,
+    )));
+    feed(&mut budgeted);
+    budgeted.close_streams();
+
+    assert_eq!(budgeted.results(q), plain.results(q_plain));
+    let ledger = budgeted.overload().unwrap().ledger(q);
+    assert!(ledger.conserved());
+    assert_eq!(ledger.shed_tuples, 0);
+    assert_eq!(ledger.staged_tuples, 0);
+    assert_eq!(ledger.delivered_tuples, 200);
+    // The metrics documents agree except for the (zero-valued, hence
+    // omitted) overload counters: byte-identical serialization.
+    assert_eq!(
+        budgeted.metrics().to_json().unwrap(),
+        plain.metrics().to_json().unwrap()
+    );
+    assert_eq!(budgeted.total_bytes(), plain.total_bytes());
+}
+
+#[test]
+fn per_query_policy_overrides_apply() {
+    let budget = inbound_window_bytes() / 4;
+    let (mut sys, q) = chain_system();
+    let mut cfg = OverloadConfig::uniform_bytes(budget);
+    cfg.query_policies.insert(q, OverloadPolicy::Coalesce);
+    sys.set_overload(Some(cfg));
+    feed(&mut sys);
+    sys.close_streams();
+    let ledger = sys.overload().unwrap().ledger(q);
+    assert!(ledger.conserved());
+    assert_eq!(ledger.shed_tuples, 0, "override says coalesce");
+    assert_eq!(ledger.delivered_tuples, 200, "closure drained the rest");
+}
+
+#[test]
+fn disarming_drains_pending_batches() {
+    let budget = inbound_window_bytes() / 4;
+    let (mut sys, q) = chain_system();
+    sys.set_overload(Some(OverloadConfig {
+        budget: Budget::Bytes(budget),
+        policy: OverloadPolicy::Coalesce,
+        ..OverloadConfig::default()
+    }));
+    feed(&mut sys);
+    assert!(sys.results(q).len() < 200, "overflow pending");
+    sys.set_overload(None);
+    assert_eq!(sys.results(q).len(), 200, "disarm released the backlog");
+    assert!(sys.overload().is_none());
+}

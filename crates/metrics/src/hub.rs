@@ -92,6 +92,16 @@ pub struct MetricsHub {
     punctuations: u64,
     /// Link bytes spent on punctuations (also counted by `on_link`).
     punctuation_bytes: u64,
+    /// Result tuples dropped by the overload controller's `Shed` policy.
+    shed_tuples: u64,
+    /// Result bytes dropped by the `Shed` policy.
+    shed_bytes: u64,
+    /// Pending batches merged by the `Coalesce` policy before delivery.
+    coalesced_batches: u64,
+    /// Upstream rate-limit datagrams disseminated by `Throttle`.
+    throttles: u64,
+    /// Link bytes spent on rate-limits (also counted by `on_link`).
+    throttle_bytes: u64,
 }
 
 impl MetricsHub {
@@ -108,6 +118,11 @@ impl MetricsHub {
             queries: BTreeMap::new(),
             punctuations: 0,
             punctuation_bytes: 0,
+            shed_tuples: 0,
+            shed_bytes: 0,
+            coalesced_batches: 0,
+            throttles: 0,
+            throttle_bytes: 0,
         }
     }
 
@@ -124,6 +139,13 @@ impl MetricsHub {
     /// Current virtual time in milliseconds.
     pub fn now_ms(&self) -> i64 {
         self.now_ms
+    }
+
+    /// Configured sliding-window span in milliseconds (never zero) —
+    /// the budget period of the overload controller and the scheduling
+    /// quantum of autotune policies.
+    pub fn window_ms(&self) -> i64 {
+        self.cfg.window.millis().max(1)
     }
 
     /// Advance virtual time to at least `ts` (time never goes backward).
@@ -260,6 +282,65 @@ impl MetricsHub {
     /// Lifetime punctuation datagrams and bytes disseminated.
     pub fn punctuation_totals(&self) -> (u64, u64) {
         (self.punctuations, self.punctuation_bytes)
+    }
+
+    /// The overload controller's `Shed` policy dropped a batch at the
+    /// delivery point. Shedding is never silent: the dropped mass lands
+    /// in these ledger counters and the conservation oracle checks
+    /// published = delivered + shed + staged against them.
+    pub fn on_shed(&mut self, tuples: u64, bytes: u64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.shed_tuples += tuples;
+        self.shed_bytes += bytes;
+    }
+
+    /// The `Coalesce` policy merged one pending batch into a staged
+    /// buffer instead of delivering it immediately.
+    pub fn on_coalesce(&mut self) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.coalesced_batches += 1;
+    }
+
+    /// A rate-limit datagram crossed one overlay link. Its link bytes
+    /// are accounted by the accompanying [`MetricsHub::on_link`] call;
+    /// this hook keeps the dedicated counters. Like punctuations,
+    /// rate-limits carry no tuple timestamp, so virtual time does not
+    /// advance.
+    pub fn on_throttle(&mut self, bytes: usize) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.throttles += 1;
+        self.throttle_bytes += bytes as u64;
+    }
+
+    /// Lifetime tuples and bytes dropped by the `Shed` policy.
+    pub fn shed_totals(&self) -> (u64, u64) {
+        (self.shed_tuples, self.shed_bytes)
+    }
+
+    /// Lifetime pending batches merged by the `Coalesce` policy.
+    pub fn coalesced_total(&self) -> u64 {
+        self.coalesced_batches
+    }
+
+    /// Lifetime rate-limit datagrams and bytes disseminated.
+    pub fn throttle_totals(&self) -> (u64, u64) {
+        (self.throttles, self.throttle_bytes)
+    }
+
+    /// Tuples and bytes consumed at `node` inside the current live
+    /// window (deliveries + SPE intake) — the measured side of the
+    /// overload controller's per-node budget check.
+    pub fn consumed_in_window(&self, node: NodeId) -> (u64, u64) {
+        self.consumed
+            .get(&node)
+            .map(|w| w.windowed(self.now_ms))
+            .unwrap_or((0, 0))
     }
 
     /// A batch of tuples was handed to a stream-processing executor at
@@ -411,6 +492,11 @@ impl MetricsHub {
             router,
             punctuations: self.punctuations,
             punctuation_bytes: self.punctuation_bytes,
+            shed_tuples: self.shed_tuples,
+            shed_bytes: self.shed_bytes,
+            coalesced_batches: self.coalesced_batches,
+            throttles: self.throttles,
+            throttle_bytes: self.throttle_bytes,
         }
     }
 }

@@ -51,22 +51,51 @@ impl RateWindow {
     }
 
     /// Record `tuples` tuples totalling `bytes` bytes at virtual time
-    /// `at_ms`. Out-of-order samples older than the newest bucket are
-    /// folded into the newest bucket so memory stays bounded.
+    /// `at_ms`. Out-of-order samples whose bucket is still live inside
+    /// the window land in that bucket; only samples older than the whole
+    /// window fold into the oldest live bucket, so memory stays bounded.
     pub fn record(&mut self, at_ms: i64, tuples: u64, bytes: u64) {
         self.total_tuples += tuples;
         self.total_bytes += bytes;
         if self.first_ms.is_none() || at_ms < self.first_ms.unwrap_or(i64::MAX) {
             self.first_ms = Some(at_ms);
         }
-        let mut index = at_ms.div_euclid(self.bucket_ms);
-        if let Some(back) = self.buckets.back_mut() {
+        let index = at_ms.div_euclid(self.bucket_ms);
+        if let Some(back) = self.buckets.back() {
             if index <= back.index {
-                back.tuples += tuples;
-                back.bytes += bytes;
+                let oldest_live = back.index - (WINDOW_BUCKETS - 1);
+                if index < oldest_live {
+                    // Below the whole window: the only place left that
+                    // keeps the mass countable is the oldest live bucket.
+                    let front = self.buckets.front_mut().expect("non-empty deque");
+                    front.tuples += tuples;
+                    front.bytes += bytes;
+                    return;
+                }
+                match self.buckets.binary_search_by_key(&index, |b| b.index) {
+                    Ok(pos) => {
+                        let b = &mut self.buckets[pos];
+                        b.tuples += tuples;
+                        b.bytes += bytes;
+                    }
+                    Err(pos) => {
+                        self.buckets.insert(
+                            pos,
+                            Bucket {
+                                index,
+                                tuples,
+                                bytes,
+                            },
+                        );
+                        // Inserting into a gap can overflow the bucket
+                        // budget; anything trimmed is below `oldest_live`.
+                        while self.buckets.len() as i64 > WINDOW_BUCKETS {
+                            self.buckets.pop_front();
+                        }
+                    }
+                }
                 return;
             }
-            index = index.max(back.index + 1);
         }
         self.buckets.push_back(Bucket {
             index,
@@ -88,7 +117,8 @@ impl RateWindow {
         self.total_bytes
     }
 
-    fn windowed(&self, now_ms: i64) -> (u64, u64) {
+    /// Tuples and bytes recorded in the live window as of `now_ms`.
+    pub(crate) fn windowed(&self, now_ms: i64) -> (u64, u64) {
         let oldest_live = now_ms.div_euclid(self.bucket_ms) - (WINDOW_BUCKETS - 1);
         let mut tuples = 0;
         let mut bytes = 0;
@@ -156,13 +186,62 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_samples_fold_into_newest_bucket() {
+    fn out_of_order_samples_land_in_their_own_live_bucket() {
         let mut w = RateWindow::new(TimeDelta::from_secs(8));
         w.record(7_000, 1, 10);
         w.record(1_000, 1, 10);
         assert_eq!(w.total_tuples(), 2);
         let (tuples, _) = w.windowed(7_000);
         assert_eq!(tuples, 2);
+        // At t=9s the 1s bucket has slid out of the window; only the 7s
+        // sample remains live. Folding into the newest bucket would
+        // misreport 2 here.
+        let (tuples, bytes) = w.windowed(9_000);
+        assert_eq!(tuples, 1);
+        assert_eq!(bytes, 10);
+    }
+
+    #[test]
+    fn below_window_samples_fold_into_oldest_live_bucket() {
+        let mut w = RateWindow::new(TimeDelta::from_secs(8));
+        w.record(20_000, 1, 10);
+        w.record(15_000, 1, 10);
+        // index 1 is below the live range [13, 20]: folds into the
+        // oldest live bucket (15s) rather than growing the deque.
+        w.record(1_000, 1, 10);
+        assert_eq!(w.total_tuples(), 3);
+        let (tuples, _) = w.windowed(20_000);
+        assert_eq!(tuples, 3);
+        // Once the 15s bucket slides out it takes the folded mass along.
+        let (tuples, _) = w.windowed(23_000);
+        assert_eq!(tuples, 1);
+    }
+
+    #[test]
+    fn disordered_feed_matches_in_order_rates() {
+        // The same 16 samples, in order and bit-reversed (a deterministic
+        // shuffle with plenty of backward jumps): every windowed rate
+        // query must agree, since each sample lands in its own bucket.
+        let times: Vec<i64> = (0..16).map(|t| t * 500).collect();
+        let mut ordered = RateWindow::new(TimeDelta::from_secs(8));
+        for &t in &times {
+            ordered.record(t, 1, 10);
+        }
+        let mut disordered = RateWindow::new(TimeDelta::from_secs(8));
+        for i in 0..16usize {
+            let rev = i.reverse_bits() >> (usize::BITS - 4);
+            disordered.record(times[rev], 1, 10);
+        }
+        assert_eq!(disordered.total_tuples(), ordered.total_tuples());
+        for now in [3_999, 7_500, 9_999, 15_000] {
+            assert_eq!(
+                disordered.windowed(now),
+                ordered.windowed(now),
+                "windowed counts diverge at {now}"
+            );
+            let (a, b) = (disordered.tuple_rate(now), ordered.tuple_rate(now));
+            assert!((a - b).abs() < 1e-9, "rate diverges at {now}: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::tree::Tree;
 use cosmos_types::NodeId;
 
 /// Tunable parameters of the optimizer's cost function.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptimizerConfig {
     /// Tree degree a node sustains without penalty.
     pub max_degree: usize,

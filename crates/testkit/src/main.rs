@@ -2,9 +2,9 @@
 //! `cosmos-sim` CLI: run, replay, and sweep deterministic scenarios.
 //!
 //! ```text
-//! cosmos-sim run --seed S [--disorder] [--no-bounds] [--no-shrink] [--out FILE]
+//! cosmos-sim run --seed S [--disorder] [--overload [--budget B]] [--no-bounds] [--no-shrink] [--out FILE]
 //! cosmos-sim replay FILE
-//! cosmos-sim sweep --seeds N [--start S0] [--disorder] [--no-bounds] [--no-shrink] [--out-dir DIR]
+//! cosmos-sim sweep --seeds N [--start S0] [--disorder] [--overload [--budget B]] [--no-bounds] [--no-shrink] [--out-dir DIR]
 //! cosmos-sim snapshot --seed S [--baseline] [--disorder] [--out FILE]
 //! cosmos-sim metrics --seed S [--baseline] [--disorder] [--out FILE]
 //! cosmos-sim bounds --seed S [--baseline] [--disorder] [--out FILE]
@@ -44,6 +44,17 @@
 //! bound-soundness oracle off for `run`/`sweep`, so a canary failure is
 //! attributed to the end-of-run semantic oracles instead.
 //!
+//! `--overload` arms the adaptive overload controller with a uniform
+//! per-node delivery budget of `--budget` bytes per rate window
+//! (default `u64::MAX / 4`, far above any generated scenario's peak —
+//! a pure accounting witness). Every run then also checks the ledger
+//! conservation identity `offered = delivered + shed + staged`
+//! byte-exactly after every event. The hidden `--inject-shed-leak`
+//! flag silently drops the shed-side ledger accounting — a
+//! deliberately broken build the conservation oracle must catch and
+//! attribute to the shed ledger when the budget is tight enough to
+//! shed.
+//!
 //! Exit status: 0 all scenarios pass, 1 any oracle failure, 2 usage/IO.
 
 use cosmos_testkit::{
@@ -56,10 +67,10 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("cosmos-sim: {msg}");
     eprintln!(
         "usage: cosmos-sim run --seed S [--disorder] [--no-bounds] [--parallelism N] \
-         [--no-shrink] [--out FILE]\n\
+         [--overload [--budget B]] [--no-shrink] [--out FILE]\n\
          \u{20}      cosmos-sim replay FILE\n\
          \u{20}      cosmos-sim sweep --seeds N [--start S0] [--disorder] [--no-bounds] \
-         [--parallelism N] [--no-shrink] [--out-dir DIR]\n\
+         [--parallelism N] [--overload [--budget B]] [--no-shrink] [--out-dir DIR]\n\
          \u{20}      cosmos-sim snapshot --seed S [--baseline] [--disorder] [--out FILE]\n\
          \u{20}      cosmos-sim metrics --seed S [--baseline] [--disorder] [--out FILE]\n\
          \u{20}      cosmos-sim bounds --seed S [--baseline] [--disorder] [--out FILE]\n\
@@ -77,6 +88,9 @@ struct Opts {
     baseline: bool,
     disorder: bool,
     parallelism: usize,
+    overload: bool,
+    budget: u64,
+    inject_shed_leak: bool,
     out: Option<String>,
     out_dir: String,
     files: Vec<String>,
@@ -107,6 +121,9 @@ fn main() -> ExitCode {
         baseline: false,
         disorder: false,
         parallelism: 1,
+        overload: false,
+        budget: u64::MAX / 4,
+        inject_shed_leak: false,
         out: None,
         out_dir: "cosmos-sim-failures".into(),
         files: Vec::new(),
@@ -137,6 +154,12 @@ fn main() -> ExitCode {
             },
             "--baseline" => o.baseline = true,
             "--disorder" => o.disorder = true,
+            "--overload" => o.overload = true,
+            "--budget" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => o.budget = v,
+                _ => return usage("--budget needs an integer >= 1"),
+            },
+            "--inject-shed-leak" => o.inject_shed_leak = true,
             "--out" => match args.next() {
                 Some(v) => o.out = Some(v),
                 None => return usage("--out needs a path"),
@@ -412,6 +435,8 @@ fn run_one(seed: u64, o: &Opts) -> bool {
     let copts = CheckOptions {
         bound_soundness: !o.no_bounds,
         parallelism: o.parallelism,
+        overload_budget: o.overload.then_some(o.budget),
+        inject_shed_leak: o.inject_shed_leak,
         // At --parallelism > 1 every oracle run is already the parallel
         // driver; CI compares the sweep's digests against a serial
         // sweep instead of paying for a redundant in-process replay.

@@ -126,6 +126,18 @@ pub struct CheckOptions {
     /// `parallelism` is already > 1 — the whole sweep then *is* the
     /// parallel side, compared against a serial sweep in CI.
     pub metamorphic_parallel: bool,
+    /// Arm the overload controller with this uniform per-node byte
+    /// budget in every run ([`RunOptions::overload_budget`]). The
+    /// conservation identity is checked after every event; when the
+    /// budget is tight enough to actually shed, the semantic oracles
+    /// back off per query (a shed buffer is legitimately a sub-multiset
+    /// of the reference output) while determinism and the parallel
+    /// replay still demand bit-identical shed decisions.
+    pub overload_budget: Option<u64>,
+    /// Fault-injection canary ([`RunOptions::inject_shed_leak`]): drop
+    /// the shed-side ledger accounting so any real shed must be caught
+    /// by the conservation oracle, attributed to the shed ledger.
+    pub inject_shed_leak: bool,
 }
 
 impl Default for CheckOptions {
@@ -141,6 +153,8 @@ impl Default for CheckOptions {
             bound_soundness: true,
             parallelism: 1,
             metamorphic_parallel: true,
+            overload_budget: None,
+            inject_shed_leak: false,
         }
     }
 }
@@ -163,14 +177,20 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             static_verify: opts.static_verify,
             bound_checks: opts.bound_soundness,
             parallelism: opts.parallelism,
+            overload_budget: opts.overload_budget,
+            inject_shed_leak: opts.inject_shed_leak,
             ..RunOptions::default()
         },
     )
     .map_err(run_err)?;
-    static_verify_failure(&merged, "merged")?;
+    // Conservation before the static verifier: both can see a broken
+    // overload ledger (the snapshot carries it as V0801), but the
+    // runner's per-event check names the shed ledger directly, so it
+    // owns the attribution.
     if opts.metrics_conservation {
         metrics_conservation_failure(&merged, "merged")?;
     }
+    static_verify_failure(&merged, "merged")?;
     bound_soundness_failure(&merged, "merged")?;
     runtime_determinism_failure(&merged, "merged")?;
 
@@ -183,6 +203,8 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
                 static_verify: false,
                 bound_checks: false,
                 parallelism: opts.parallelism,
+                overload_budget: opts.overload_budget,
+                inject_shed_leak: opts.inject_shed_leak,
                 ..RunOptions::default()
             },
         )
@@ -216,6 +238,8 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
                 static_verify: false,
                 bound_checks: false,
                 parallelism: 4,
+                overload_budget: opts.overload_budget,
+                inject_shed_leak: opts.inject_shed_leak,
                 ..RunOptions::default()
             },
         )
@@ -250,14 +274,16 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
             static_verify: opts.static_verify,
             bound_checks: opts.bound_soundness,
             parallelism: opts.parallelism,
+            overload_budget: opts.overload_budget,
+            inject_shed_leak: opts.inject_shed_leak,
             ..RunOptions::default()
         },
     )
     .map_err(run_err)?;
-    static_verify_failure(&baseline, "baseline")?;
     if opts.metrics_conservation {
         metrics_conservation_failure(&baseline, "baseline")?;
     }
+    static_verify_failure(&baseline, "baseline")?;
     bound_soundness_failure(&baseline, "baseline")?;
     runtime_determinism_failure(&baseline, "baseline")?;
     if opts.differential {
@@ -278,6 +304,8 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
                 static_verify: false,
                 bound_checks: false,
                 parallelism: opts.parallelism,
+                overload_budget: opts.overload_budget,
+                inject_shed_leak: opts.inject_shed_leak,
                 ..RunOptions::default()
             },
         )
@@ -296,6 +324,8 @@ pub fn check_scenario_opts(scenario: &Scenario, opts: &CheckOptions) -> Result<R
                 static_verify: false,
                 bound_checks: opts.bound_soundness,
                 parallelism: opts.parallelism,
+                overload_budget: opts.overload_budget,
+                inject_shed_leak: opts.inject_shed_leak,
                 ..RunOptions::default()
             },
         )
@@ -495,6 +525,12 @@ fn sorted_deduped(tuples: &[Tuple]) -> Vec<Tuple> {
 /// warm joins, mid-run withdrawals, any late/revision/shed activity —
 /// are skipped.
 fn differential(run: &RunOutcome, mode: &str) -> Result<(), Failure> {
+    if run.overload_shed_tuples > 0 {
+        // A shed delivery buffer is legitimately a sub-multiset of the
+        // reference output; the conservation ledger is the dedicated
+        // oracle for budgeted runs.
+        return Ok(());
+    }
     let disordered = run.disorder_totals.is_some();
     let oracle_name = if disordered {
         format!("convergence ({mode})")
@@ -602,6 +638,11 @@ fn run_lateish(run: &RunOutcome) -> u64 {
 /// Merged vs baseline whole-run comparison. Returns how many queries
 /// were comparable.
 fn metamorphic_merge(merged: &RunOutcome, baseline: &RunOutcome) -> Result<usize, Failure> {
+    if merged.overload_shed_tuples > 0 || baseline.overload_shed_tuples > 0 {
+        // Merging moves the per-node intake the budget meters, so shed
+        // decisions legitimately differ between the modes.
+        return Ok(0);
+    }
     for (label, _) in &merged.rejected {
         if baseline.queries.iter().any(|q| q.label == *label) {
             return Err(Failure {
@@ -662,6 +703,9 @@ fn metamorphic_merge(merged: &RunOutcome, baseline: &RunOutcome) -> Result<usize
 /// (on disordered runs: every query alive at closure, when no late path
 /// fired — see [`run_lateish`]).
 fn metamorphic_tree(merged: &RunOutcome, treed: &RunOutcome) -> Result<(), Failure> {
+    if merged.overload_shed_tuples > 0 || treed.overload_shed_tuples > 0 {
+        return Ok(());
+    }
     let disordered = merged.disorder_totals.is_some();
     let late_activity = run_lateish(merged) > 0 || run_lateish(treed) > 0;
     for q in &merged.queries {
@@ -701,6 +745,27 @@ fn metamorphic_tree(merged: &RunOutcome, treed: &RunOutcome) -> Result<(), Failu
 /// boundaries move relative to watermark drains), so the comparison
 /// backs off to per-query delivered multisets and the publish counts.
 fn metamorphic_batch(merged: &RunOutcome, batched: &RunOutcome) -> Result<(), Failure> {
+    if merged.overload_shed_tuples > 0 || batched.overload_shed_tuples > 0 {
+        // Batching changes the batch shapes `admit` meters, so shed
+        // decisions legitimately differ; only the publish accounting
+        // (which runs upstream of the controller) must still agree.
+        if batched.skipped_publishes != merged.skipped_publishes
+            || batched.published.len() != merged.published.len()
+        {
+            return Err(Failure {
+                oracle: "metamorphic-batch".into(),
+                label: None,
+                detail: format!(
+                    "accepted/skipped publish counts changed under batching: {}+{} vs {}+{}",
+                    merged.published.len(),
+                    merged.skipped_publishes,
+                    batched.published.len(),
+                    batched.skipped_publishes
+                ),
+            });
+        }
+        return Ok(());
+    }
     let strict =
         merged.disorder_totals.is_none() || (run_lateish(merged) == 0 && run_lateish(batched) == 0);
     for q in &merged.queries {

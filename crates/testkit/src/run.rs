@@ -60,6 +60,19 @@ pub struct RunOptions {
     /// identical at any value (the shard-per-core driver is observably
     /// deterministic), which the metamorphic-parallel oracle enforces.
     pub parallelism: usize,
+    /// Arm the overload controller with this uniform per-node byte
+    /// budget per rate window ([`cosmos::Cosmos::set_overload`], Shed
+    /// policy). The runner then checks the conservation identity
+    /// `offered = delivered + shed + staged` (tuples *and* bytes) for
+    /// every query's ledger after every event, and that nothing stays
+    /// staged after closure. `None` leaves the controller unarmed.
+    pub overload_budget: Option<u64>,
+    /// Fault-injection canary: silently drop the shed-side ledger
+    /// accounting ([`cosmos::overload::faultinject`]) so that any
+    /// actual shed breaks the conservation identity — the oracle must
+    /// attribute the failure to the shed ledger. Only meaningful with a
+    /// budget tight enough to shed.
+    pub inject_shed_leak: bool,
 }
 
 impl Default for RunOptions {
@@ -71,6 +84,8 @@ impl Default for RunOptions {
             static_verify: true,
             bound_checks: true,
             parallelism: 1,
+            overload_budget: None,
+            inject_shed_leak: false,
         }
     }
 }
@@ -173,6 +188,12 @@ pub struct RunOutcome {
     /// `arrived == drained + staged + shed + duplicates` must hold, and
     /// `staged` must be 0 after stream closure.
     pub disorder_totals: Option<DisorderStats>,
+    /// Total tuples the overload controller shed across all queries
+    /// (always 0 when [`RunOptions::overload_budget`] is `None`). The
+    /// semantic oracles back off when this is nonzero: a shed delivery
+    /// buffer is legitimately a sub-multiset of the reference output,
+    /// and the conservation ledger is the dedicated check for it.
+    pub overload_shed_tuples: u64,
 }
 
 /// The system-wide `late + revisions + shed` counter — the part of the
@@ -180,6 +201,52 @@ pub struct RunOutcome {
 fn lateish(sys: &Cosmos) -> u64 {
     let t = sys.disorder_totals();
     t.late + t.revisions + t.shed
+}
+
+/// RAII reset for the shed-leak fault injection: the flag is process
+/// global, so it must never outlive the run that armed it (an early
+/// `?` return included).
+struct ShedLeakGuard(bool);
+
+impl Drop for ShedLeakGuard {
+    fn drop(&mut self) {
+        if self.0 {
+            cosmos::overload::faultinject::set_drop_shed_ledger(false);
+        }
+    }
+}
+
+/// Check every overload ledger's conservation identity, attributing a
+/// broken balance explicitly to the shed ledger (it is the only
+/// counter a policy increments outside the delivery path).
+fn overload_conservation(
+    sys: &Cosmos,
+    queries: &[QueryRun],
+    ev_idx: usize,
+    out: &mut Vec<(usize, String)>,
+) {
+    let Some(ctl) = sys.overload() else { return };
+    for q in queries {
+        let l = ctl.ledger(q.qid);
+        if !l.conserved() {
+            out.push((
+                ev_idx,
+                format!(
+                    "overload shed-ledger conservation broken for query #{}: offered \
+                     {}t/{}b != delivered {}t/{}b + shed {}t/{}b + staged {}t/{}b",
+                    q.label,
+                    l.offered_tuples,
+                    l.offered_bytes,
+                    l.delivered_tuples,
+                    l.delivered_bytes,
+                    l.shed_tuples,
+                    l.shed_bytes,
+                    l.staged_tuples,
+                    l.staged_bytes,
+                ),
+            ));
+        }
+    }
 }
 
 /// Execute a scenario once.
@@ -216,6 +283,13 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
     }
     if opts.parallelism > 1 {
         sys.set_parallelism(opts.parallelism);
+    }
+    if let Some(budget) = opts.overload_budget {
+        sys.set_overload(Some(cosmos::OverloadConfig::uniform_bytes(budget)));
+    }
+    let _leak_guard = ShedLeakGuard(opts.inject_shed_leak);
+    if opts.inject_shed_leak {
+        cosmos::overload::faultinject::set_drop_shed_ledger(true);
     }
     let sensors = sensor_catalog();
 
@@ -416,6 +490,11 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
                 ));
             }
         }
+        // Overload accounting: every armed query's ledger must balance
+        // (`offered = delivered + shed + staged`, byte-exact) at every
+        // event boundary — a tuple dropped without a shed-ledger entry
+        // surfaces here, attributed to the shed ledger.
+        overload_conservation(&sys, &queries, ev_idx, &mut metrics_violations);
         // Runtime-determinism probe (the dynamic twin of detlint's
         // D0201/D0301): the hub is clocked by tuple timestamps alone.
         // Operator outputs are stamped with their completing arrival's
@@ -554,6 +633,28 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         }
     }
 
+    // Overload post-closure: the ledgers must still balance, nothing
+    // may remain staged (closure drains every pending coalesce batch),
+    // and total shed is carried out so the semantic oracles know when
+    // to back off.
+    let mut overload_shed_tuples = 0u64;
+    if let Some(ctl) = sys.overload() {
+        let ev_idx = scenario.events.len();
+        overload_conservation(&sys, &queries, ev_idx, &mut metrics_violations);
+        for (qid, l) in ctl.ledgers() {
+            overload_shed_tuples += l.shed_tuples;
+            if l.staged_tuples != 0 {
+                metrics_violations.push((
+                    ev_idx,
+                    format!(
+                        "{} overload tuples still staged for {qid} after stream closure",
+                        l.staged_tuples
+                    ),
+                ));
+            }
+        }
+    }
+
     for q in queries.iter_mut() {
         if q.input_end.is_none() {
             q.delivered = sys.results(q.qid).to_vec();
@@ -608,5 +709,6 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<RunOutcome
         bound_report,
         digest,
         disorder_totals,
+        overload_shed_tuples,
     })
 }

@@ -73,6 +73,8 @@ fn injected_merge_bug_is_caught_by_metamorphic_oracle() {
         bound_soundness: false,
         parallelism: 1,
         metamorphic_parallel: false,
+        overload_budget: None,
+        inject_shed_leak: false,
     };
     for seed in [1u64, 6] {
         let scenario = gen::generate(seed);
@@ -106,6 +108,8 @@ fn injected_merge_bug_is_caught_statically_before_any_publish() {
         bound_soundness: false,
         parallelism: 1,
         metamorphic_parallel: false,
+        overload_budget: None,
+        inject_shed_leak: false,
     };
     for seed in [1u64, 6] {
         let mut scenario = gen::generate(seed);

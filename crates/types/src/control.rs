@@ -1,0 +1,86 @@
+//! Control-plane datagrams: backpressure notices that flow upstream.
+//!
+//! Overloaded consumers need a way to tell producers to slow down, and
+//! the signal should ride the same datagram plane as data — routed along
+//! the dissemination tree, link-byte accounted, fully deterministic
+//! (Fernández-Moctezuma et al.'s inter-operator feedback, mirrored for
+//! rate control). A [`RateLimit`] is the throttle counterpart of a
+//! [`crate::Punctuation`]: where a punctuation promises "nothing older
+//! than the watermark", a rate-limit requests "no faster than this
+//! budget" for one stream, back toward its origin.
+
+use crate::{NodeId, StreamName};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An upstream rate-limit request for one stream.
+///
+/// Emitted by an overloaded node's controller and routed reverse along
+/// the stream's dissemination tree toward the origin. Advisory at the
+/// origin in this build: the driver records it so placement policies
+/// (cost-model-driven shed placement per Benoit et al.) can act on it
+/// later, but the origin does not yet pace its publishes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateLimit {
+    /// The stream being throttled.
+    pub stream: StreamName,
+    /// The node whose intake budget was exceeded.
+    pub from: NodeId,
+    /// Requested ceiling, in bytes per rate-window, at the origin.
+    pub budget_bytes: u64,
+}
+
+impl RateLimit {
+    /// Build a rate-limit notice.
+    pub fn new(stream: impl Into<StreamName>, from: NodeId, budget_bytes: u64) -> RateLimit {
+        RateLimit {
+            stream: stream.into(),
+            from,
+            budget_bytes,
+        }
+    }
+
+    /// Wire size in bytes: the 2-byte stream id + 8-byte timestamp
+    /// header every datagram carries, plus a 4-byte node id and the
+    /// 8-byte byte budget.
+    pub fn size_bytes(&self) -> usize {
+        22
+    }
+}
+
+impl fmt::Display for RateLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "throttle({} ≤ {}B/win from n{})",
+            self.stream, self.budget_bytes, self.from.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_size() {
+        let r = RateLimit::new("S", NodeId(3), 4_096);
+        assert_eq!(r.stream.as_str(), "S");
+        assert_eq!(r.from, NodeId(3));
+        assert_eq!(r.budget_bytes, 4_096);
+        assert_eq!(r.size_bytes(), 22);
+    }
+
+    #[test]
+    fn display_names_stream_budget_and_origin() {
+        let r = RateLimit::new("sensors_00", NodeId(7), 1_000);
+        assert_eq!(r.to_string(), "throttle(sensors_00 ≤ 1000B/win from n7)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = RateLimit::new("S", NodeId(0), 9);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<RateLimit>(&json).unwrap(), r);
+    }
+}

@@ -20,6 +20,8 @@
 //! | V4 merge soundness | `V0401` | Theorem 1/2 containment of each member in its representative, re-derived from the ASTs independently of `cosmos_query::containment`, agrees with the library |
 //! | V5 split-filter exactness | `V0501` | `member ≡ representative ∘ re-tightened filter`, checked as mutual semantic implication (Lemma 1 window re-tightening included) |
 //! | V6 abstraction consistency | `V0601`–`V0604` | the interval abstractions (`cosmos_bound::absint`) of the filters along every delivery path meet non-emptily — no statically-dead delivery — and no deployed representative has provably unbounded executor state |
+//! | V7 closure pruning | `V0701` | a stream closed by its final watermark has no routing state left at any router |
+//! | V8 overload accounting | `V0801` | every overload ledger satisfies `offered = delivered + shed + staged` (tuples *and* bytes), and every query with ledger traffic still has its user subscription installed — shedding never silently black-holes a retained query |
 //!
 //! `V0001` marks a snapshot too inconsistent to analyze (unparseable
 //! query text, dangling subscriber, missing advertisement for a result
@@ -86,6 +88,11 @@ pub mod codes {
     /// local-profile entry) for a stream its final watermark closed —
     /// the watermark-driven pruning leaked.
     pub const CLOSED_LEAK: &str = "V0701";
+    /// V8: an overload ledger breaks the conservation identity
+    /// (`offered = delivered + shed + staged`, tuples and bytes), or a
+    /// query with ledger traffic has lost its user subscription — load
+    /// shedding black-holed a retained query.
+    pub const SHED_UNACCOUNTED: &str = "V0801";
 }
 
 /// Whether a verification result contains any `Error`-level violation.
@@ -107,8 +114,82 @@ pub fn verify_snapshot(snap: &NetworkSnapshot) -> Vec<Diagnostic> {
         check_path_abstractions(snap, forest, &mut diags);
     }
     check_closed_streams(snap, &mut diags);
+    check_overload_ledgers(snap, &mut diags);
     check_groups(snap, &mut diags);
     diags
+}
+
+// ---------------------------------------------------------------------
+// V8: overload accounting
+// ---------------------------------------------------------------------
+
+/// Every overload ledger must balance — `offered = delivered + shed +
+/// staged`, tuples and bytes — and a query the controller is still
+/// accounting for must still have its user subscription installed
+/// somewhere. A missing subscription with a live ledger means load
+/// shedding black-holed a retained query: tuples are being dropped for
+/// a consumer that can no longer receive the survivors.
+fn check_overload_ledgers(snap: &NetworkSnapshot, diags: &mut Vec<Diagnostic>) {
+    for l in &snap.overload {
+        let tuples_ok = l.offered_tuples == l.delivered_tuples + l.shed_tuples + l.staged_tuples;
+        let bytes_ok = l.offered_bytes == l.delivered_bytes + l.shed_bytes + l.staged_bytes;
+        if !tuples_ok || !bytes_ok {
+            diags.push(Diagnostic::error(
+                codes::SHED_UNACCOUNTED,
+                format!(
+                    "overload ledger for {} violates conservation: offered \
+                     {}t/{}b != delivered {}t/{}b + shed {}t/{}b + staged {}t/{}b",
+                    l.query,
+                    l.offered_tuples,
+                    l.offered_bytes,
+                    l.delivered_tuples,
+                    l.delivered_bytes,
+                    l.shed_tuples,
+                    l.shed_bytes,
+                    l.staged_tuples,
+                    l.staged_bytes,
+                ),
+                None,
+            ));
+        }
+        if l.offered_tuples == 0 {
+            continue;
+        }
+        // Only queries still deployed are checkable: a withdrawn query
+        // legitimately keeps its ledger (history is never erased) with
+        // no subscription left. A *member* without its user sub is the
+        // black hole.
+        let Some(member) = snap
+            .groups
+            .iter()
+            .flat_map(|g| &g.members)
+            .find(|m| m.query == l.query)
+        else {
+            continue;
+        };
+        let subscribed = snap.routers.iter().any(|r| {
+            r.node == member.user
+                && r.local_subscribers.iter().any(|s| {
+                    s.id == member.user_sub
+                        && s.kind
+                            == (SubscriberKind::User {
+                                query: member.query,
+                            })
+                })
+        });
+        if !subscribed {
+            diags.push(Diagnostic::error(
+                codes::SHED_UNACCOUNTED,
+                format!(
+                    "{} has overload-ledger traffic ({} tuples offered) but no \
+                     installed user subscription — load shedding black-holed a \
+                     retained query",
+                    l.query, l.offered_tuples
+                ),
+                None,
+            ));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
